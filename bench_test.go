@@ -1,0 +1,286 @@
+// Repository-level benchmark harness: one benchmark per table and figure
+// in the paper's evaluation section. Each benchmark regenerates its
+// figure's dataset end to end (trace generation → simulation → metric)
+// on an abbreviated configuration and reports the figure's headline
+// numbers as benchmark metrics.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-length figures (the numbers recorded in EXPERIMENTS.md) come from
+// `go run ./cmd/smsexp all`.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/ghb"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stride"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchOptions returns small-but-meaningful experiment options; each
+// benchmark builds a fresh session so cached results are not re-counted.
+func benchOptions() exp.Options {
+	return exp.Options{CPUs: 2, Seed: 1, Length: 120_000}
+}
+
+func BenchmarkTable1Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		if out := exp.Table1(s); out == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig4BlockSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		res, err := exp.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: OLTP L2 opportunity at 8kB regions (the paper's
+		// motivation: opportunity grows with region size).
+		for _, row := range res.Rows {
+			if row.Group == workload.GroupOLTP && row.Size == 8192 {
+				b.ReportMetric(row.L2Opportunity, "oltp-l2-opportunity-8k")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		res, err := exp.Fig5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 22 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkFig6Indexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		res, err := exp.Fig6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Group == workload.GroupDSS && row.Index == core.IndexPCOffset {
+				b.ReportMetric(100*row.Coverage.Covered, "dss-pcoff-coverage-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7PHTStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		if _, err := exp.Fig7(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Training(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		res, err := exp.Fig8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Group == workload.GroupOLTP && row.Train == exp.TrainDS {
+				b.ReportMetric(100*row.Coverage.Uncovered, "oltp-ds-uncovered-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9TrainingStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		if _, err := exp.Fig9(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10RegionSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		if _, err := exp.Fig10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAGTSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		if _, err := exp.AGTSizing(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11VsGHB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		res, err := exp.Fig11(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Workload == "sparse" && row.Variant == exp.VariantSMS {
+				b.ReportMetric(100*row.Coverage.Covered, "sparse-sms-coverage-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		res, err := exp.Fig12(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoMean, "geomean-speedup")
+	}
+}
+
+func BenchmarkFig13Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		res, err := exp.Fig12(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RenderBreakdown() == "" {
+			b.Fatal("empty breakdown")
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(benchOptions())
+		if _, err := exp.Ablate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- component microbenchmarks ----
+
+func BenchmarkSMSAccess(b *testing.B) {
+	sms := core.MustNew(core.Config{})
+	geo := sms.Geometry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := mem.Addr(uint64(i*64) & 0xFFFFFF)
+		sms.Access(0x400100+uint64(i%8)*4, addr)
+		if i%7 == 0 {
+			sms.BlockRemoved(geo.BlockAddr(addr))
+		}
+		sms.NextStreamRequests(2)
+	}
+}
+
+func BenchmarkGHBTrain(b *testing.B) {
+	g := ghb.MustNew(ghb.Config{HistoryEntries: 16384})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Train(0x400100+uint64(i%16)*4, mem.Addr(uint64(i)*64))
+	}
+}
+
+func BenchmarkStrideTrain(b *testing.B) {
+	p := stride.MustNew(stride.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Train(0x400100+uint64(i%16)*4, mem.Addr(uint64(i)*128))
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	// End-to-end accesses/second through the coherent hierarchy with SMS
+	// attached, on the heaviest-interleaving workload.
+	w, err := workload.ByName("oltp-oracle")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	runner := sim.MustNewRunner(sim.Config{Prefetcher: sim.PrefetchSMS})
+	src := w.Make(workload.Config{CPUs: 4, Seed: 1, Length: 1 << 62})
+	for i := 0; i < b.N; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			b.Fatal("source exhausted")
+		}
+		runner.Step(rec)
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	w, err := workload.ByName("oltp-db2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := w.Make(workload.Config{CPUs: 4, Seed: 1, Length: 1 << 62})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := src.Next(); !ok {
+			b.Fatal("source exhausted")
+		}
+	}
+}
+
+func BenchmarkTraceIO(b *testing.B) {
+	recs := make([]trace.Record, 1000)
+	for i := range recs {
+		recs[i] = trace.Record{Seq: uint64(i), PC: 0x400100, Addr: mem.Addr(i * 64)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink countingWriter
+		tw, err := trace.NewWriter(&sink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := tw.Write(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

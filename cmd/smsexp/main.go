@@ -1,0 +1,167 @@
+// Command smsexp regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	smsexp [flags] <experiment> [<experiment> ...]
+//	smsexp [flags] all
+//
+// Experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 agt fig11 fig12
+// fig13 ablate. Each prints a text table with the rows/series of the
+// corresponding figure in Somogyi et al., "Spatial Memory Streaming"
+// (ISCA 2006).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		cpus     = flag.Int("cpus", 4, "simulated processors")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		length   = flag.Uint64("length", 1_200_000, "accesses per workload trace (half is warm-up)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		quick    = flag.Bool("quick", false, "abbreviated runs (overrides -cpus/-length)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := exp.Options{CPUs: *cpus, Seed: *seed, Length: *length, Parallel: *parallel}
+	if *quick {
+		q := exp.QuickOptions()
+		q.Seed = *seed
+		q.Parallel = *parallel
+		opts = q
+	}
+	session := exp.NewSession(opts)
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = experimentOrder()
+	}
+	for _, name := range args {
+		run, ok := experiments()[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "smsexp: unknown experiment %q (have: %v)\n", name, experimentOrder())
+			os.Exit(2)
+		}
+		start := time.Now()
+		out, err := run(session)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smsexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+type runner func(*exp.Session) (string, error)
+
+func experiments() map[string]runner {
+	return map[string]runner{
+		"table1": func(s *exp.Session) (string, error) { return exp.Table1(s), nil },
+		"fig4": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig4(s)
+			return render(r, err)
+		},
+		"fig5": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig5(s)
+			return render(r, err)
+		},
+		"fig6": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig6(s)
+			return render(r, err)
+		},
+		"fig7": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig7(s)
+			return render(r, err)
+		},
+		"fig8": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig8(s)
+			return render(r, err)
+		},
+		"fig9": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig9(s)
+			return render(r, err)
+		},
+		"fig10": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig10(s)
+			return render(r, err)
+		},
+		"agt": func(s *exp.Session) (string, error) {
+			r, err := exp.AGTSizing(s)
+			return render(r, err)
+		},
+		"fig11": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig11(s)
+			return render(r, err)
+		},
+		"fig12": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig12(s)
+			return render(r, err)
+		},
+		"fig13": func(s *exp.Session) (string, error) {
+			r, err := exp.Fig12(s)
+			if err != nil {
+				return "", err
+			}
+			return r.RenderBreakdown(), nil
+		},
+		"ablate": func(s *exp.Session) (string, error) {
+			r, err := exp.Ablate(s)
+			return render(r, err)
+		},
+		"headline": func(s *exp.Session) (string, error) {
+			r, err := exp.Headline(s)
+			return render(r, err)
+		},
+	}
+}
+
+type renderable interface{ Render() string }
+
+func render(r renderable, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+func experimentOrder() []string {
+	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "agt", "fig11", "fig12", "fig13", "ablate", "headline"}
+	// Sanity: keep the map and the order in sync.
+	m := experiments()
+	if len(order) != len(m) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	return order
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `smsexp regenerates the figures of "Spatial Memory Streaming" (ISCA 2006).
+
+usage: smsexp [flags] <experiment> [<experiment> ...]
+       smsexp [flags] all
+
+experiments: %v
+
+flags:
+`, experimentOrder())
+	flag.PrintDefaults()
+}

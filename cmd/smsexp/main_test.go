@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestExperimentOrderMatchesMap(t *testing.T) {
+	order := experimentOrder()
+	m := experiments()
+	if len(order) != len(m) {
+		t.Fatalf("order has %d entries, map has %d", len(order), len(m))
+	}
+	seen := map[string]bool{}
+	for _, name := range order {
+		if _, ok := m[name]; !ok {
+			t.Errorf("ordered experiment %q missing from map", name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate experiment %q", name)
+		}
+		seen[name] = true
+	}
+	for _, want := range []string{"table1", "fig4", "fig11", "fig12", "fig13", "agt", "ablate"} {
+		if !seen[want] {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+}
+
+func TestTable1Runner(t *testing.T) {
+	s := exp.NewSession(exp.Options{CPUs: 1, Length: 10_000})
+	out, err := experiments()["table1"](s)
+	if err != nil || !strings.Contains(out, "Table 1") {
+		t.Fatalf("table1 runner: %v, %q", err, out)
+	}
+}

@@ -1,0 +1,125 @@
+// Command smsim runs one workload through the simulated memory system
+// with a chosen prefetcher and prints miss, coverage and predictor
+// statistics. It is the quickest way to poke at a single configuration.
+//
+// Examples:
+//
+//	smsim -workload oltp-db2 -prefetcher sms
+//	smsim -workload dss-q1 -prefetcher ghb -ghb-entries 16384
+//	smsim -workload sparse -prefetcher sms -region 4096 -pht 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/ghb"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name       = flag.String("workload", "oltp-db2", "workload name (see -list)")
+		list       = flag.Bool("list", false, "list workloads and exit")
+		prefetcher = flag.String("prefetcher", "none", "none | sms | ls | ghb | stride")
+		cpus       = flag.Int("cpus", 4, "simulated processors")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		length     = flag.Uint64("length", 1_200_000, "trace length in accesses (half warm-up)")
+		region     = flag.Int("region", mem.DefaultRegionSize, "spatial region size in bytes")
+		index      = flag.String("index", "PC+off", "SMS index: Addr | PC+addr | PC | PC+off")
+		pht        = flag.Int("pht", core.DefaultPHTEntries, "PHT entries (0 = unbounded)")
+		ghbEntries = flag.Int("ghb-entries", 256, "GHB history buffer entries")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-12s %-10s %s\n", w.Name, w.Group, w.Description)
+		}
+		return
+	}
+
+	w, err := workload.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := core.ParseIndexKind(*index)
+	if err != nil {
+		fatal(err)
+	}
+	geo, err := mem.NewGeometry(mem.DefaultBlockSize, *region)
+	if err != nil {
+		fatal(err)
+	}
+	phtEntries := *pht
+	if phtEntries == 0 {
+		phtEntries = -1
+	}
+
+	opts := exp.Options{CPUs: *cpus, Seed: *seed, Length: *length}
+	cfg := sim.Config{
+		Coherence:      opts.MemorySystem(64),
+		Geometry:       geo,
+		WarmupAccesses: *length / 2,
+		SMS:            core.Config{Index: idx, PHTEntries: phtEntries},
+		GHB:            ghb.Config{HistoryEntries: *ghbEntries},
+	}
+	switch strings.ToLower(*prefetcher) {
+	case "none":
+		cfg.Prefetcher = sim.PrefetchNone
+	case "sms":
+		cfg.Prefetcher = sim.PrefetchSMS
+	case "ls":
+		cfg.Prefetcher = sim.PrefetchLS
+	case "ghb":
+		cfg.Prefetcher = sim.PrefetchGHB
+	case "stride":
+		cfg.Prefetcher = sim.PrefetchStride
+	default:
+		fatal(fmt.Errorf("unknown prefetcher %q", *prefetcher))
+	}
+
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res := runner.Run(w.Make(workload.Config{CPUs: *cpus, Seed: *seed, Length: *length}))
+
+	fmt.Printf("workload        %s (%s)\n", w.Name, w.Group)
+	fmt.Printf("prefetcher      %s\n", cfg.Prefetcher)
+	fmt.Printf("accesses        %d (reads %d, writes %d)\n", res.Accesses, res.Reads, res.Writes)
+	fmt.Printf("L1 read misses  %d (%.2f%% of reads)\n", res.L1ReadMisses, 100*res.L1MissesPerAccess())
+	fmt.Printf("off-chip reads  %d (%.2f%% of reads)\n", res.OffChipReadMisses, 100*res.OffChipMissesPerAccess())
+	fmt.Printf("coherence       %d off-chip read misses (%d false sharing)\n", res.CoherenceReadMisses, res.FalseSharingReadMisses)
+	if cfg.Prefetcher != sim.PrefetchNone {
+		fmt.Printf("covered L1      %d\n", res.L1CoveredMisses)
+		fmt.Printf("covered offchip %d\n", res.OffChipCoveredMisses)
+		fmt.Printf("streams issued  %d (overpredictions %d, %.1f%% of streams)\n",
+			res.StreamRequests, res.Overpredictions, 100*stats.Ratio(res.Overpredictions, res.StreamRequests))
+	}
+	for cpu, st := range res.SMSStats {
+		fmt.Printf("SMS[cpu%d]       triggers=%d learned=%d predictions=%d pht-hit=%.1f%%\n",
+			cpu, st.Triggers, st.PatternsLearned, st.Predictions,
+			100*stats.Ratio(st.PHT.Hits, st.PHT.Lookups))
+	}
+	if cfg.Prefetcher == sim.PrefetchSMS && *pht > 0 {
+		budget := core.PHTStorage(geo, *pht, core.DefaultPHTAssoc)
+		agt := core.AGTStorage(geo, core.DefaultFilterEntries, core.DefaultAccumEntries)
+		fmt.Printf("hardware budget per CPU: PHT %.1fKiB + AGT %.1fKiB\n", budget.KiB(), agt.KiB())
+	}
+	for cpu, st := range res.GHBStats {
+		fmt.Printf("GHB[cpu%d]       trains=%d matches=%d prefetches=%d\n", cpu, st.Trains, st.Matches, st.Prefetches)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smsim:", err)
+	os.Exit(1)
+}

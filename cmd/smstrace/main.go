@@ -1,0 +1,182 @@
+// Command smstrace generates, inspects and summarizes trace files in the
+// repository's binary trace format.
+//
+// Subcommands:
+//
+//	smstrace gen -workload oltp-db2 -o trace.smst [-cpus N -seed S -length L]
+//	smstrace dump -i trace.smst [-n 20]
+//	smstrace stat -i trace.smst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  smstrace gen  -workload NAME -o FILE [-cpus N] [-seed S] [-length L]
+  smstrace dump -i FILE [-n COUNT]
+  smstrace stat -i FILE`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("workload", "oltp-db2", "workload name")
+	out := fs.String("o", "trace.smst", "output file")
+	cpus := fs.Int("cpus", 4, "CPUs")
+	seed := fs.Int64("seed", 1, "seed")
+	length := fs.Uint64("length", 1_000_000, "accesses")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workload.ByName(*name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	src := w.Make(workload.Config{CPUs: *cpus, Seed: *seed, Length: *length})
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", tw.Count(), *out)
+	return nil
+}
+
+func openTrace(path string) (*os.File, *trace.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return f, r, nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("i", "trace.smst", "input file")
+	n := fs.Int("n", 20, "records to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, r, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	count := 0
+	for {
+		if *n > 0 && count >= *n {
+			break
+		}
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		fmt.Println(rec)
+		count++
+	}
+	return r.Err()
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "trace.smst", "input file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, r, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	geo := mem.DefaultGeometry()
+	var total, writes uint64
+	cpus := map[uint8]uint64{}
+	pcs := map[uint64]uint64{}
+	regions := map[uint64]bool{}
+	var firstSeq, lastSeq uint64
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if total == 0 {
+			firstSeq = rec.Seq
+		}
+		lastSeq = rec.Seq
+		total++
+		if rec.IsWrite() {
+			writes++
+		}
+		cpus[rec.CPU]++
+		pcs[rec.PC]++
+		regions[geo.RegionTag(rec.Addr)] = true
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("records         %d (%d writes, %.1f%%)\n", total, writes, 100*float64(writes)/float64(max64(total, 1)))
+	fmt.Printf("instructions    %d\n", lastSeq-firstSeq)
+	fmt.Printf("cpus            %d\n", len(cpus))
+	fmt.Printf("distinct PCs    %d\n", len(pcs))
+	fmt.Printf("distinct 2kB regions %d\n", len(regions))
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

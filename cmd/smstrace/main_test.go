@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestGenDumpStatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.smst")
+	if err := cmdGen([]string{"-workload", "sparse", "-o", path, "-cpus", "2", "-length", "5000"}); err != nil {
+		t.Fatal(err)
+	}
+	f, r, err := openTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if n != 5000 {
+		t.Fatalf("records = %d, want 5000", n)
+	}
+	if err := cmdDump([]string{"-i", path, "-n", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStat([]string{"-i", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenRejectsUnknownWorkload(t *testing.T) {
+	if err := cmdGen([]string{"-workload", "nope", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestOpenTraceErrors(t *testing.T) {
+	if _, _, err := openTrace(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not a trace file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openTrace(bad); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
+
+func TestMax64(t *testing.T) {
+	if max64(1, 2) != 2 || max64(3, 2) != 3 {
+		t.Fatal("max64 wrong")
+	}
+}
+
+var _ = trace.Record{} // the test exercises the trace format end to end

@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of "Spatial Memory
+// Streaming" (Somogyi, Wenisch, Ailamaki, Falsafi, Moshovos; ISCA 2006).
+//
+// The root package holds only the repository-level benchmark harness
+// (bench_test.go), which regenerates every table and figure of the paper's
+// evaluation; the implementation lives under internal/:
+//
+//	internal/core      — SMS itself: AGT (filter + accumulation tables),
+//	                     pattern history table, prediction indices,
+//	                     prediction registers
+//	internal/sectored  — decoupled/logical sectored training baselines
+//	internal/ghb       — GHB PC/DC comparison prefetcher
+//	internal/stride    — stride prefetcher (extension baseline)
+//	internal/cache     — set-associative cache model
+//	internal/coherence — MSI directory multiprocessor memory system
+//	internal/workload  — synthetic commercial/scientific trace generators
+//	internal/sim       — trace-driven simulation driver and accounting
+//	internal/timing    — interval timing model (speedups, breakdowns)
+//	internal/exp       — one runner per paper figure/table
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

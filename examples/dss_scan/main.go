@@ -1,0 +1,69 @@
+// DSS scan study: the cold-miss story of §2.2/§4.2. A decision-support
+// scan touches each table page exactly once, so an address-indexed
+// predictor never gets a second chance at any region — while PC+offset
+// indexing learns the scan loop's footprint once and predicts every
+// subsequent page, including data that has never been visited.
+//
+// Run with: go run ./examples/dss_scan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		cpus   = 2
+		length = 400_000
+		seed   = 3
+	)
+	w, err := workload.ByName("dss-q1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %s\n\n", w.Name, w.Description)
+
+	run := func(cfg sim.Config) *sim.Result {
+		cfg.WarmupAccesses = length / 2
+		r, err := sim.NewRunner(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r.Run(w.Make(workload.Config{CPUs: cpus, Seed: seed, Length: length}))
+	}
+
+	base := run(sim.Config{})
+	fmt.Printf("baseline L1 read misses: %d\n\n", base.L1ReadMisses)
+
+	fmt.Println("SMS L1 coverage by prediction index (unbounded PHT):")
+	for _, kind := range core.AllIndexKinds() {
+		res := run(sim.Config{
+			Prefetcher: sim.PrefetchSMS,
+			SMS:        core.Config{Index: kind, PHTEntries: -1},
+		})
+		cov := res.L1Coverage(base)
+		var note string
+		switch kind {
+		case core.IndexAddress:
+			note = "(cannot predict unvisited pages)"
+		case core.IndexPCAddress:
+			note = "(address part defeats it on cold data)"
+		case core.IndexPC:
+			note = "(cannot separate scan from temp-table writes)"
+		case core.IndexPCOffset:
+			note = "(the paper's choice)"
+		}
+		fmt.Printf("  %-8s covered %5.1f%%  uncovered %5.1f%%  %s\n",
+			kind, 100*cov.Covered, 100*cov.Uncovered, note)
+	}
+
+	fmt.Println("\nThe scan visits each fact-table page once: address-bearing")
+	fmt.Println("indices have nothing to recall when a new page arrives, but")
+	fmt.Println("the scan loop's PC repeats millions of times, so PC+offset")
+	fmt.Println("predicts pages that have never been touched (§4.2).")
+}

@@ -1,0 +1,71 @@
+// OLTP study: the paper's motivating scenario. Runs the TPC-C-like OLTP
+// workload through the simulated multiprocessor memory system three times
+// — no prefetcher, GHB, and SMS — and shows why code-correlated spatial
+// streaming wins on interleaved transaction processing while delta
+// correlation fails (paper §4.6, Figure 11).
+//
+// Run with: go run ./examples/oltpstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ghb"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		cpus   = 4
+		length = 600_000
+		seed   = 7
+	)
+	w, err := workload.ByName("oltp-db2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %s\n\n", w.Name, w.Description)
+
+	run := func(cfg sim.Config) *sim.Result {
+		cfg.WarmupAccesses = length / 2
+		runner, err := sim.NewRunner(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return runner.Run(w.Make(workload.Config{CPUs: cpus, Seed: seed, Length: length}))
+	}
+
+	base := run(sim.Config{})
+	fmt.Printf("baseline: %d reads, %d L1 read misses, %d off-chip read misses\n",
+		base.Reads, base.L1ReadMisses, base.OffChipReadMisses)
+	fmt.Printf("          %d coherence misses (%d false sharing)\n\n",
+		base.CoherenceReadMisses, base.FalseSharingReadMisses)
+
+	ghbRes := run(sim.Config{Prefetcher: sim.PrefetchGHB, GHB: ghb.Config{HistoryEntries: 16384}})
+	smsRes := run(sim.Config{Prefetcher: sim.PrefetchSMS})
+
+	fmt.Println("off-chip read miss coverage (vs baseline):")
+	for _, row := range []struct {
+		name string
+		res  *sim.Result
+	}{
+		{"GHB-16k (PC/DC delta correlation)", ghbRes},
+		{"SMS (PC+offset spatial patterns)", smsRes},
+	} {
+		cov := row.res.OffChipCoverage(base)
+		fmt.Printf("  %-36s covered %5.1f%%  uncovered %5.1f%%  overpredictions %5.1f%%\n",
+			row.name, 100*cov.Covered, 100*cov.Uncovered, 100*cov.Overpredicted)
+	}
+
+	fmt.Println("\nWhy: OLTP transactions interleave accesses to many database")
+	fmt.Println("pages at once. Each trigger access lets SMS predict its own")
+	fmt.Println("region independently, while interleaving scrambles the per-PC")
+	fmt.Println("delta sequences GHB correlates on (§4.6).")
+
+	for cpu, st := range smsRes.SMSStats {
+		fmt.Printf("SMS[cpu%d]: %d generations, %d patterns learned, %d predictions\n",
+			cpu, st.Triggers, st.PatternsLearned, st.Predictions)
+	}
+}

@@ -1,0 +1,98 @@
+// Region tuning walkthrough: how a practitioner would size SMS for a new
+// workload using the public API — sweep the spatial region size and the
+// PHT budget, then check the AGT sizing, mirroring the paper's §4.4/§4.5
+// methodology on one workload.
+//
+// Run with: go run ./examples/regiontune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const (
+	cpus   = 2
+	length = 300_000
+	seed   = 5
+	name   = "web-apache"
+)
+
+func main() {
+	w, err := workload.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuning SMS for %s\n\n", name)
+
+	base := run(w, sim.Config{})
+
+	fmt.Println("1) region size sweep (unbounded PHT):")
+	bestSize, bestCov := 0, -1.0
+	for _, size := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
+		geo, err := mem.NewGeometry(64, size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := run(w, sim.Config{
+			Geometry:   geo,
+			Prefetcher: sim.PrefetchSMS,
+			SMS:        core.Config{PHTEntries: -1},
+		})
+		cov := res.L1Coverage(base).Covered
+		fmt.Printf("   %5dB regions: coverage %5.1f%%\n", size, 100*cov)
+		if cov > bestCov {
+			bestCov, bestSize = cov, size
+		}
+	}
+	fmt.Printf("   -> best region size: %dB (the paper selects 2kB)\n\n", bestSize)
+
+	geo, err := mem.NewGeometry(64, bestSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("2) PHT budget at that region size:")
+	for _, entries := range []int{1024, 4096, 16384, -1} {
+		res := run(w, sim.Config{
+			Geometry:   geo,
+			Prefetcher: sim.PrefetchSMS,
+			SMS:        core.Config{PHTEntries: entries},
+		})
+		label := fmt.Sprintf("%d", entries)
+		if entries == -1 {
+			label = "infinite"
+		}
+		fmt.Printf("   %8s entries: coverage %5.1f%%\n", label, 100*res.L1Coverage(base).Covered)
+	}
+
+	fmt.Println("\n3) AGT sizing (paper: 32-entry filter + 64-entry accumulation suffice):")
+	for _, c := range []struct{ f, a int }{{8, 16}, {32, 64}, {-1, -1}} {
+		cfg := core.Config{PHTEntries: -1}
+		if c.f > 0 {
+			cfg.FilterEntries, cfg.AccumEntries = c.f, c.a
+		} else {
+			cfg.FilterEntries, cfg.AccumEntries = 1<<20, -1
+		}
+		res := run(w, sim.Config{Geometry: geo, Prefetcher: sim.PrefetchSMS, SMS: cfg})
+		label := fmt.Sprintf("filter=%d accum=%d", c.f, c.a)
+		if c.f < 0 {
+			label = "unbounded AGT"
+		}
+		fmt.Printf("   %-22s coverage %5.1f%%\n", label, 100*res.L1Coverage(base).Covered)
+	}
+}
+
+func run(w workload.Workload, cfg sim.Config) *sim.Result {
+	cfg.WarmupAccesses = length / 2
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r.Run(w.Make(workload.Config{CPUs: cpus, Seed: seed, Length: length}))
+}

@@ -1,0 +1,327 @@
+// Package cache implements the set-associative cache model used for every
+// level of the simulated hierarchy. The model is functional (hit/miss and
+// content tracking, no timing): timing is layered on by package timing, and
+// coherence by package coherence.
+//
+// The block size is configurable because the paper's Figure 4 sweeps block
+// sizes from 64 B to 8 kB while holding capacity fixed. Lines carry a
+// prefetched/used pair of flags so the simulator can account coverage
+// (prefetched lines that are hit before leaving the cache) and
+// overpredictions (prefetched lines evicted or invalidated unused).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// Config describes one cache.
+type Config struct {
+	// Size is the total capacity in bytes.
+	Size int
+	// Assoc is the set associativity.
+	Assoc int
+	// BlockSize is the line size in bytes (a power of two).
+	BlockSize int
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("cache: block size %d not a positive power of two", c.BlockSize)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache: associativity %d not positive", c.Assoc)
+	}
+	if c.Size <= 0 || c.Size%(c.BlockSize*c.Assoc) != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of assoc*block (%d)", c.Size, c.BlockSize*c.Assoc)
+	}
+	sets := c.Size / (c.BlockSize * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.Size / (c.BlockSize * c.Assoc) }
+
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool // brought in by a stream request
+	used       bool // demand-hit at least once since fill
+	offChip    bool // prefetch fill was sourced from off-chip memory
+	lru        uint64
+}
+
+// Cache is a set-associative, LRU-replacement cache.
+type Cache struct {
+	cfg       Config
+	blockBits uint
+	setMask   uint64
+	sets      [][]line
+	clock     uint64
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Sets()
+	c := &Cache{
+		cfg:       cfg,
+		blockBits: uint(bits.TrailingZeros64(uint64(cfg.BlockSize))),
+		setMask:   uint64(nsets - 1),
+		sets:      make([][]line, nsets),
+	}
+	backing := make([]line, nsets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// BlockAddr truncates an address to this cache's block base.
+func (c *Cache) BlockAddr(a mem.Addr) mem.Addr {
+	return a &^ (mem.Addr(c.cfg.BlockSize) - 1)
+}
+
+func (c *Cache) index(a mem.Addr) (set uint64, tag uint64) {
+	bn := uint64(a) >> c.blockBits
+	return bn & c.setMask, bn >> uint(bits.TrailingZeros64(uint64(len(c.sets))))
+}
+
+// Eviction describes a line displaced by a fill or removed by an
+// invalidation.
+type Eviction struct {
+	// Addr is the base address of the displaced block.
+	Addr mem.Addr
+	// Dirty reports whether the block held modified data.
+	Dirty bool
+	// PrefetchedUnused reports whether the block was streamed in and
+	// never demand-hit: an overprediction (§4.2's bandwidth-wasting
+	// category).
+	PrefetchedUnused bool
+}
+
+// Result describes the outcome of an access or fill.
+type Result struct {
+	// Hit reports whether the block was present.
+	Hit bool
+	// PrefetchHit reports whether this is the first demand hit on a
+	// streamed block — the event that converts a would-be miss into
+	// prefetcher coverage.
+	PrefetchHit bool
+	// PrefetchOffChip refines PrefetchHit: the stream fill that brought
+	// the block in was sourced from off-chip memory, so the covered
+	// would-be miss was an off-chip miss.
+	PrefetchOffChip bool
+	// Evicted is valid when a fill displaced a victim line.
+	Evicted bool
+	// Victim is the displaced line when Evicted.
+	Victim Eviction
+}
+
+// Access performs a demand access (read or write). On a miss the block is
+// filled, possibly displacing a victim.
+func (c *Cache) Access(a mem.Addr, write bool) Result {
+	set, tag := c.index(a)
+	c.clock++
+	lines := c.sets[set]
+	for i := range lines {
+		ln := &lines[i]
+		if ln.valid && ln.tag == tag {
+			res := Result{Hit: true}
+			if ln.prefetched && !ln.used {
+				res.PrefetchHit = true
+				res.PrefetchOffChip = ln.offChip
+			}
+			ln.used = true
+			ln.lru = c.clock
+			if write {
+				ln.dirty = true
+			}
+			return res
+		}
+	}
+	res := c.fill(set, tag, false)
+	if write {
+		// The newly filled line is MRU: find it and dirty it.
+		c.markDirty(set, tag)
+	}
+	res.Hit = false
+	return res
+}
+
+// Probe reports whether the block is present without updating LRU or flags.
+func (c *Cache) Probe(a mem.Addr) bool {
+	set, tag := c.index(a)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts a block as a stream/prefetch fill; offChip records whether
+// the fill data came from off-chip memory (used for off-chip coverage
+// accounting). If the block is already present the call is a no-op
+// (Hit=true) and the line keeps its flags.
+func (c *Cache) Fill(a mem.Addr, offChip bool) Result {
+	set, tag := c.index(a)
+	c.clock++
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return Result{Hit: true}
+		}
+	}
+	res := c.fill(set, tag, true)
+	c.markOffChip(set, tag, offChip)
+	return res
+}
+
+func (c *Cache) markOffChip(set, tag uint64, offChip bool) {
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.offChip = offChip
+			return
+		}
+	}
+}
+
+// fill allocates (set, tag), evicting the LRU line if needed.
+func (c *Cache) fill(set, tag uint64, prefetched bool) Result {
+	lines := c.sets[set]
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range lines {
+		ln := &lines[i]
+		if !ln.valid {
+			victim = i
+			break
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			victim = i
+		}
+	}
+	res := Result{}
+	v := &lines[victim]
+	if v.valid {
+		res.Evicted = true
+		res.Victim = Eviction{
+			Addr:             c.addrOf(set, v.tag),
+			Dirty:            v.dirty,
+			PrefetchedUnused: v.prefetched && !v.used,
+		}
+	}
+	*v = line{tag: tag, valid: true, prefetched: prefetched, lru: c.clock}
+	return res
+}
+
+func (c *Cache) markDirty(set, tag uint64) {
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.dirty = true
+			return
+		}
+	}
+}
+
+func (c *Cache) addrOf(set, tag uint64) mem.Addr {
+	setBits := uint(bits.TrailingZeros64(uint64(len(c.sets))))
+	return mem.Addr((tag<<setBits | set) << c.blockBits)
+}
+
+// MarkUsed marks the block containing a as demand-used if present. The
+// coherent hierarchy uses it to propagate first-use information to lower
+// levels: when a streamed block is used from L1, the L2 copy of the same
+// stream fill must not later be scored as an overprediction.
+func (c *Cache) MarkUsed(a mem.Addr) {
+	set, tag := c.index(a)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.used = true
+			return
+		}
+	}
+}
+
+// InvalidateResult describes the outcome of an invalidation.
+type InvalidateResult struct {
+	// Present reports whether the block was in the cache.
+	Present bool
+	// WasDirty reports whether the invalidated copy was modified.
+	WasDirty bool
+	// PrefetchedUnused reports whether a streamed, never-used block was
+	// destroyed (an overprediction).
+	PrefetchedUnused bool
+}
+
+// Invalidate removes the block containing a, if present.
+func (c *Cache) Invalidate(a mem.Addr) InvalidateResult {
+	set, tag := c.index(a)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			res := InvalidateResult{
+				Present:          true,
+				WasDirty:         ln.dirty,
+				PrefetchedUnused: ln.prefetched && !ln.used,
+			}
+			*ln = line{}
+			return res
+		}
+	}
+	return InvalidateResult{}
+}
+
+// Flush empties the cache, returning the number of lines dropped.
+func (c *Cache) Flush() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				n++
+				c.sets[s][i] = line{}
+			}
+		}
+	}
+	return n
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// The Active Generation Table (§3.1) records spatial patterns as the
+// processor accesses spatial regions. It is logically one table but is
+// implemented — exactly as in the paper — as two content-addressable
+// memories: the *filter table* holds regions whose current generation has
+// seen only a single access (a significant minority of generations never
+// see a second block, and predicting them buys nothing), and the
+// *accumulation table* holds regions with at least two distinct blocks
+// accessed, recording the pattern bit vector.
+
+// trigger identifies the access that began a generation.
+type trigger struct {
+	pc     uint64
+	offset int      // spatial region offset of the trigger access
+	addr   mem.Addr // trigger block address (for address-bearing indices)
+}
+
+// filterEntry is one filter-table CAM entry.
+type filterEntry struct {
+	tag  uint64 // spatial region tag
+	trig trigger
+	lru  uint64
+}
+
+// FilterTable is the small CAM holding single-access generations.
+type FilterTable struct {
+	entries  []filterEntry
+	capacity int
+	clock    uint64
+}
+
+// NewFilterTable builds a filter table with the given entry count
+// (paper: 32 suffices across all applications, §4.5). capacity <= 0 means
+// unbounded (for limit studies).
+func NewFilterTable(capacity int) *FilterTable {
+	return &FilterTable{capacity: capacity}
+}
+
+// Len returns the current number of entries.
+func (f *FilterTable) Len() int { return len(f.entries) }
+
+// Lookup finds the entry for a region tag, or nil.
+func (f *FilterTable) lookup(tag uint64) *filterEntry {
+	for i := range f.entries {
+		if f.entries[i].tag == tag {
+			return &f.entries[i]
+		}
+	}
+	return nil
+}
+
+// Insert allocates an entry for a new generation, returning the victim
+// entry (dropped generation) if the table was full.
+func (f *FilterTable) insert(tag uint64, trig trigger) (victim filterEntry, evicted bool) {
+	f.clock++
+	if f.capacity > 0 && len(f.entries) >= f.capacity {
+		vi := 0
+		for i := range f.entries {
+			if f.entries[i].lru < f.entries[vi].lru {
+				vi = i
+			}
+		}
+		victim, evicted = f.entries[vi], true
+		f.entries[vi] = filterEntry{tag: tag, trig: trig, lru: f.clock}
+		return victim, evicted
+	}
+	f.entries = append(f.entries, filterEntry{tag: tag, trig: trig, lru: f.clock})
+	return filterEntry{}, false
+}
+
+// remove deletes the entry for tag, reporting whether it existed.
+func (f *FilterTable) remove(tag uint64) (filterEntry, bool) {
+	for i := range f.entries {
+		if f.entries[i].tag == tag {
+			e := f.entries[i]
+			f.entries[i] = f.entries[len(f.entries)-1]
+			f.entries = f.entries[:len(f.entries)-1]
+			return e, true
+		}
+	}
+	return filterEntry{}, false
+}
+
+// accumEntry is one accumulation-table CAM entry: an active generation
+// with at least two accessed blocks.
+type accumEntry struct {
+	tag     uint64
+	trig    trigger
+	pattern mem.Pattern
+	lru     uint64
+}
+
+// AccumulationTable is the CAM recording patterns of active generations.
+type AccumulationTable struct {
+	entries  []accumEntry
+	capacity int
+	clock    uint64
+}
+
+// NewAccumulationTable builds an accumulation table with the given entry
+// count (paper: 64 suffices; only OLTP-Oracle needs more than 32, §4.5).
+// capacity <= 0 means unbounded.
+func NewAccumulationTable(capacity int) *AccumulationTable {
+	return &AccumulationTable{capacity: capacity}
+}
+
+// Len returns the current number of entries.
+func (a *AccumulationTable) Len() int { return len(a.entries) }
+
+func (a *AccumulationTable) lookup(tag uint64) *accumEntry {
+	for i := range a.entries {
+		if a.entries[i].tag == tag {
+			return &a.entries[i]
+		}
+	}
+	return nil
+}
+
+// insert allocates an entry (transfer from the filter table), returning a
+// displaced victim generation if the table was full. The victim's pattern
+// must be transferred to the PHT by the caller ("the entry is ...
+// transferred from the accumulation table to the pattern history table",
+// §3.1).
+func (a *AccumulationTable) insert(e accumEntry) (victim accumEntry, evicted bool) {
+	a.clock++
+	e.lru = a.clock
+	if a.capacity > 0 && len(a.entries) >= a.capacity {
+		vi := 0
+		for i := range a.entries {
+			if a.entries[i].lru < a.entries[vi].lru {
+				vi = i
+			}
+		}
+		victim, evicted = a.entries[vi], true
+		a.entries[vi] = e
+		return victim, evicted
+	}
+	a.entries = append(a.entries, e)
+	return accumEntry{}, false
+}
+
+func (a *AccumulationTable) remove(tag uint64) (accumEntry, bool) {
+	for i := range a.entries {
+		if a.entries[i].tag == tag {
+			e := a.entries[i]
+			a.entries[i] = a.entries[len(a.entries)-1]
+			a.entries = a.entries[:len(a.entries)-1]
+			return e, true
+		}
+	}
+	return accumEntry{}, false
+}
+
+// touch refreshes LRU state for an entry on access.
+func (a *AccumulationTable) touch(e *accumEntry) {
+	a.clock++
+	e.lru = a.clock
+}
+
+// String summarizes occupancy for debugging.
+func (a *AccumulationTable) String() string {
+	return fmt.Sprintf("accumulation{%d/%d}", len(a.entries), a.capacity)
+}

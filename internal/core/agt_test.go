@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestFilterTableBasics(t *testing.T) {
+	f := NewFilterTable(2)
+	if f.Len() != 0 {
+		t.Fatal("new table not empty")
+	}
+	_, ev := f.insert(1, trigger{pc: 10, offset: 3})
+	if ev {
+		t.Fatal("insert into empty table evicted")
+	}
+	if e := f.lookup(1); e == nil || e.trig.pc != 10 {
+		t.Fatal("lookup failed")
+	}
+	if e := f.lookup(2); e != nil {
+		t.Fatal("phantom lookup")
+	}
+	f.insert(2, trigger{})
+	victim, ev := f.insert(3, trigger{})
+	if !ev || victim.tag != 1 {
+		t.Fatalf("LRU eviction wrong: %+v %v", victim, ev)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if _, ok := f.remove(2); !ok {
+		t.Fatal("remove failed")
+	}
+	if _, ok := f.remove(2); ok {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestFilterTableUnbounded(t *testing.T) {
+	f := NewFilterTable(0)
+	for i := uint64(0); i < 1000; i++ {
+		if _, ev := f.insert(i, trigger{}); ev {
+			t.Fatal("unbounded table evicted")
+		}
+	}
+	if f.Len() != 1000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestAccumTableBasics(t *testing.T) {
+	a := NewAccumulationTable(2)
+	p := mem.PatternOf(4, 0, 1)
+	a.insert(accumEntry{tag: 1, pattern: p})
+	a.insert(accumEntry{tag: 2, pattern: p})
+	// Touch tag 1 so tag 2 is LRU.
+	a.touch(a.lookup(1))
+	victim, ev := a.insert(accumEntry{tag: 3, pattern: p})
+	if !ev || victim.tag != 2 {
+		t.Fatalf("LRU eviction wrong: %+v", victim)
+	}
+	if a.lookup(1) == nil || a.lookup(3) == nil || a.lookup(2) != nil {
+		t.Fatal("contents wrong")
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+	if e, ok := a.remove(3); !ok || e.tag != 3 {
+		t.Fatal("remove failed")
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestAccumPatternMutationThroughLookup(t *testing.T) {
+	a := NewAccumulationTable(4)
+	p := mem.NewPattern(8)
+	p.Set(0)
+	a.insert(accumEntry{tag: 7, pattern: p})
+	e := a.lookup(7)
+	e.pattern.Set(5)
+	if got := a.lookup(7).pattern; !got.Test(5) || !got.Test(0) {
+		t.Fatal("in-place pattern mutation lost")
+	}
+}
+
+func TestTablesNeverExceedCapacity(t *testing.T) {
+	f := func(tags []uint16) bool {
+		ft := NewFilterTable(8)
+		at := NewAccumulationTable(8)
+		for _, tag := range tags {
+			ft.insert(uint64(tag), trigger{})
+			at.insert(accumEntry{tag: uint64(tag), pattern: mem.NewPattern(4)})
+		}
+		return ft.Len() <= 8 && at.Len() <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

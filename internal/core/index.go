@@ -1,0 +1,105 @@
+// Package core implements Spatial Memory Streaming (SMS) itself: the
+// paper's primary contribution. It provides the Active Generation Table
+// (a filter table plus an accumulation table), the Pattern History Table,
+// the four prediction-index schemes compared in §4.2, and the prediction
+// registers that drive streaming (§3.2).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// IndexKind selects the prediction index used to look up and store spatial
+// patterns in the PHT (§2.2, §4.2).
+type IndexKind int
+
+const (
+	// IndexPCOffset combines the trigger access's PC with its spatial
+	// region offset. The paper's choice: storage proportional to code
+	// size, predicts previously-unvisited data, distinguishes traversal
+	// alignments.
+	IndexPCOffset IndexKind = iota
+	// IndexPCAddress combines the trigger PC with the full region
+	// address; the best unbounded-storage index in prior work, but its
+	// storage scales with data set size.
+	IndexPCAddress
+	// IndexPC uses the trigger PC alone; cannot distinguish distinct
+	// structures traversed by the same code.
+	IndexPC
+	// IndexAddress uses the region address alone; cannot predict
+	// previously-unvisited addresses (fails on DSS scans).
+	IndexAddress
+)
+
+// String implements fmt.Stringer using the paper's figure labels.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexPCOffset:
+		return "PC+off"
+	case IndexPCAddress:
+		return "PC+addr"
+	case IndexPC:
+		return "PC"
+	case IndexAddress:
+		return "Addr"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// ParseIndexKind converts a figure label back into an IndexKind.
+func ParseIndexKind(s string) (IndexKind, error) {
+	switch s {
+	case "PC+off", "pc+off", "pcoffset":
+		return IndexPCOffset, nil
+	case "PC+addr", "pc+addr", "pcaddress":
+		return IndexPCAddress, nil
+	case "PC", "pc":
+		return IndexPC, nil
+	case "Addr", "addr", "address":
+		return IndexAddress, nil
+	default:
+		return 0, fmt.Errorf("core: unknown index kind %q", s)
+	}
+}
+
+// AllIndexKinds returns the schemes in the order of the paper's Figure 6.
+func AllIndexKinds() []IndexKind {
+	return []IndexKind{IndexAddress, IndexPCAddress, IndexPC, IndexPCOffset}
+}
+
+// IndexKeyFor computes the PHT key for a trigger access under the given
+// scheme. It is exported for the alternative training structures (package
+// sectored), which share the PHT but observe generations differently.
+func IndexKeyFor(kind IndexKind, g mem.Geometry, pc uint64, addr mem.Addr) uint64 {
+	return indexKey(kind, g, pc, addr)
+}
+
+// indexKey computes the PHT key for a trigger access. mix64 decorrelates
+// the combined fields so set-associative PHT indexing distributes well.
+func indexKey(kind IndexKind, g mem.Geometry, pc uint64, addr mem.Addr) uint64 {
+	switch kind {
+	case IndexPCOffset:
+		return mix64(pc<<7 | uint64(g.RegionOffset(addr)))
+	case IndexPCAddress:
+		return mix64(pc ^ mix64(g.RegionTag(addr)))
+	case IndexPC:
+		return mix64(pc)
+	case IndexAddress:
+		return mix64(g.RegionTag(addr))
+	default:
+		panic(fmt.Sprintf("core: invalid index kind %d", int(kind)))
+	}
+}
+
+// mix64 is a SplitMix64-style finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

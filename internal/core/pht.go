@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// PatternHistoryTable (§3.2) is the long-term store of spatial patterns,
+// organized as a set-associative structure similar to a cache, accessed
+// with the prediction index built from the trigger access. A zero entry
+// count selects an unbounded table for the paper's infinite-PHT limit
+// studies (Figs. 6, 8, 10).
+type PatternHistoryTable struct {
+	entries int
+	assoc   int
+	setBits uint
+
+	sets [][]phtEntry // bounded mode
+	inf  map[uint64]mem.Pattern
+
+	clock uint64
+
+	lookups, hits, inserts, replacements uint64
+}
+
+type phtEntry struct {
+	valid   bool
+	tag     uint64
+	pattern mem.Pattern
+	lru     uint64
+}
+
+// NewPHT builds a pattern history table. entries == 0 selects the
+// unbounded table; otherwise entries must be a multiple of assoc with a
+// power-of-two set count (paper default: 16k entries, 16-way).
+func NewPHT(entries, assoc int) (*PatternHistoryTable, error) {
+	if entries == 0 {
+		return &PatternHistoryTable{inf: make(map[uint64]mem.Pattern)}, nil
+	}
+	if assoc <= 0 {
+		return nil, fmt.Errorf("core: PHT associativity %d not positive", assoc)
+	}
+	if entries < 0 || entries%assoc != 0 {
+		return nil, fmt.Errorf("core: PHT entries %d not a positive multiple of assoc %d", entries, assoc)
+	}
+	nsets := entries / assoc
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("core: PHT set count %d not a power of two", nsets)
+	}
+	t := &PatternHistoryTable{
+		entries: entries,
+		assoc:   assoc,
+		setBits: uint(bits.TrailingZeros64(uint64(nsets))),
+		sets:    make([][]phtEntry, nsets),
+	}
+	backing := make([]phtEntry, entries)
+	for i := range t.sets {
+		t.sets[i] = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
+	}
+	return t, nil
+}
+
+// MustNewPHT is NewPHT that panics on error.
+func MustNewPHT(entries, assoc int) *PatternHistoryTable {
+	t, err := NewPHT(entries, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Infinite reports whether the table is unbounded.
+func (t *PatternHistoryTable) Infinite() bool { return t.inf != nil }
+
+// Entries returns the configured capacity (0 when unbounded).
+func (t *PatternHistoryTable) Entries() int { return t.entries }
+
+func (t *PatternHistoryTable) split(key uint64) (set uint64, tag uint64) {
+	return key & (uint64(len(t.sets)) - 1), key >> t.setBits
+}
+
+// Lookup returns the stored pattern for a prediction index key.
+func (t *PatternHistoryTable) Lookup(key uint64) (mem.Pattern, bool) {
+	t.lookups++
+	if t.inf != nil {
+		p, ok := t.inf[key]
+		if ok {
+			t.hits++
+		}
+		return p, ok
+	}
+	set, tag := t.split(key)
+	for i := range t.sets[set] {
+		e := &t.sets[set][i]
+		if e.valid && e.tag == tag {
+			t.clock++
+			e.lru = t.clock
+			t.hits++
+			return e.pattern, true
+		}
+	}
+	return mem.Pattern{}, false
+}
+
+// Insert stores a pattern under a prediction index key, replacing any
+// previous pattern for the key and evicting the set's LRU entry if needed.
+func (t *PatternHistoryTable) Insert(key uint64, p mem.Pattern) {
+	t.inserts++
+	if t.inf != nil {
+		t.inf[key] = p
+		return
+	}
+	set, tag := t.split(key)
+	t.clock++
+	lines := t.sets[set]
+	for i := range lines {
+		e := &lines[i]
+		if e.valid && e.tag == tag {
+			e.pattern = p
+			e.lru = t.clock
+			return
+		}
+	}
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range lines {
+		e := &lines[i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lru < oldest {
+			oldest = e.lru
+			victim = i
+		}
+	}
+	if lines[victim].valid {
+		t.replacements++
+	}
+	lines[victim] = phtEntry{valid: true, tag: tag, pattern: p, lru: t.clock}
+}
+
+// Size returns the number of stored patterns (meaningful mostly for the
+// unbounded table).
+func (t *PatternHistoryTable) Size() int {
+	if t.inf != nil {
+		return len(t.inf)
+	}
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PHTStats reports table activity.
+type PHTStats struct {
+	Lookups, Hits, Inserts, Replacements uint64
+}
+
+// Stats returns activity counters.
+func (t *PatternHistoryTable) Stats() PHTStats {
+	return PHTStats{Lookups: t.lookups, Hits: t.hits, Inserts: t.inserts, Replacements: t.replacements}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestPHTValidation(t *testing.T) {
+	if _, err := NewPHT(0, 0); err != nil {
+		t.Errorf("infinite PHT rejected: %v", err)
+	}
+	if _, err := NewPHT(16384, 16); err != nil {
+		t.Errorf("paper config rejected: %v", err)
+	}
+	if _, err := NewPHT(100, 16); err == nil {
+		t.Error("non-multiple entries accepted")
+	}
+	if _, err := NewPHT(48, 16); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if _, err := NewPHT(16, -1); err == nil {
+		t.Error("negative assoc accepted")
+	}
+}
+
+func TestPHTInsertLookup(t *testing.T) {
+	for _, entries := range []int{0, 256} {
+		pht := MustNewPHT(entries, 16)
+		p := mem.PatternOf(32, 1, 5)
+		pht.Insert(42, p)
+		got, ok := pht.Lookup(42)
+		if !ok || !got.Equal(p) {
+			t.Fatalf("entries=%d: Lookup = %v,%v", entries, got, ok)
+		}
+		if _, ok := pht.Lookup(43); ok {
+			t.Fatalf("entries=%d: phantom hit", entries)
+		}
+		// Replacement of the same key.
+		p2 := mem.PatternOf(32, 7)
+		pht.Insert(42, p2)
+		got, _ = pht.Lookup(42)
+		if !got.Equal(p2) {
+			t.Fatalf("entries=%d: pattern not replaced", entries)
+		}
+		if pht.Size() != 1 {
+			t.Fatalf("entries=%d: Size = %d", entries, pht.Size())
+		}
+	}
+}
+
+func TestPHTInfiniteFlag(t *testing.T) {
+	if !MustNewPHT(0, 0).Infinite() {
+		t.Error("unbounded table not marked infinite")
+	}
+	if MustNewPHT(64, 16).Infinite() {
+		t.Error("bounded table marked infinite")
+	}
+	if MustNewPHT(64, 16).Entries() != 64 {
+		t.Error("Entries() wrong")
+	}
+}
+
+func TestPHTSetLRUReplacement(t *testing.T) {
+	// 2 sets x 2 ways. Keys with the same low bit share a set.
+	pht := MustNewPHT(4, 2)
+	p := mem.PatternOf(8, 0)
+	pht.Insert(0, p) // set 0
+	pht.Insert(2, p) // set 0
+	pht.Lookup(0)    // refresh key 0
+	pht.Insert(4, p) // set 0: evicts key 2 (LRU)
+	if _, ok := pht.Lookup(2); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if _, ok := pht.Lookup(0); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if _, ok := pht.Lookup(4); !ok {
+		t.Fatal("new entry missing")
+	}
+	st := pht.Stats()
+	if st.Replacements != 1 || st.Inserts != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPHTCapacityBound(t *testing.T) {
+	pht := MustNewPHT(64, 16)
+	rng := rand.New(rand.NewSource(3))
+	p := mem.PatternOf(16, 2)
+	for i := 0; i < 10000; i++ {
+		pht.Insert(rng.Uint64(), p)
+	}
+	if pht.Size() > 64 {
+		t.Fatalf("Size %d exceeds capacity", pht.Size())
+	}
+}
+
+func TestPHTStatsCounting(t *testing.T) {
+	pht := MustNewPHT(0, 0)
+	pht.Lookup(1)
+	pht.Insert(1, mem.PatternOf(4, 0))
+	pht.Lookup(1)
+	st := pht.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.Inserts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIndexKeySchemes(t *testing.T) {
+	g := mem.MustGeometry(64, 2048)
+	pc1, pc2 := uint64(0x400100), uint64(0x400200)
+	a1 := mem.Addr(0x10000 + 5*64) // region 0x10000, offset 5
+	a2 := mem.Addr(0x20000 + 5*64) // different region, same offset
+	a3 := mem.Addr(0x10000 + 9*64) // same region, different offset
+
+	// PC+offset: same (pc, offset) collides regardless of region.
+	if indexKey(IndexPCOffset, g, pc1, a1) != indexKey(IndexPCOffset, g, pc1, a2) {
+		t.Error("PC+off should ignore region identity")
+	}
+	if indexKey(IndexPCOffset, g, pc1, a1) == indexKey(IndexPCOffset, g, pc1, a3) {
+		t.Error("PC+off should distinguish offsets")
+	}
+	if indexKey(IndexPCOffset, g, pc1, a1) == indexKey(IndexPCOffset, g, pc2, a1) {
+		t.Error("PC+off should distinguish PCs")
+	}
+
+	// Address: ignores PC, distinguishes regions, ignores offset.
+	if indexKey(IndexAddress, g, pc1, a1) != indexKey(IndexAddress, g, pc2, a3) {
+		t.Error("Addr should depend only on the region")
+	}
+	if indexKey(IndexAddress, g, pc1, a1) == indexKey(IndexAddress, g, pc1, a2) {
+		t.Error("Addr should distinguish regions")
+	}
+
+	// PC: ignores everything but the PC.
+	if indexKey(IndexPC, g, pc1, a1) != indexKey(IndexPC, g, pc1, a2) ||
+		indexKey(IndexPC, g, pc1, a1) != indexKey(IndexPC, g, pc1, a3) {
+		t.Error("PC should depend only on the PC")
+	}
+
+	// PC+address: distinguishes both PC and region.
+	if indexKey(IndexPCAddress, g, pc1, a1) == indexKey(IndexPCAddress, g, pc2, a1) {
+		t.Error("PC+addr should distinguish PCs")
+	}
+	if indexKey(IndexPCAddress, g, pc1, a1) == indexKey(IndexPCAddress, g, pc1, a2) {
+		t.Error("PC+addr should distinguish regions")
+	}
+	if indexKey(IndexPCAddress, g, pc1, a1) != indexKey(IndexPCAddress, g, pc1, a3) {
+		t.Error("PC+addr should ignore the offset within the region")
+	}
+}
+
+func TestIndexKindStrings(t *testing.T) {
+	for _, k := range AllIndexKinds() {
+		s := k.String()
+		got, err := ParseIndexKind(s)
+		if err != nil || got != k {
+			t.Errorf("round trip %v: %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseIndexKind("bogus"); err == nil {
+		t.Error("bogus kind parsed")
+	}
+	if IndexKind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+	if len(AllIndexKinds()) != 4 {
+		t.Error("AllIndexKinds must list the four Figure 6 schemes")
+	}
+}
+
+func TestIndexKeyPanicsOnInvalidKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid kind did not panic")
+		}
+	}()
+	indexKey(IndexKind(99), mem.DefaultGeometry(), 0, 0)
+}

@@ -1,0 +1,184 @@
+package core
+
+// Reference-model property test: the SMS engine with unbounded tables must
+// agree, on arbitrary access/eviction interleavings, with a deliberately
+// naive reimplementation of the paper's §2.1 semantics built from maps.
+// The naive model has no filter/accumulation split, no CAMs, no LRU — just
+// the definition of a spatial region generation.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// refModel is the executable specification.
+type refModel struct {
+	geo  mem.Geometry
+	live map[uint64]*refGen
+	pht  map[uint64]mem.Pattern
+}
+
+type refGen struct {
+	trigPC   uint64
+	trigAddr mem.Addr
+	pattern  mem.Pattern
+	accesses int
+}
+
+func newRefModel(geo mem.Geometry) *refModel {
+	return &refModel{geo: geo, live: map[uint64]*refGen{}, pht: map[uint64]mem.Pattern{}}
+}
+
+func (m *refModel) access(pc uint64, addr mem.Addr) {
+	tag := m.geo.RegionTag(addr)
+	g := m.live[tag]
+	if g == nil {
+		g = &refGen{trigPC: pc, trigAddr: addr, pattern: mem.NewPattern(m.geo.BlocksPerRegion())}
+		m.live[tag] = g
+	}
+	off := m.geo.RegionOffset(addr)
+	if !g.pattern.Test(off) {
+		g.accesses++
+	}
+	g.pattern.Set(off)
+}
+
+func (m *refModel) remove(addr mem.Addr) {
+	tag := m.geo.RegionTag(addr)
+	g := m.live[tag]
+	if g == nil || !g.pattern.Test(m.geo.RegionOffset(addr)) {
+		return
+	}
+	delete(m.live, tag)
+	// Single-block generations are not worth predicting (the filter
+	// table's role); the engine drops them, so must the spec.
+	if g.accesses < 2 {
+		return
+	}
+	key := indexKey(IndexPCOffset, m.geo, g.trigPC, g.trigAddr)
+	m.pht[key] = g.pattern
+}
+
+func TestSMSAgreesWithReferenceModel(t *testing.T) {
+	geo := mem.MustGeometry(64, 512) // 8 blocks per region
+	rng := rand.New(rand.NewSource(42))
+
+	for trial := 0; trial < 50; trial++ {
+		sms := MustNew(Config{
+			Geometry:      geo,
+			FilterEntries: 1 << 20, // effectively unbounded
+			AccumEntries:  -1,
+			PHTEntries:    -1,
+		})
+		ref := newRefModel(geo)
+
+		pcs := []uint64{0x400100, 0x400200, 0x400300}
+		regions := make([]mem.Addr, 6)
+		for i := range regions {
+			regions[i] = mem.Addr(0x10000 + i*512)
+		}
+		// Random interleaving of accesses and removals.
+		for step := 0; step < 400; step++ {
+			region := regions[rng.Intn(len(regions))]
+			off := rng.Intn(8)
+			addr := geo.BlockOfRegion(region, off)
+			if rng.Intn(4) == 0 {
+				sms.BlockRemoved(addr)
+				ref.remove(addr)
+			} else {
+				pc := pcs[rng.Intn(len(pcs))]
+				sms.Access(pc, addr)
+				ref.access(pc, addr)
+			}
+		}
+		// Flush all remaining generations deterministically.
+		for _, region := range regions {
+			for off := 0; off < 8; off++ {
+				addr := geo.BlockOfRegion(region, off)
+				sms.BlockRemoved(addr)
+				ref.remove(addr)
+			}
+		}
+
+		// The engine's PHT must contain exactly the spec's patterns.
+		if got, want := sms.PHT().Size(), len(ref.pht); got != want {
+			t.Fatalf("trial %d: PHT size %d, reference %d", trial, got, want)
+		}
+		for key, wantPat := range ref.pht {
+			gotPat, ok := sms.PHT().Lookup(key)
+			if !ok {
+				t.Fatalf("trial %d: key %#x missing from engine PHT", trial, key)
+			}
+			if !gotPat.Equal(wantPat) {
+				t.Fatalf("trial %d: key %#x pattern %v, reference %v", trial, key, gotPat, wantPat)
+			}
+		}
+	}
+}
+
+func TestRotatedPatternsEquivalentUnderPCOffset(t *testing.T) {
+	// With PC+offset indexing, rotated storage is a pure re-encoding:
+	// predictions must be identical with and without rotation.
+	geo := mem.MustGeometry(64, 512)
+	run := func(rotate bool) []mem.Addr {
+		s := MustNew(Config{Geometry: geo, PHTEntries: -1, RotatePatterns: rotate})
+		const pc = 0x400100
+		A := mem.Addr(0x10000)
+		s.Access(pc, A+3*64)
+		s.Access(pc+4, A+5*64)
+		s.Access(pc+8, A+1*64)
+		s.BlockRemoved(A + 3*64)
+		// New region, same trigger offset.
+		B := mem.Addr(0x20000)
+		s.Access(pc, B+3*64)
+		return s.NextStreamRequests(16)
+	}
+	plain, rotated := run(false), run(true)
+	if len(plain) != len(rotated) {
+		t.Fatalf("request counts differ: %v vs %v", plain, rotated)
+	}
+	seen := map[mem.Addr]bool{}
+	for _, a := range plain {
+		seen[a] = true
+	}
+	for _, a := range rotated {
+		if !seen[a] {
+			t.Fatalf("rotated produced %#x not in plain %v", uint64(a), plain)
+		}
+	}
+}
+
+func TestRotatedPatternsGeneralizeAcrossAlignments(t *testing.T) {
+	// With PC-only indexing, rotation lets one PHT entry serve any
+	// alignment of the same footprint — the ablation's point.
+	geo := mem.MustGeometry(64, 512)
+	const pc = 0x400100
+	s := MustNew(Config{Geometry: geo, Index: IndexPC, PHTEntries: -1, RotatePatterns: true})
+	// Train: trigger at offset 2, footprint {2,3} (tuple of 2 blocks).
+	A := mem.Addr(0x10000)
+	s.Access(pc, A+2*64)
+	s.Access(pc+4, A+3*64)
+	s.BlockRemoved(A + 2*64)
+	// Recall at a different alignment: trigger at offset 5 must predict
+	// block 6 (the rotated footprint), not block 3.
+	B := mem.Addr(0x20000)
+	s.Access(pc, B+5*64)
+	reqs := s.NextStreamRequests(16)
+	if len(reqs) != 1 || reqs[0] != B+6*64 {
+		t.Fatalf("rotated PC-indexed prediction = %v, want [%#x]", reqs, uint64(B+6*64))
+	}
+
+	// Without rotation, the same training predicts the absolute block 3.
+	s2 := MustNew(Config{Geometry: geo, Index: IndexPC, PHTEntries: -1})
+	s2.Access(pc, A+2*64)
+	s2.Access(pc+4, A+3*64)
+	s2.BlockRemoved(A + 2*64)
+	s2.Access(pc, B+5*64)
+	reqs = s2.NextStreamRequests(16)
+	if len(reqs) != 2 {
+		// Absolute pattern {2,3}: trigger at 5 streams blocks 2 and 3.
+		t.Fatalf("unrotated PC-indexed prediction = %v, want 2 absolute blocks", reqs)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestRegisterFileRoundRobin(t *testing.T) {
+	g := mem.MustGeometry(64, 256)
+	rf := NewRegisterFile(g, 4)
+	rf.Arm(0x1000, mem.PatternOf(4, 0, 1))
+	rf.Arm(0x2000, mem.PatternOf(4, 2, 3))
+	if rf.Active() != 2 || rf.Armed() != 2 {
+		t.Fatalf("Active=%d Armed=%d", rf.Active(), rf.Armed())
+	}
+	got := rf.Next(2)
+	if len(got) != 2 {
+		t.Fatalf("Next(2) = %v", got)
+	}
+	// One block from each register (round-robin), not two from one.
+	if (got[0] < 0x2000) == (got[1] < 0x2000) {
+		t.Fatalf("not round-robin: %v", got)
+	}
+	rest := rf.Next(100)
+	if len(rest) != 2 {
+		t.Fatalf("rest = %v", rest)
+	}
+	if rf.Active() != 0 {
+		t.Fatal("registers not freed")
+	}
+	if rf.Issued() != 4 {
+		t.Fatalf("Issued = %d", rf.Issued())
+	}
+}
+
+func TestRegisterFileOverwrite(t *testing.T) {
+	rf := NewRegisterFile(mem.MustGeometry(64, 256), 1)
+	rf.Arm(0x1000, mem.PatternOf(4, 0))
+	rf.Arm(0x2000, mem.PatternOf(4, 1))
+	if rf.Overwritten() != 1 || rf.Active() != 1 {
+		t.Fatalf("Overwritten=%d Active=%d", rf.Overwritten(), rf.Active())
+	}
+	got := rf.Next(10)
+	if len(got) != 1 || got[0] != 0x2000+64 {
+		t.Fatalf("got %v, want newest prediction", got)
+	}
+}
+
+func TestRegisterFileIgnoresEmptyPattern(t *testing.T) {
+	rf := NewRegisterFile(mem.MustGeometry(64, 256), 4)
+	rf.Arm(0x1000, mem.NewPattern(4))
+	if rf.Active() != 0 || rf.Armed() != 0 {
+		t.Fatal("empty pattern armed a register")
+	}
+	if got := rf.Next(4); got != nil {
+		t.Fatalf("Next on empty file = %v", got)
+	}
+	if got := rf.Next(0); got != nil {
+		t.Fatalf("Next(0) = %v", got)
+	}
+}
+
+func TestRegisterFileUnbounded(t *testing.T) {
+	rf := NewRegisterFile(mem.MustGeometry(64, 256), 0)
+	for i := 0; i < 1000; i++ {
+		rf.Arm(mem.Addr(0x1000+i*256), mem.PatternOf(4, 1))
+	}
+	if rf.Active() != 1000 || rf.Overwritten() != 0 {
+		t.Fatalf("Active=%d Overwritten=%d", rf.Active(), rf.Overwritten())
+	}
+}
+
+func TestRegisterFileAddressesBlockAligned(t *testing.T) {
+	g := mem.MustGeometry(64, 512)
+	rf := NewRegisterFile(g, 4)
+	rf.Arm(0x4000, mem.PatternOf(8, 3, 5, 7))
+	got := rf.Next(8)
+	want := []mem.Addr{0x4000 + 3*64, 0x4000 + 5*64, 0x4000 + 7*64}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %#x, want %#x", i, uint64(got[i]), uint64(want[i]))
+		}
+	}
+}

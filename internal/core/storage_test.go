@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestPHTStorageMatchesPaperEquivalence(t *testing.T) {
+	// §4.2: a 16k-entry PHT at 2kB regions costs roughly a 64kB L1 data
+	// array. 16k entries × (16 tag + 32 pattern) bits = 96 KiB — the
+	// same order as 64 KiB.
+	g := mem.DefaultGeometry()
+	s := PHTStorage(g, 16384, 16)
+	if s.Entries != 16384 || s.BitsPerEntry != 16+32 {
+		t.Fatalf("storage = %+v", s)
+	}
+	if kib := s.KiB(); kib < 48 || kib > 128 {
+		t.Fatalf("PHT KiB = %.1f, want same order as a 64KiB data array", kib)
+	}
+	// Unbounded: no hardware budget.
+	if PHTStorage(g, 0, 16).Total() != 0 {
+		t.Fatal("unbounded PHT should cost 0")
+	}
+}
+
+func TestPHTStorageScalesWithRegionSize(t *testing.T) {
+	// §4.4: PHT size scales linearly with region size (pattern width).
+	g2k := mem.MustGeometry(64, 2048)
+	g4k := mem.MustGeometry(64, 4096)
+	s2, s4 := PHTStorage(g2k, 16384, 16), PHTStorage(g4k, 16384, 16)
+	if s4.Total() <= s2.Total() {
+		t.Fatal("larger regions must cost more PHT storage")
+	}
+	// Pattern portion doubles: 32 -> 64 bits.
+	if s4.BitsPerEntry-s2.BitsPerEntry != 32 {
+		t.Fatalf("pattern growth = %d bits, want 32", s4.BitsPerEntry-s2.BitsPerEntry)
+	}
+}
+
+func TestAGTStorageSmall(t *testing.T) {
+	// §4.5: the practical AGT (32 filter + 64 accumulation) is tiny
+	// compared to the PHT.
+	g := mem.DefaultGeometry()
+	agt := AGTStorage(g, DefaultFilterEntries, DefaultAccumEntries)
+	pht := PHTStorage(g, DefaultPHTEntries, DefaultPHTAssoc)
+	if agt.Total() >= pht.Total()/10 {
+		t.Fatalf("AGT %.1fKiB not small vs PHT %.1fKiB", agt.KiB(), pht.KiB())
+	}
+	if AGTStorage(g, 0, 0).Total() != 0 {
+		t.Fatal("empty AGT should cost 0")
+	}
+}
+
+func TestSMSStorageTotal(t *testing.T) {
+	s := MustNew(Config{})
+	st := s.Storage()
+	if st.Total() <= 0 {
+		t.Fatal("practical SMS must have a positive budget")
+	}
+	// Unbounded configuration: only the registers, which we report as 0
+	// entries → zero budget.
+	inf := MustNew(Config{PHTEntries: -1, AccumEntries: -1, FilterEntries: -1, PredictionRegisters: -1})
+	if got := inf.Storage().Total(); got != 0 {
+		t.Fatalf("unbounded config budget = %d, want 0", got)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for _, c := range [][2]int{{1, 0}, {2, 1}, {64, 6}, {2048, 11}} {
+		if got := log2(c[0]); got != c[1] {
+			t.Errorf("log2(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// AblationRow is one ablation point: a configuration delta from the
+// practical SMS and its effect on L1 coverage and stream traffic.
+type AblationRow struct {
+	Workload string
+	Variant  string
+	Coverage sim.Coverage
+	Streams  uint64
+}
+
+// AblationResult is the design-choice ablation dataset (DESIGN.md §5).
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// ablationVariants enumerates the deltas studied beyond the paper's own
+// sweeps. Each mutates a practical-SMS config.
+func ablationVariants() []struct {
+	name   string
+	mutate func(*sim.Config)
+} {
+	return []struct {
+		name   string
+		mutate func(*sim.Config)
+	}{
+		{"practical (paper)", func(c *sim.Config) {}},
+		{"no filter table", func(c *sim.Config) { c.SMS.FilterEntries = -1 }},
+		{"1 prediction register", func(c *sim.Config) { c.SMS.PredictionRegisters = 1 }},
+		{"4 prediction registers", func(c *sim.Config) { c.SMS.PredictionRegisters = 4 }},
+		{"64 prediction registers", func(c *sim.Config) { c.SMS.PredictionRegisters = 64 }},
+		{"direct-mapped PHT", func(c *sim.Config) { c.SMS.PHTAssoc = 1 }},
+		{"4-way PHT", func(c *sim.Config) { c.SMS.PHTAssoc = 4 }},
+		{"stream rate 1", func(c *sim.Config) { c.StreamRate = 1 }},
+		{"stream rate 16", func(c *sim.Config) { c.StreamRate = 16 }},
+		{"rotated patterns", func(c *sim.Config) { c.SMS.RotatePatterns = true }},
+		{"PC index + rotation", func(c *sim.Config) {
+			c.SMS.Index = core.IndexPC
+			c.SMS.RotatePatterns = true
+		}},
+	}
+}
+
+// Ablate runs the extension ablations on two representative workloads
+// (the most interleaved commercial one and the densest scientific one).
+func Ablate(s *Session) (*AblationResult, error) {
+	names := []string{"oltp-oracle", "sparse"}
+	variants := ablationVariants()
+	res := &AblationResult{Rows: make([]AblationRow, 0, len(names)*len(variants))}
+	rows := make([][]AblationRow, len(names))
+	err := parallelOver(names, func(i int, name string) error {
+		base, err := s.Baseline(name)
+		if err != nil {
+			return err
+		}
+		for _, v := range variants {
+			cfg := sim.Config{
+				Coherence:  s.opts.MemorySystem(64),
+				Prefetcher: sim.PrefetchSMS,
+				SMS:        core.Config{},
+			}
+			v.mutate(&cfg)
+			r, err := s.Run(name, cfg)
+			if err != nil {
+				return err
+			}
+			rows[i] = append(rows[i], AblationRow{
+				Workload: name,
+				Variant:  v.name,
+				Coverage: r.L1Coverage(base),
+				Streams:  r.StreamRequests,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rs := range rows {
+		res.Rows = append(res.Rows, rs...)
+	}
+	return res, nil
+}
+
+// Render formats the ablation table.
+func (r *AblationResult) Render() string {
+	t := NewTable("Ablations: design choices beyond the paper's sweeps",
+		"workload", "variant", "coverage", "uncovered", "overpred", "stream requests")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload, row.Variant,
+			Pct(row.Coverage.Covered), Pct(row.Coverage.Uncovered), Pct(row.Coverage.Overpredicted),
+			fmt.Sprintf("%d", row.Streams))
+	}
+	return t.Render()
+}

@@ -1,0 +1,201 @@
+// Package exp contains one runner per figure/table in the paper's
+// evaluation (§4). Each runner executes the required simulations over the
+// synthetic workload suite and renders the same rows/series the paper
+// reports, so `smsexp fig11` (for example) regenerates the paper's
+// Figure 11 as a text table.
+//
+// The runners share a Session, which caches simulation results: many
+// figures reuse the same baseline runs.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options scope the simulation effort.
+type Options struct {
+	// CPUs is the simulated processor count.
+	CPUs int
+	// Seed selects the workload generation seed.
+	Seed int64
+	// Length is the number of accesses per workload trace (half is
+	// warm-up, per the paper's methodology).
+	Length uint64
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultOptions runs full-length experiments.
+func DefaultOptions() Options {
+	return Options{CPUs: 4, Seed: 1, Length: 1_200_000}
+}
+
+// QuickOptions runs abbreviated experiments (benches, smoke tests).
+func QuickOptions() Options {
+	return Options{CPUs: 2, Seed: 1, Length: 200_000}
+}
+
+func (o Options) normalized() Options {
+	if o.CPUs <= 0 {
+		o.CPUs = 4
+	}
+	if o.Length == 0 {
+		o.Length = DefaultOptions().Length
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// MemorySystem returns the scaled memory system used by all experiments
+// (see DESIGN.md: capacity ratios compressed from the paper's Table 1),
+// with a configurable block size for the Fig. 4 sweep.
+func (o Options) MemorySystem(blockSize int) coherence.Config {
+	return coherence.Config{
+		CPUs: o.CPUs,
+		L1:   cache.Config{Size: 32 << 10, Assoc: 2, BlockSize: blockSize},
+		L2:   cache.Config{Size: 1 << 20, Assoc: 8, BlockSize: blockSize},
+	}
+}
+
+// Session runs and caches simulations.
+type Session struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]*sim.Result
+	sem   chan struct{}
+}
+
+// NewSession builds a session with the given options.
+func NewSession(opts Options) *Session {
+	opts = opts.normalized()
+	return &Session{
+		opts:  opts,
+		cache: make(map[string]*sim.Result),
+		sem:   make(chan struct{}, opts.Parallel),
+	}
+}
+
+// Options returns the session's resolved options.
+func (s *Session) Options() Options { return s.opts }
+
+// runKey builds the memoization key for (workload, sim config).
+func runKey(name string, cfg sim.Config) string {
+	return fmt.Sprintf("%s|%+v", name, cfg)
+}
+
+// Run simulates workload name under cfg (warm-up set to half the trace),
+// caching the result.
+func (s *Session) Run(name string, cfg sim.Config) (*sim.Result, error) {
+	cfg.WarmupAccesses = s.opts.Length / 2
+	key := runKey(name, cfg)
+
+	s.mu.Lock()
+	if res, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	s.mu.Unlock()
+
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	// Recheck after acquiring the semaphore: a concurrent caller may
+	// have completed the same run.
+	s.mu.Lock()
+	if res, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	s.mu.Unlock()
+
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", name, err)
+	}
+	src := w.Make(workload.Config{CPUs: s.opts.CPUs, Seed: s.opts.Seed, Length: s.opts.Length})
+	res := runner.Run(src)
+
+	s.mu.Lock()
+	s.cache[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Baseline runs workload name with no prefetcher on the standard memory
+// system.
+func (s *Session) Baseline(name string) (*sim.Result, error) {
+	return s.Run(name, sim.Config{Coherence: s.opts.MemorySystem(64)})
+}
+
+// parallelOver runs fn for each name concurrently, collecting the first
+// error. fn is responsible for storing its own results (indexed by i).
+func parallelOver(names []string, fn func(i int, name string) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(names))
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			errs[i] = fn(i, name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GroupNames returns the four paper groups.
+func GroupNames() []string { return workload.Groups() }
+
+// WorkloadNames returns all eleven application names in paper order.
+func WorkloadNames() []string {
+	var out []string
+	for _, w := range workload.All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// groupOf returns the paper group of a workload name.
+func groupOf(name string) string {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return ""
+	}
+	return w.Group
+}
+
+// meanOver averages value over the members of each group, returning
+// group→mean. Missing groups map to 0.
+func meanOver(names []string, value func(name string) float64) map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, n := range names {
+		g := groupOf(n)
+		sums[g] += value(n)
+		counts[g]++
+	}
+	out := map[string]float64{}
+	for g, s := range sums {
+		out[g] = s / float64(counts[g])
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Fig10Sizes are the spatial region sizes swept by Figure 10.
+var Fig10Sizes = []int{128, 256, 512, 1024, 2048, 4096, 8192}
+
+// Fig10Row is one (group, region size) coverage point.
+type Fig10Row struct {
+	Group    string
+	Size     int
+	Coverage float64
+}
+
+// Fig10Result is the Figure 10 dataset.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10 reproduces Figure 10: coverage versus spatial region size, with
+// PC+offset indexing, AGT training and an unbounded PHT. The paper selects
+// 2 kB: all groups except OLTP peak there, and OLTP's small further gain
+// does not justify doubling PHT storage (§4.4).
+func Fig10(s *Session) (*Fig10Result, error) {
+	names := WorkloadNames()
+	covs := make(map[string][]float64, len(names))
+	for _, n := range names {
+		covs[n] = make([]float64, len(Fig10Sizes))
+	}
+	err := parallelOver(names, func(_ int, name string) error {
+		base, err := s.Baseline(name)
+		if err != nil {
+			return err
+		}
+		for zi, size := range Fig10Sizes {
+			geo, err := mem.NewGeometry(64, size)
+			if err != nil {
+				return err
+			}
+			res, err := s.Run(name, sim.Config{
+				Coherence:  s.opts.MemorySystem(64),
+				Geometry:   geo,
+				Prefetcher: sim.PrefetchSMS,
+				SMS:        core.Config{PHTEntries: -1},
+			})
+			if err != nil {
+				return err
+			}
+			covs[name][zi] = res.L1Coverage(base).Covered
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{}
+	for _, g := range GroupNames() {
+		for zi, size := range Fig10Sizes {
+			res.Rows = append(res.Rows, Fig10Row{
+				Group: g,
+				Size:  size,
+				Coverage: meanOver(names, func(n string) float64 {
+					return covs[n][zi]
+				})[g],
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the dataset as the Figure 10 series.
+func (r *Fig10Result) Render() string {
+	t := NewTable("Figure 10: coverage vs spatial region size (PC+offset, AGT, unbounded PHT)",
+		"group", "region size", "coverage")
+	for _, row := range r.Rows {
+		t.AddRow(row.Group, sizeLabel(row.Size), Pct(row.Coverage))
+	}
+	return t.Render()
+}

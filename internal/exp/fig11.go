@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/ghb"
+	"repro/internal/sim"
+)
+
+// Fig11Variant labels the Figure 11 prefetcher configurations.
+type Fig11Variant string
+
+// Figure 11 configurations.
+const (
+	VariantGHB256 Fig11Variant = "GHB-256"
+	VariantGHB16k Fig11Variant = "GHB-16k"
+	VariantSMS    Fig11Variant = "SMS"
+)
+
+// Fig11Row is one (workload, variant) off-chip coverage bar.
+type Fig11Row struct {
+	Workload string
+	Variant  Fig11Variant
+	Coverage sim.Coverage
+	// Traffic is off-chip transfers relative to the baseline (>1:
+	// prefetching added bandwidth demand).
+	Traffic float64
+}
+
+// Fig11Result is the Figure 11 dataset.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// Fig11 reproduces Figure 11: the practical SMS configuration (32-entry
+// filter, 64-entry accumulation table, 2 kB regions, 16k-entry 16-way PHT)
+// against PC/DC GHB with 256- and 16k-entry history buffers, on off-chip
+// (L2) read misses.
+func Fig11(s *Session) (*Fig11Result, error) {
+	names := WorkloadNames()
+	variants := []Fig11Variant{VariantGHB256, VariantGHB16k, VariantSMS}
+	type cell struct {
+		cov     sim.Coverage
+		traffic float64
+	}
+	covs := make(map[string]map[Fig11Variant]cell, len(names))
+	for _, n := range names {
+		covs[n] = make(map[Fig11Variant]cell, 3)
+	}
+	err := parallelOver(names, func(_ int, name string) error {
+		base, err := s.Baseline(name)
+		if err != nil {
+			return err
+		}
+		for _, v := range variants {
+			cfg := sim.Config{Coherence: s.opts.MemorySystem(64)}
+			switch v {
+			case VariantGHB256:
+				cfg.Prefetcher = sim.PrefetchGHB
+				cfg.GHB = ghb.Config{HistoryEntries: 256}
+			case VariantGHB16k:
+				cfg.Prefetcher = sim.PrefetchGHB
+				cfg.GHB = ghb.Config{HistoryEntries: 16384}
+			case VariantSMS:
+				cfg.Prefetcher = sim.PrefetchSMS
+				// Paper-default practical SMS: zero core.Config.
+			}
+			res, err := s.Run(name, cfg)
+			if err != nil {
+				return err
+			}
+			covs[name][v] = cell{
+				cov:     res.OffChipCoverage(base),
+				traffic: res.BandwidthOverhead(base, 64, 64),
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+	for _, name := range names {
+		for _, v := range variants {
+			res.Rows = append(res.Rows, Fig11Row{
+				Workload: name,
+				Variant:  v,
+				Coverage: covs[name][v].cov,
+				Traffic:  covs[name][v].traffic,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the dataset as the Figure 11 bars.
+func (r *Fig11Result) Render() string {
+	t := NewTable("Figure 11: practical SMS vs GHB (off-chip read misses)",
+		"workload", "variant", "coverage", "uncovered", "overpredictions", "traffic")
+	t.SetCaption("SMS: 32/64 AGT, 2kB regions, 16k-entry 16-way PHT. GHB: PC/DC with 256- or 16k-entry history. Traffic: off-chip transfers vs baseline.")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload, string(row.Variant),
+			Pct(row.Coverage.Covered), Pct(row.Coverage.Uncovered), Pct(row.Coverage.Overpredicted),
+			fmt.Sprintf("%.2fx", row.Traffic))
+	}
+	return t.Render()
+}

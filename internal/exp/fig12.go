@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// WindowInstructions is the sampling window for the timing model.
+const WindowInstructions = 20_000
+
+// Fig12Row is one workload's speedup.
+type Fig12Row struct {
+	Workload string
+	Speedup  stats.Interval
+	// Base and SMS are normalized time breakdowns (base total = 1.0) —
+	// the Figure 13 bars.
+	Base, SMS timing.Breakdown
+}
+
+// Fig12Result is the combined Figure 12/13 dataset: speedups and the
+// matching execution-time breakdowns come from the same paired runs.
+type Fig12Result struct {
+	Rows    []Fig12Row
+	GeoMean float64
+}
+
+// TimingParamsFor returns the per-group timing parameters: OS time share
+// and whether it scales with time (web/DSS I/O servicing, §4.7).
+func TimingParamsFor(group string) timing.Params {
+	p := timing.DefaultParams()
+	switch group {
+	case workload.GroupOLTP:
+		p.SystemFrac = 0.20
+	case workload.GroupDSS:
+		p.SystemFrac = 0.12
+		p.SystemProportionalToTime = true
+	case workload.GroupWeb:
+		p.SystemFrac = 0.30
+		p.SystemProportionalToTime = true
+	case workload.GroupScientific:
+		p.SystemFrac = 0.02
+	}
+	return p
+}
+
+// Fig12 reproduces Figures 12 and 13: speedup of SMS over the baseline
+// with 95% confidence intervals from paired per-window samples, and the
+// normalized execution-time breakdowns.
+func Fig12(s *Session) (*Fig12Result, error) {
+	names := WorkloadNames()
+	rows := make([]Fig12Row, len(names))
+	err := parallelOver(names, func(i int, name string) error {
+		baseCfg := sim.Config{
+			Coherence:          s.opts.MemorySystem(64),
+			WindowInstructions: WindowInstructions,
+		}
+		smsCfg := baseCfg
+		smsCfg.Prefetcher = sim.PrefetchSMS
+		base, err := s.Run(name, baseCfg)
+		if err != nil {
+			return err
+		}
+		smsRes, err := s.Run(name, smsCfg)
+		if err != nil {
+			return err
+		}
+		model, err := timing.NewModel(TimingParamsFor(groupOf(name)))
+		if err != nil {
+			return err
+		}
+		cmp, err := model.Compare(base.Windows, smsRes.Windows)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		norm := 1 / cmp.Base.Total()
+		rows[i] = Fig12Row{
+			Workload: name,
+			Speedup:  cmp.Speedup,
+			Base:     cmp.Base.Scale(norm),
+			SMS:      cmp.Enhanced.Scale(norm),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{Rows: rows}
+	speeds := make([]float64, len(rows))
+	for i, r := range rows {
+		speeds[i] = r.Speedup.Mean
+	}
+	gm, err := stats.GeoMean(speeds)
+	if err != nil {
+		return nil, err
+	}
+	res.GeoMean = gm
+	return res, nil
+}
+
+// Render formats the Figure 12 speedups.
+func (r *Fig12Result) Render() string {
+	t := NewTable("Figure 12: speedup with 95% confidence intervals",
+		"workload", "speedup", "95% CI half-width")
+	t.SetCaption(fmt.Sprintf("Geometric mean speedup: %.3f (paper: 1.37, best 4.07 on sparse).", r.GeoMean))
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload, fmt.Sprintf("%.3f", row.Speedup.Mean), fmt.Sprintf("±%.3f", row.Speedup.Half))
+	}
+	return t.Render()
+}
+
+// RenderBreakdown formats the Figure 13 normalized time breakdowns.
+func (r *Fig12Result) RenderBreakdown() string {
+	t := NewTable("Figure 13: normalized execution-time breakdown (base = 1.0)",
+		"workload", "config", "user busy", "system busy", "off-chip read", "on-chip read", "store buffer", "other", "total")
+	t.SetCaption("Both bars represent the same completed work; the SMS bar's smaller total is the speedup.")
+	add := func(name, cfg string, b timing.Breakdown) {
+		t.AddRow(name, cfg,
+			fmt.Sprintf("%.3f", b.UserBusy), fmt.Sprintf("%.3f", b.SystemBusy),
+			fmt.Sprintf("%.3f", b.OffChipRead), fmt.Sprintf("%.3f", b.OnChipRead),
+			fmt.Sprintf("%.3f", b.StoreBuffer), fmt.Sprintf("%.3f", b.Other),
+			fmt.Sprintf("%.3f", b.Total()))
+	}
+	for _, row := range r.Rows {
+		add(row.Workload, "base", row.Base)
+		add(row.Workload, "SMS", row.SMS)
+	}
+	return t.Render()
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig4Sizes are the block/region sizes the paper sweeps in Figure 4.
+var Fig4Sizes = []int{64, 128, 512, 2048, 8192}
+
+// Fig4Row is one (group, size) point of Figure 4.
+type Fig4Row struct {
+	Group string
+	Size  int
+	// L1Opportunity / L2Opportunity: oracle miss rate (one miss per
+	// spatial region generation), normalized to the 64 B baseline miss
+	// rate at the level.
+	L1Opportunity float64
+	L2Opportunity float64
+	// L1Misses / L2Misses: normalized read miss rate of a cache with
+	// block size = Size (capacity fixed).
+	L1Misses float64
+	L2Misses float64
+	// L2FalseSharing: the portion of L2Misses attributable to false
+	// sharing beyond 64 B units.
+	L2FalseSharing float64
+	// Bandwidth: off-chip bytes relative to the 64 B baseline — the
+	// §4.1 bandwidth-efficiency cost of large blocks ("bandwidth
+	// efficiency drops exponentially as block size increases").
+	Bandwidth float64
+}
+
+// Fig4Result is the Figure 4 dataset.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4 reproduces Figure 4: L1 and L2 read miss rates versus block/region
+// size, against the one-miss-per-generation oracle opportunity.
+func Fig4(s *Session) (*Fig4Result, error) {
+	names := WorkloadNames()
+
+	type point struct {
+		l1Norm, l2Norm, fsNorm, l1Opp, l2Opp, bw float64
+	}
+	// points[name][sizeIdx]
+	points := make(map[string][]point, len(names))
+	for _, n := range names {
+		points[n] = make([]point, len(Fig4Sizes))
+	}
+
+	err := parallelOver(names, func(_ int, name string) error {
+		base, err := s.Baseline(name)
+		if err != nil {
+			return err
+		}
+		for si, size := range Fig4Sizes {
+			// Cache with block size = size.
+			blk, err := s.Run(name, sim.Config{Coherence: s.opts.MemorySystem(size)})
+			if err != nil {
+				return err
+			}
+			// Oracle with 64 B blocks and region = size.
+			geo, err := mem.NewGeometry(64, size)
+			if err != nil {
+				return err
+			}
+			orc, err := s.Run(name, sim.Config{
+				Coherence:        s.opts.MemorySystem(64),
+				Geometry:         geo,
+				TrackGenerations: true,
+			})
+			if err != nil {
+				return err
+			}
+			pt := point{
+				l1Norm: stats.Ratio(blk.L1ReadMisses, base.L1ReadMisses),
+				l2Norm: stats.Ratio(blk.OffChipReadMisses, base.OffChipReadMisses),
+				l1Opp:  stats.Ratio(orc.OracleGenerationsL1, base.L1ReadMisses),
+				l2Opp:  stats.Ratio(orc.OracleGenerationsL2, base.OffChipReadMisses),
+				bw:     blk.BandwidthOverhead(base, size, 64),
+			}
+			if size > 64 {
+				pt.fsNorm = stats.Ratio(blk.FalseSharingReadMisses, base.OffChipReadMisses)
+			}
+			points[name][si] = pt
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig4Result{}
+	for _, g := range GroupNames() {
+		for si, size := range Fig4Sizes {
+			row := Fig4Row{Group: g, Size: size}
+			row.L1Misses = meanOver(names, func(n string) float64 { return points[n][si].l1Norm })[g]
+			row.L2Misses = meanOver(names, func(n string) float64 { return points[n][si].l2Norm })[g]
+			row.L1Opportunity = meanOver(names, func(n string) float64 { return points[n][si].l1Opp })[g]
+			row.L2Opportunity = meanOver(names, func(n string) float64 { return points[n][si].l2Opp })[g]
+			row.L2FalseSharing = meanOver(names, func(n string) float64 { return points[n][si].fsNorm })[g]
+			row.Bandwidth = meanOver(names, func(n string) float64 { return points[n][si].bw })[g]
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the dataset as the Figure 4 series.
+func (r *Fig4Result) Render() string {
+	t := NewTable("Figure 4: normalized read miss rate vs block/region size",
+		"group", "size", "L1 opportunity", "L1 misses", "L2 opportunity", "L2 misses", "L2 false sharing", "bandwidth")
+	t.SetCaption("Normalized to the 64B-block baseline at each level. Opportunity = oracle (one miss per spatial region generation). Bandwidth = off-chip bytes vs 64B.")
+	for _, row := range r.Rows {
+		t.AddRow(row.Group, sizeLabel(row.Size),
+			fmt.Sprintf("%.3f", row.L1Opportunity), fmt.Sprintf("%.3f", row.L1Misses),
+			fmt.Sprintf("%.3f", row.L2Opportunity), fmt.Sprintf("%.3f", row.L2Misses),
+			fmt.Sprintf("%.3f", row.L2FalseSharing), fmt.Sprintf("%.2fx", row.Bandwidth))
+	}
+	return t.Render()
+}
+
+func sizeLabel(size int) string {
+	if size >= 1024 {
+		return fmt.Sprintf("%dkB", size/1024)
+	}
+	return fmt.Sprintf("%dB", size)
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig5Buckets are the density bucket labels of Figure 5.
+var Fig5Buckets = []string{"1", "2-3", "4-7", "8-15", "16-23", "24-31", "32"}
+
+// Fig5Row is one (workload, level) density distribution: the fraction of
+// misses occurring in generations of each density.
+type Fig5Row struct {
+	Workload  string
+	Level     string // "L1" or "L2"
+	Fractions [7]float64
+}
+
+// Fig5Result is the Figure 5 dataset.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5 reproduces Figure 5: memory access density at 2 kB regions — the
+// percentage of L1/L2 misses from generations with 1, 2-3, 4-7, 8-15,
+// 16-23, 24-31, and 32 missed blocks.
+func Fig5(s *Session) (*Fig5Result, error) {
+	names := WorkloadNames()
+	rows := make([][2]Fig5Row, len(names))
+	err := parallelOver(names, func(i int, name string) error {
+		res, err := s.Run(name, sim.Config{
+			Coherence:        s.opts.MemorySystem(64),
+			TrackGenerations: true,
+		})
+		if err != nil {
+			return err
+		}
+		rows[i][0] = densityRow(name, "L1", res.DensityL1)
+		rows[i][1] = densityRow(name, "L2", res.DensityL2)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{}
+	for _, pair := range rows {
+		out.Rows = append(out.Rows, pair[0], pair[1])
+	}
+	return out, nil
+}
+
+func densityRow(name, level string, h *stats.Histogram) Fig5Row {
+	row := Fig5Row{Workload: name, Level: level}
+	for b := 0; b < h.Buckets() && b < len(row.Fractions); b++ {
+		row.Fractions[b] = h.Fraction(b)
+	}
+	return row
+}
+
+// Render formats the dataset as the Figure 5 stacked columns.
+func (r *Fig5Result) Render() string {
+	hdr := append([]string{"workload", "level"}, Fig5Buckets...)
+	t := NewTable("Figure 5: memory access density (2kB regions)", hdr...)
+	t.SetCaption("Each cell: share of misses at that level from generations of the given density (blocks missed).")
+	for _, row := range r.Rows {
+		cells := []string{row.Workload, row.Level}
+		for _, f := range row.Fractions {
+			cells = append(cells, Pct(f))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render()
+}

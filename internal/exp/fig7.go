@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Fig7Sizes are the PHT entry counts swept by Figure 7 (0 = unbounded).
+var Fig7Sizes = []int{256, 1024, 4096, 16384, 0}
+
+// Fig7Row is one (group, index, PHT size) coverage point.
+type Fig7Row struct {
+	Group    string
+	Index    core.IndexKind
+	Entries  int // 0 = infinite
+	Coverage float64
+}
+
+// Fig7Result is the Figure 7 dataset.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// Fig7 reproduces Figure 7: PHT storage sensitivity for PC+address versus
+// PC+offset indexing. PC+offset approaches peak coverage by 16k entries;
+// PC+address needs storage proportional to the data set and falls far
+// short at practical sizes (except OLTP's hot structures).
+func Fig7(s *Session) (*Fig7Result, error) {
+	names := WorkloadNames()
+	kinds := []core.IndexKind{core.IndexPCAddress, core.IndexPCOffset}
+
+	covs := make(map[string][][]float64, len(names)) // [name][kind][size]
+	for _, n := range names {
+		covs[n] = make([][]float64, len(kinds))
+		for k := range kinds {
+			covs[n][k] = make([]float64, len(Fig7Sizes))
+		}
+	}
+	err := parallelOver(names, func(_ int, name string) error {
+		base, err := s.Baseline(name)
+		if err != nil {
+			return err
+		}
+		for ki, kind := range kinds {
+			for zi, entries := range Fig7Sizes {
+				phtEntries := entries
+				if entries == 0 {
+					phtEntries = -1 // unbounded
+				}
+				res, err := s.Run(name, sim.Config{
+					Coherence:  s.opts.MemorySystem(64),
+					Prefetcher: sim.PrefetchSMS,
+					SMS:        core.Config{Index: kind, PHTEntries: phtEntries, PHTAssoc: 16},
+				})
+				if err != nil {
+					return err
+				}
+				covs[name][ki][zi] = res.L1Coverage(base).Covered
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig7Result{}
+	for _, g := range GroupNames() {
+		for ki, kind := range kinds {
+			for zi, entries := range Fig7Sizes {
+				res.Rows = append(res.Rows, Fig7Row{
+					Group:   g,
+					Index:   kind,
+					Entries: entries,
+					Coverage: meanOver(names, func(n string) float64 {
+						return covs[n][ki][zi]
+					})[g],
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// PHTSizeLabel renders a PHT entry count as the paper's axis labels.
+func PHTSizeLabel(entries int) string {
+	switch {
+	case entries == 0:
+		return "infinite"
+	case entries >= 1024:
+		return fmt.Sprintf("%dk", entries/1024)
+	default:
+		return fmt.Sprintf("%d", entries)
+	}
+}
+
+// Render formats the dataset as the Figure 7 series.
+func (r *Fig7Result) Render() string {
+	t := NewTable("Figure 7: PHT storage sensitivity (PC+address vs PC+offset, 16-way)",
+		"group", "index", "PHT entries", "coverage")
+	for _, row := range r.Rows {
+		t.AddRow(row.Group, row.Index.String(), PHTSizeLabel(row.Entries), Pct(row.Coverage))
+	}
+	return t.Render()
+}

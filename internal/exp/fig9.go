@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/sectored"
+	"repro/internal/sim"
+)
+
+// Fig9Sizes are the PHT entry counts swept by Figure 9 (0 = unbounded).
+var Fig9Sizes = []int{256, 512, 1024, 2048, 4096, 8192, 16384, 0}
+
+// Fig9Row is one (group, training structure, PHT size) coverage point.
+type Fig9Row struct {
+	Group    string
+	Train    TrainingStructure // LS or AGT
+	Entries  int
+	Coverage float64
+}
+
+// Fig9Result is the Figure 9 dataset.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9 reproduces Figure 9: PHT storage sensitivity of LS versus AGT
+// training. Fragmented LS generations create more (sparser) patterns, so
+// LS needs roughly twice the PHT storage for the coverage AGT achieves —
+// most visibly for OLTP, which interleaves the most.
+func Fig9(s *Session) (*Fig9Result, error) {
+	names := WorkloadNames()
+	structures := []TrainingStructure{TrainLS, TrainAGT}
+
+	covs := make(map[string]map[TrainingStructure][]float64, len(names))
+	for _, n := range names {
+		covs[n] = map[TrainingStructure][]float64{
+			TrainLS:  make([]float64, len(Fig9Sizes)),
+			TrainAGT: make([]float64, len(Fig9Sizes)),
+		}
+	}
+	err := parallelOver(names, func(_ int, name string) error {
+		base, err := s.Baseline(name)
+		if err != nil {
+			return err
+		}
+		for zi, entries := range Fig9Sizes {
+			phtEntries := entries
+			if entries == 0 {
+				phtEntries = -1
+			}
+			agt, err := s.Run(name, sim.Config{
+				Coherence:  s.opts.MemorySystem(64),
+				Prefetcher: sim.PrefetchSMS,
+				SMS:        core.Config{PHTEntries: phtEntries, PHTAssoc: 16},
+			})
+			if err != nil {
+				return err
+			}
+			covs[name][TrainAGT][zi] = agt.L1Coverage(base).Covered
+			ls, err := s.Run(name, sim.Config{
+				Coherence:  s.opts.MemorySystem(64),
+				Prefetcher: sim.PrefetchLS,
+				LS:         sectored.Config{PHTEntries: phtEntries, PHTAssoc: 16},
+			})
+			if err != nil {
+				return err
+			}
+			covs[name][TrainLS][zi] = ls.L1Coverage(base).Covered
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig9Result{}
+	for _, g := range GroupNames() {
+		for _, st := range structures {
+			for zi, entries := range Fig9Sizes {
+				res.Rows = append(res.Rows, Fig9Row{
+					Group:   g,
+					Train:   st,
+					Entries: entries,
+					Coverage: meanOver(names, func(n string) float64 {
+						return covs[n][st][zi]
+					})[g],
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats the dataset as the Figure 9 series.
+func (r *Fig9Result) Render() string {
+	t := NewTable("Figure 9: PHT storage sensitivity (LS vs AGT training)",
+		"group", "training", "PHT entries", "coverage")
+	for _, row := range r.Rows {
+		t.AddRow(row.Group, string(row.Train), PHTSizeLabel(row.Entries), Pct(row.Coverage))
+	}
+	return t.Render()
+}

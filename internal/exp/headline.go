@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// HeadlineResult collects the paper's abstract-level claims: "SMS can on
+// average predict 58% of L1 and 65% of off-chip misses, for an average
+// speedup of 1.37 and at best 4.07".
+type HeadlineResult struct {
+	// MeanL1Coverage and MeanOffChipCoverage average the practical SMS
+	// configuration's coverage across all eleven workloads.
+	MeanL1Coverage      float64
+	MeanOffChipCoverage float64
+	// CommercialOffChip averages the commercial workloads only (the
+	// paper: 55% mean, 78% best).
+	CommercialOffChip     float64
+	BestCommercialOffChip float64
+	BestCommercialName    string
+	// GeoMeanSpeedup and the best speedup with its workload.
+	GeoMeanSpeedup float64
+	BestSpeedup    float64
+	BestName       string
+}
+
+// Headline computes the abstract's numbers from the practical SMS
+// configuration.
+func Headline(s *Session) (*HeadlineResult, error) {
+	names := WorkloadNames()
+	type row struct {
+		l1, off  float64
+		speedup  float64
+		group    string
+		workload string
+	}
+	rows := make([]row, len(names))
+	err := parallelOver(names, func(i int, name string) error {
+		baseCfg := sim.Config{
+			Coherence:          s.opts.MemorySystem(64),
+			WindowInstructions: WindowInstructions,
+		}
+		smsCfg := baseCfg
+		smsCfg.Prefetcher = sim.PrefetchSMS
+		base, err := s.Run(name, baseCfg)
+		if err != nil {
+			return err
+		}
+		smsRes, err := s.Run(name, smsCfg)
+		if err != nil {
+			return err
+		}
+		model, err := timing.NewModel(TimingParamsFor(groupOf(name)))
+		if err != nil {
+			return err
+		}
+		cmp, err := model.Compare(base.Windows, smsRes.Windows)
+		if err != nil {
+			return err
+		}
+		rows[i] = row{
+			l1:       smsRes.L1Coverage(base).Covered,
+			off:      smsRes.OffChipCoverage(base).Covered,
+			speedup:  cmp.Speedup.Mean,
+			group:    groupOf(name),
+			workload: name,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &HeadlineResult{}
+	var l1s, offs, speeds, commOffs []float64
+	for _, r := range rows {
+		l1s = append(l1s, r.l1)
+		offs = append(offs, r.off)
+		speeds = append(speeds, r.speedup)
+		if r.group != "Scientific" {
+			commOffs = append(commOffs, r.off)
+			if r.off > res.BestCommercialOffChip {
+				res.BestCommercialOffChip = r.off
+				res.BestCommercialName = r.workload
+			}
+		}
+		if r.speedup > res.BestSpeedup {
+			res.BestSpeedup = r.speedup
+			res.BestName = r.workload
+		}
+	}
+	res.MeanL1Coverage = stats.Mean(l1s)
+	res.MeanOffChipCoverage = stats.Mean(offs)
+	res.CommercialOffChip = stats.Mean(commOffs)
+	gm, err := stats.GeoMean(speeds)
+	if err != nil {
+		return nil, err
+	}
+	res.GeoMeanSpeedup = gm
+	return res, nil
+}
+
+// Render formats the abstract-claims comparison.
+func (r *HeadlineResult) Render() string {
+	t := NewTable("Headline: the paper's abstract claims vs this reproduction",
+		"claim", "paper", "measured")
+	t.AddRow("mean L1 miss coverage", "58%", Pct(r.MeanL1Coverage))
+	t.AddRow("mean off-chip miss coverage", "65%", Pct(r.MeanOffChipCoverage))
+	t.AddRow("commercial off-chip coverage (mean)", "55%", Pct(r.CommercialOffChip))
+	t.AddRow("commercial off-chip coverage (best)", "78%",
+		fmt.Sprintf("%s (%s)", Pct(r.BestCommercialOffChip), r.BestCommercialName))
+	t.AddRow("geometric mean speedup", "1.37", fmt.Sprintf("%.3f", r.GeoMeanSpeedup))
+	t.AddRow("best speedup", "4.07 (sparse)",
+		fmt.Sprintf("%.3f (%s)", r.BestSpeedup, r.BestName))
+	return t.Render()
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple text table builder used to render figures as the
+// rows/series the paper plots.
+type Table struct {
+	title   string
+	caption string
+	header  []string
+	rows    [][]string
+}
+
+// NewTable builds a table with a title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// SetCaption attaches explanatory text rendered under the title.
+func (t *Table) SetCaption(c string) { t.caption = c }
+
+// AddRow appends one row; cells beyond the header width are kept.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row of formatted cells: each argument is rendered
+// with %v unless it is a float64, which renders with the given precision.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Pct formats a ratio as a percentage cell.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// Render returns the formatted table.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	sb.WriteString(t.title)
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("=", len(t.title)))
+	sb.WriteByte('\n')
+	if t.caption != "" {
+		sb.WriteString(t.caption)
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			w := len(cell)
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", w, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,189 @@
+package ghb
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	g := MustNew(Config{})
+	cfg := g.Config()
+	if cfg.HistoryEntries != 256 || cfg.IndexEntries != 256 || cfg.Degree != DefaultDegree ||
+		cfg.MaxChain != DefaultMaxChain || cfg.BlockSize != 64 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if _, err := New(Config{HistoryEntries: 2}); err == nil {
+		t.Error("tiny history accepted")
+	}
+	if _, err := New(Config{BlockSize: 100}); err == nil {
+		t.Error("bad block size accepted")
+	}
+}
+
+// trainSeq trains the prefetcher with a sequence of block indices for one
+// PC and returns the prefetches from the last training.
+func trainSeq(g *GHB, pc uint64, blocks ...uint64) []mem.Addr {
+	var out []mem.Addr
+	for _, b := range blocks {
+		out = g.Train(pc, mem.Addr(b*64))
+	}
+	return out
+}
+
+func TestConstantStridePrediction(t *testing.T) {
+	g := MustNew(Config{})
+	// Constant stride +2: deltas are all 2; the pair (2,2) recurs.
+	out := trainSeq(g, 0x400, 0, 2, 4, 6, 8, 10)
+	if len(out) != DefaultDegree {
+		t.Fatalf("prefetches = %v, want degree %d", out, DefaultDegree)
+	}
+	for i, a := range out {
+		want := mem.Addr((10 + 2*uint64(i+1)) * 64)
+		if a != want {
+			t.Errorf("prefetch %d = %#x, want %#x", i, uint64(a), uint64(want))
+		}
+	}
+}
+
+func TestRepeatingDeltaPattern(t *testing.T) {
+	g := MustNew(Config{})
+	// Delta pattern +1,+1,+6 repeating: after seeing it twice, the pair
+	// at the end of the second repetition matches the first and predicts
+	// the continuation.
+	blocks := []uint64{0, 1, 2, 8, 9, 10, 16, 17}
+	out := trainSeq(g, 0x400, blocks...)
+	// The two most recent deltas are (+1, +6) (10→16→17); their previous
+	// occurrence is 2→8→9, which was followed in time by +1, +6, +1 —
+	// so the prediction continues 18, 24, 25.
+	if len(out) < 3 {
+		t.Fatalf("prefetches = %v, want at least 3", out)
+	}
+	want := []mem.Addr{18 * 64, 24 * 64, 25 * 64}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("prefetch %d = %#x, want %#x", i, uint64(out[i]), uint64(w))
+		}
+	}
+}
+
+func TestNoMatchNoPrediction(t *testing.T) {
+	g := MustNew(Config{})
+	out := trainSeq(g, 0x400, 0, 100, 3, 777, 21, 9000)
+	if len(out) != 0 {
+		t.Fatalf("random deltas predicted %v", out)
+	}
+	if g.Stats().Matches != 0 {
+		t.Error("phantom match")
+	}
+}
+
+func TestPCLocalization(t *testing.T) {
+	g := MustNew(Config{})
+	// Interleave two PCs: each has a perfect stride; localization must
+	// keep them separate.
+	var lastA, lastB []mem.Addr
+	for i := uint64(0); i < 8; i++ {
+		lastA = g.Train(0x400, mem.Addr(i*2*64))        // stride 2
+		lastB = g.Train(0x500, mem.Addr((1000+i*5)*64)) // stride 5
+	}
+	if len(lastA) == 0 || len(lastB) == 0 {
+		t.Fatal("localized streams not predicted")
+	}
+	if lastA[0] != mem.Addr((7*2+2)*64) {
+		t.Errorf("PC A prediction %#x", uint64(lastA[0]))
+	}
+	if lastB[0] != mem.Addr((1000+7*5+5)*64) {
+		t.Errorf("PC B prediction %#x", uint64(lastB[0]))
+	}
+}
+
+func TestInterleavingDefeatsGlobalDeltas(t *testing.T) {
+	// The paper's §4.6 point: when one PC's accesses interleave multiple
+	// independent sequences, the delta stream is disrupted and GHB cannot
+	// predict unless the interleaving itself repeats.
+	g := MustNew(Config{})
+	// One PC alternates between two unrelated walks.
+	blocks := []uint64{0, 1000, 2, 1777, 4, 2312, 6, 3001}
+	out := trainSeq(g, 0x400, blocks...)
+	if len(out) != 0 {
+		t.Fatalf("interleaved stream predicted %v", out)
+	}
+}
+
+func TestHistoryWrapInvalidation(t *testing.T) {
+	g := MustNew(Config{HistoryEntries: 8})
+	// Fill the buffer with other PCs so PC 0x400's chain is overwritten.
+	g.Train(0x400, 0)
+	for i := 0; i < 10; i++ {
+		g.Train(uint64(0x900+i), mem.Addr(uint64(i)*64*100))
+	}
+	// The chain for 0x400 must be treated as dead (no stale links).
+	out := g.Train(0x400, mem.Addr(2*64))
+	if len(out) != 0 {
+		t.Fatalf("stale chain produced prefetches %v", out)
+	}
+	// After re-establishing a fresh stride, prediction resumes.
+	out = trainSeq(g, 0x400, 4, 6, 8, 10)
+	if len(out) == 0 {
+		t.Fatal("fresh chain not predicted")
+	}
+}
+
+func TestDegreeBound(t *testing.T) {
+	g := MustNew(Config{Degree: 2})
+	out := trainSeq(g, 0x400, 0, 2, 4, 6, 8, 10)
+	if len(out) != 2 {
+		t.Fatalf("degree not honoured: %v", out)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	g := MustNew(Config{})
+	trainSeq(g, 0x400, 0, 2, 4, 6, 8, 10)
+	st := g.Stats()
+	if st.Trains != 6 || st.Lookups != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Matches == 0 || st.Prefetches == 0 {
+		t.Errorf("no matches/prefetches recorded: %+v", st)
+	}
+	if st.ChainLength == 0 {
+		t.Error("chain length not tracked")
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	g := MustNew(Config{})
+	out := trainSeq(g, 0x400, 100, 97, 94, 91, 88, 85)
+	if len(out) == 0 {
+		t.Fatal("descending stride not predicted")
+	}
+	if out[0] != mem.Addr(82*64) {
+		t.Errorf("prediction %#x, want %#x", uint64(out[0]), uint64(82*64))
+	}
+}
+
+func TestPredictionNeverNegative(t *testing.T) {
+	g := MustNew(Config{})
+	out := trainSeq(g, 0x400, 10, 8, 6, 4, 2, 0)
+	for _, a := range out {
+		if int64(a) < 0 {
+			t.Fatalf("negative prefetch address %v", out)
+		}
+	}
+}
+
+func TestStorageBitsMatchesSMSPHTOrder(t *testing.T) {
+	// §4.6: the 16k-entry GHB is sized to roughly match the SMS PHT
+	// budget (~96 KiB in our cost model).
+	big := MustNew(Config{HistoryEntries: 16384})
+	kib := float64(big.StorageBits()) / 8 / 1024
+	if kib < 48 || kib > 192 {
+		t.Fatalf("GHB-16k = %.1f KiB, want same order as the SMS PHT", kib)
+	}
+	small := MustNew(Config{HistoryEntries: 256})
+	if small.StorageBits() >= big.StorageBits() {
+		t.Fatal("256-entry GHB should cost less than 16k")
+	}
+}

@@ -1,0 +1,111 @@
+// Package mem provides the address arithmetic shared by every component of
+// the Spatial Memory Streaming reproduction: cache-block and spatial-region
+// geometry, region tags and offsets, and the spatial-pattern bit vectors
+// that record which blocks inside a region were touched.
+//
+// Terminology follows the paper (Somogyi et al., ISCA 2006, §2.1): a
+// *spatial region* is a fixed-size, aligned portion of the address space
+// spanning several consecutive cache blocks; a *spatial pattern* is a bit
+// vector with one bit per block in the region.
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Geometry fixes the block and region sizes used throughout a simulation.
+// The paper uses 64-byte blocks everywhere and sweeps region sizes from
+// 128 B to 8 kB (Fig. 10); the chosen configuration is 2 kB regions (§4.4).
+type Geometry struct {
+	blockBits  uint // log2(block size in bytes)
+	regionBits uint // log2(region size in bytes)
+}
+
+// DefaultBlockSize is the cache block (coherence unit) size used in the
+// paper's system model (Table 1).
+const DefaultBlockSize = 64
+
+// DefaultRegionSize is the spatial region size the paper selects in §4.4.
+const DefaultRegionSize = 2048
+
+// NewGeometry builds a Geometry from byte sizes. Both sizes must be powers
+// of two and the region must be at least one block.
+func NewGeometry(blockSize, regionSize int) (Geometry, error) {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		return Geometry{}, fmt.Errorf("mem: block size %d is not a positive power of two", blockSize)
+	}
+	if regionSize <= 0 || regionSize&(regionSize-1) != 0 {
+		return Geometry{}, fmt.Errorf("mem: region size %d is not a positive power of two", regionSize)
+	}
+	if regionSize < blockSize {
+		return Geometry{}, fmt.Errorf("mem: region size %d smaller than block size %d", regionSize, blockSize)
+	}
+	return Geometry{
+		blockBits:  uint(bits.TrailingZeros64(uint64(blockSize))),
+		regionBits: uint(bits.TrailingZeros64(uint64(regionSize))),
+	}, nil
+}
+
+// MustGeometry is NewGeometry that panics on error; intended for
+// package-level defaults and tests with constant arguments.
+func MustGeometry(blockSize, regionSize int) Geometry {
+	g, err := NewGeometry(blockSize, regionSize)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// DefaultGeometry returns the paper's chosen configuration: 64 B blocks,
+// 2 kB spatial regions (32 blocks per region).
+func DefaultGeometry() Geometry {
+	return MustGeometry(DefaultBlockSize, DefaultRegionSize)
+}
+
+// BlockSize returns the cache block size in bytes.
+func (g Geometry) BlockSize() int { return 1 << g.blockBits }
+
+// RegionSize returns the spatial region size in bytes.
+func (g Geometry) RegionSize() int { return 1 << g.regionBits }
+
+// BlocksPerRegion returns the number of cache blocks in a spatial region,
+// which is also the width of a spatial pattern.
+func (g Geometry) BlocksPerRegion() int { return 1 << (g.regionBits - g.blockBits) }
+
+// BlockAddr returns the address truncated to its cache-block base.
+func (g Geometry) BlockAddr(a Addr) Addr { return a &^ (Addr(1)<<g.blockBits - 1) }
+
+// BlockNumber returns the global block index of the address (address divided
+// by the block size).
+func (g Geometry) BlockNumber(a Addr) uint64 { return uint64(a) >> g.blockBits }
+
+// RegionBase returns the address truncated to its spatial-region base.
+func (g Geometry) RegionBase(a Addr) Addr { return a &^ (Addr(1)<<g.regionBits - 1) }
+
+// RegionTag returns the high-order bits identifying the spatial region: the
+// address divided by the region size. Entries in the AGT and generation
+// trackers are tagged with this value.
+func (g Geometry) RegionTag(a Addr) uint64 { return uint64(a) >> g.regionBits }
+
+// RegionOffset returns the *spatial region offset* of the address: its
+// distance, in cache blocks, from the start of its spatial region (§2.2).
+// The result lies in [0, BlocksPerRegion).
+func (g Geometry) RegionOffset(a Addr) int {
+	return int((uint64(a) >> g.blockBits) & uint64(g.BlocksPerRegion()-1))
+}
+
+// BlockOfRegion reconstructs the base address of block `offset` within the
+// region whose base address is `base`.
+func (g Geometry) BlockOfRegion(base Addr, offset int) Addr {
+	return base + Addr(offset)<<g.blockBits
+}
+
+// String implements fmt.Stringer.
+func (g Geometry) String() string {
+	return fmt.Sprintf("geometry{block=%dB region=%dB blocks/region=%d}",
+		g.BlockSize(), g.RegionSize(), g.BlocksPerRegion())
+}

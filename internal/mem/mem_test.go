@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValidation(t *testing.T) {
+	cases := []struct {
+		block, region int
+		ok            bool
+	}{
+		{64, 2048, true},
+		{64, 64, true},
+		{64, 8192, true},
+		{32, 128, true},
+		{0, 2048, false},
+		{63, 2048, false},
+		{64, 0, false},
+		{64, 100, false},
+		{128, 64, false}, // region smaller than block
+		{-64, 2048, false},
+		{64, -2048, false},
+	}
+	for _, c := range cases {
+		g, err := NewGeometry(c.block, c.region)
+		if c.ok && err != nil {
+			t.Errorf("NewGeometry(%d,%d): unexpected error %v", c.block, c.region, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("NewGeometry(%d,%d): expected error, got %v", c.block, c.region, g)
+		}
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	g := MustGeometry(64, 2048)
+	if got := g.BlockSize(); got != 64 {
+		t.Errorf("BlockSize = %d, want 64", got)
+	}
+	if got := g.RegionSize(); got != 2048 {
+		t.Errorf("RegionSize = %d, want 2048", got)
+	}
+	if got := g.BlocksPerRegion(); got != 32 {
+		t.Errorf("BlocksPerRegion = %d, want 32", got)
+	}
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	if g.BlockSize() != DefaultBlockSize || g.RegionSize() != DefaultRegionSize {
+		t.Fatalf("DefaultGeometry = %v", g)
+	}
+}
+
+func TestAddressDecomposition(t *testing.T) {
+	g := MustGeometry(64, 2048)
+	a := Addr(0x12345) // 0x12345 = 74565
+	if got := g.BlockAddr(a); got != 0x12340 {
+		t.Errorf("BlockAddr = %#x, want 0x12340", got)
+	}
+	if got := g.BlockNumber(a); got != 0x12345>>6 {
+		t.Errorf("BlockNumber = %#x", got)
+	}
+	if got := g.RegionBase(a); got != 0x12000 {
+		t.Errorf("RegionBase = %#x, want 0x12000", got)
+	}
+	if got := g.RegionTag(a); got != 0x12345>>11 {
+		t.Errorf("RegionTag = %#x", got)
+	}
+	// offset = (addr >> 6) & 31
+	if got := g.RegionOffset(a); got != int((0x12345>>6)&31) {
+		t.Errorf("RegionOffset = %d", got)
+	}
+}
+
+func TestBlockOfRegionRoundTrip(t *testing.T) {
+	g := MustGeometry(64, 2048)
+	f := func(a Addr) bool {
+		base := g.RegionBase(a)
+		off := g.RegionOffset(a)
+		return g.BlockOfRegion(base, off) == g.BlockAddr(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionOffsetRange(t *testing.T) {
+	for _, rs := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
+		g := MustGeometry(64, rs)
+		f := func(a Addr) bool {
+			off := g.RegionOffset(a)
+			return off >= 0 && off < g.BlocksPerRegion()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("region size %d: %v", rs, err)
+		}
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	s := DefaultGeometry().String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

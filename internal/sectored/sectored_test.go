@@ -1,0 +1,255 @@
+package sectored
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// tinyCfg: 64 B blocks, 256 B sectors (4 blocks), 1 kB cache = 4 sectors,
+// 2-way = 2 sets. Even-tagged regions share set 0.
+func tinyCfg() Config {
+	return Config{
+		Geometry:   mem.MustGeometry(64, 256),
+		CacheSize:  1024,
+		Assoc:      2,
+		PHTEntries: -1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := tinyCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := tinyCfg()
+	bad.CacheSize = 256 * 3 // 3 sectors, 2-way: not divisible
+	if bad.Validate() == nil {
+		t.Error("indivisible sector count accepted")
+	}
+	bad = tinyCfg()
+	bad.CacheSize = 256 * 12 // 6 sets: not a power of two
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if (Config{}).Validate() != nil {
+		t.Error("zero config (all defaults) rejected")
+	}
+}
+
+func TestLSLearnsOnConflict(t *testing.T) {
+	l := MustNewLogicalSectored(tinyCfg())
+	const pc = 0x400100
+	// Region tags 0,2,4 all map to set 0 (2 ways): the third allocation
+	// evicts the LRU and learns its pattern.
+	A := mem.Addr(0 * 256)
+	B := mem.Addr(2 * 256)
+	C := mem.Addr(4 * 256)
+	l.Access(pc, A)
+	l.Access(pc+4, A+64)
+	l.Access(pc, B)
+	l.Access(pc, C) // conflict: A (LRU) is replaced, pattern learned
+	if l.Stats().PatternsLearned != 1 {
+		t.Fatalf("learned = %d, want 1", l.Stats().PatternsLearned)
+	}
+	key := core.IndexKeyFor(core.IndexPCOffset, mem.MustGeometry(64, 256), pc, A)
+	p, ok := l.PHT().Lookup(key)
+	if !ok || p.String() != "1100" {
+		t.Fatalf("pattern = %v ok=%v, want 1100", p, ok)
+	}
+}
+
+func TestLSSingleBlockGenerationNotLearned(t *testing.T) {
+	l := MustNewLogicalSectored(tinyCfg())
+	l.Access(0x400100, 0)
+	l.Access(0x400100, 2*256)
+	l.Access(0x400100, 4*256) // evicts region 0 with only one accessed block
+	if l.Stats().PatternsLearned != 0 {
+		t.Fatal("single-block generation learned")
+	}
+}
+
+func TestLSFragmentationVsAGT(t *testing.T) {
+	// The §4.3 claim: with interleaved region accesses, LS fragments
+	// generations into more, sparser patterns than the AGT observes.
+	geo := mem.MustGeometry(64, 256)
+	cfg := tinyCfg()
+	ls := MustNewLogicalSectored(cfg)
+	sms := core.MustNew(core.Config{Geometry: geo, PHTEntries: -1, AccumEntries: -1})
+
+	// Interleave accesses to 8 regions that all collide in LS set 0
+	// (even tags) — the AGT, being fully associative, keeps all alive.
+	const pc = 0x400100
+	regions := make([]mem.Addr, 8)
+	for i := range regions {
+		regions[i] = mem.Addr(i * 2 * 256)
+	}
+	for blk := 0; blk < 4; blk++ {
+		for _, r := range regions {
+			a := r + mem.Addr(blk*64)
+			ls.Access(pc+uint64(blk*4), a)
+			sms.Access(pc+uint64(blk*4), a)
+		}
+	}
+	// End all generations.
+	for _, r := range regions {
+		sms.BlockRemoved(r)
+	}
+	lsLearned := ls.Stats().PatternsLearned
+	smsStats := sms.Stats()
+	// SMS learned 8 dense 4-block patterns. LS fragmented: each region
+	// was evicted and re-allocated repeatedly, so it learned more,
+	// sparser patterns — or dropped them as single-block generations.
+	if smsStats.PatternsLearned != 8 {
+		t.Fatalf("AGT learned %d, want 8", smsStats.PatternsLearned)
+	}
+	key := core.IndexKeyFor(core.IndexPCOffset, geo, pc, regions[0])
+	p, ok := sms.PHT().Lookup(key)
+	if !ok || p.PopCount() != 4 {
+		t.Fatalf("AGT pattern %v, want dense 4", p)
+	}
+	if lp, ok := ls.PHT().Lookup(key); ok && lp.PopCount() >= 4 {
+		t.Fatalf("LS pattern unexpectedly dense: %v", lp)
+	}
+	_ = lsLearned
+}
+
+func TestLSBlockRemovedEndsGeneration(t *testing.T) {
+	l := MustNewLogicalSectored(tinyCfg())
+	const pc = 0x400100
+	l.Access(pc, 0)
+	l.Access(pc+4, 64)
+	l.BlockRemoved(64)
+	if l.Stats().PatternsLearned != 1 {
+		t.Fatal("invalidation did not end generation")
+	}
+	// Invalidation of an unaccessed block is ignored.
+	l.Access(pc, 2*256)
+	l.Access(pc+4, 2*256+64)
+	l.BlockRemoved(2*256 + 192)
+	if l.Stats().PatternsLearned != 1 {
+		t.Fatal("unaccessed-block invalidation ended generation")
+	}
+}
+
+func TestLSPredictsAndStreams(t *testing.T) {
+	l := MustNewLogicalSectored(tinyCfg())
+	const pc = 0x400100
+	l.Access(pc, 0)
+	l.Access(pc+4, 64)
+	l.BlockRemoved(0)
+	// New region, same trigger PC/offset.
+	l.Access(pc, 8*256)
+	if l.Stats().Predictions != 1 {
+		t.Fatalf("predictions = %d", l.Stats().Predictions)
+	}
+	reqs := l.NextStreamRequests(10)
+	if len(reqs) != 1 || reqs[0] != 8*256+64 {
+		t.Fatalf("stream requests = %v", reqs)
+	}
+	if l.Stats().StreamsIssued != 1 {
+		t.Error("StreamsIssued not counted")
+	}
+}
+
+func TestDSHitMissSemantics(t *testing.T) {
+	d := MustNewDecoupledSectored(tinyCfg())
+	const pc = 0x400100
+	if r := d.Access(pc, 0); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := d.Access(pc, 0); !r.Hit {
+		t.Fatal("resident block missed")
+	}
+	// Same sector, different block: block-grain miss.
+	if r := d.Access(pc+4, 64); r.Hit {
+		t.Fatal("non-resident block of live sector hit")
+	}
+	if d.DemandMisses() != 2 {
+		t.Fatalf("DemandMisses = %d, want 2", d.DemandMisses())
+	}
+}
+
+func TestDSSectorReplacementEvictsWholeSector(t *testing.T) {
+	d := MustNewDecoupledSectored(tinyCfg())
+	const pc = 0x400100
+	// Fill region 0's sector with 4 blocks.
+	for blk := 0; blk < 4; blk++ {
+		d.Access(pc, mem.Addr(blk*64))
+	}
+	// Two conflicting sectors displace it.
+	d.Access(pc, 2*256)
+	d.Access(pc, 4*256)
+	// Region 0 must now miss on every block (whole sector gone).
+	if r := d.Access(pc, 0); r.Hit {
+		t.Fatal("replaced sector's block still resident")
+	}
+	if d.Stats().PatternsLearned == 0 {
+		t.Fatal("sector replacement did not learn pattern")
+	}
+}
+
+func TestDSPrefetchFillAndCoverage(t *testing.T) {
+	d := MustNewDecoupledSectored(tinyCfg())
+	const pc = 0x400100
+	// Train a 2-block pattern.
+	d.Access(pc, 0)
+	d.Access(pc+4, 64)
+	d.Access(pc, 2*256)
+	d.Access(pc, 4*256) // evict region 0, learn pattern
+	// The access that evicted region 0 is itself a trigger and may have
+	// armed a prediction from the freshly learned pattern; drain it.
+	d.NextStreamRequests(100)
+	// New region with the same trigger: prediction armed.
+	d.Access(pc, 8*256)
+	reqs := d.NextStreamRequests(10)
+	if len(reqs) != 1 {
+		t.Fatalf("reqs = %v", reqs)
+	}
+	d.Fill(reqs[0])
+	r := d.Access(pc+4, reqs[0])
+	if !r.Hit || !r.PrefetchHit {
+		t.Fatalf("prefetched block not a prefetch hit: %+v", r)
+	}
+	if d.PrefetchHits() != 1 {
+		t.Fatalf("PrefetchHits = %d", d.PrefetchHits())
+	}
+	// Second access: plain hit.
+	if r := d.Access(pc+4, reqs[0]); !r.Hit || r.PrefetchHit {
+		t.Fatal("second access misflagged")
+	}
+}
+
+func TestDSFillDeadSectorIsOverprediction(t *testing.T) {
+	d := MustNewDecoupledSectored(tinyCfg())
+	d.Fill(0x40) // no sector: dropped
+	if d.Overpredictions() != 1 {
+		t.Fatalf("Overpredictions = %d", d.Overpredictions())
+	}
+}
+
+func TestDSUnusedPrefetchCountedOnRetire(t *testing.T) {
+	d := MustNewDecoupledSectored(tinyCfg())
+	const pc = 0x400100
+	d.Access(pc, 0)
+	d.Fill(64) // streamed into region 0, never used
+	d.Access(pc, 2*256)
+	d.Access(pc, 4*256) // evicts region 0
+	if d.Overpredictions() != 1 {
+		t.Fatalf("Overpredictions = %d, want 1", d.Overpredictions())
+	}
+}
+
+func TestDSBlockRemoved(t *testing.T) {
+	d := MustNewDecoupledSectored(tinyCfg())
+	const pc = 0x400100
+	d.Access(pc, 0)
+	d.Access(pc+4, 64)
+	d.BlockRemoved(0)
+	if d.Stats().PatternsLearned != 1 {
+		t.Fatal("invalidation did not retire generation")
+	}
+	if r := d.Access(pc, 64); r.Hit {
+		t.Fatal("sector survived invalidation")
+	}
+}

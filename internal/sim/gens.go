@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// genTracker follows spatial region generations at one cache level for one
+// CPU, with unbounded state — it is the measurement instrument behind the
+// Fig. 4 oracle opportunity study and the Fig. 5 density breakdown, not a
+// hardware structure.
+type genTracker struct {
+	geo  mem.Geometry
+	live map[uint64]*genState
+}
+
+type genState struct {
+	accessed mem.Pattern // blocks touched during the generation
+	missed   mem.Pattern // blocks that missed during the generation
+	measured bool        // any post-warm-up miss recorded
+}
+
+func newGenTracker(geo mem.Geometry) *genTracker {
+	return &genTracker{geo: geo, live: make(map[uint64]*genState)}
+}
+
+// newDensityHistogram builds the Fig. 5 bucket layout: 1, 2-3, 4-7, 8-15,
+// 16-23, 24-31, 32 blocks.
+func newDensityHistogram() *stats.Histogram {
+	return stats.MustHistogram(1, 3, 7, 15, 23, 31)
+}
+
+// access records a reference to the region; miss marks whether it missed
+// at this level.
+func (t *genTracker) access(a mem.Addr, miss, warm bool) {
+	tag := t.geo.RegionTag(a)
+	g := t.live[tag]
+	if g == nil {
+		w := t.geo.BlocksPerRegion()
+		g = &genState{accessed: mem.NewPattern(w), missed: mem.NewPattern(w)}
+		t.live[tag] = g
+	}
+	off := t.geo.RegionOffset(a)
+	g.accessed.Set(off)
+	if miss && warm {
+		// Only post-warm-up misses are scored, so a generation spanning
+		// the warm-up boundary contributes only its measured misses.
+		g.missed.Set(off)
+		g.measured = true
+	}
+}
+
+// remove observes the eviction/invalidation of a block; if the block was
+// accessed during the live generation, the generation ends and is scored.
+func (t *genTracker) remove(a mem.Addr, warm bool, density *stats.Histogram, oracle *uint64) {
+	tag := t.geo.RegionTag(a)
+	g := t.live[tag]
+	if g == nil {
+		return
+	}
+	if !g.accessed.Test(t.geo.RegionOffset(a)) {
+		return
+	}
+	delete(t.live, tag)
+	t.score(g, warm, density, oracle)
+}
+
+// flush ends all live generations at trace end.
+func (t *genTracker) flush(density *stats.Histogram, oracle *uint64) {
+	for tag, g := range t.live {
+		delete(t.live, tag)
+		t.score(g, true, density, oracle)
+	}
+}
+
+// score accounts a finished generation: the oracle incurs one miss per
+// generation with at least one (post-warm-up) miss, and the density
+// histogram attributes the generation's misses to its density bucket.
+func (t *genTracker) score(g *genState, warm bool, density *stats.Histogram, oracle *uint64) {
+	if !warm || !g.measured {
+		return
+	}
+	n := uint64(g.missed.PopCount())
+	if n == 0 {
+		return
+	}
+	density.Observe(n, n)
+	*oracle++
+}

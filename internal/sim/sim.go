@@ -1,0 +1,572 @@
+// Package sim drives memory-access traces through the coherent cache
+// hierarchy with an optional prefetcher attached, and produces the
+// miss/coverage/overprediction statistics, density histograms, oracle
+// opportunity counts, and per-window samples that the experiment harness
+// turns into the paper's figures.
+//
+// Accounting conventions follow the paper:
+//
+//   - Coverage and miss rates are computed over *read* misses (§4.1-4.6
+//     report read misses; writes still train predictors, drive coherence
+//     and fill caches).
+//   - Coverage is the fraction of the *baseline* configuration's misses
+//     that become prefetch hits; uncovered misses are the variant's
+//     remaining demand misses over the same baseline. Cache pollution from
+//     overpredictions shows up as extra uncovered misses, exactly as the
+//     paper notes for Figure 6.
+//   - Overpredictions are streamed blocks evicted or invalidated before
+//     first use.
+//   - Statistics are collected only after a warm-up prefix of the trace
+//     (the paper uses half of each trace for warm-up).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/ghb"
+	"repro/internal/mem"
+	"repro/internal/sectored"
+	"repro/internal/stride"
+	"repro/internal/trace"
+)
+
+// PrefetcherKind selects the prefetcher attached to the hierarchy.
+type PrefetcherKind int
+
+// Available prefetchers.
+const (
+	// PrefetchNone is the baseline system.
+	PrefetchNone PrefetcherKind = iota
+	// PrefetchSMS attaches one SMS engine per CPU, trained on all L1
+	// accesses and streaming into L1.
+	PrefetchSMS
+	// PrefetchLS uses the logical-sectored training structure in place
+	// of the AGT (Fig. 8/9 comparison), streaming into L1.
+	PrefetchLS
+	// PrefetchGHB attaches a PC/DC global history buffer per CPU,
+	// trained on L1 misses and prefetching into L2 (§4.6).
+	PrefetchGHB
+	// PrefetchStride attaches a per-PC stride prefetcher per CPU at L2
+	// (extension baseline).
+	PrefetchStride
+)
+
+// String implements fmt.Stringer.
+func (k PrefetcherKind) String() string {
+	switch k {
+	case PrefetchNone:
+		return "base"
+	case PrefetchSMS:
+		return "SMS"
+	case PrefetchLS:
+		return "LS"
+	case PrefetchGHB:
+		return "GHB"
+	case PrefetchStride:
+		return "stride"
+	default:
+		return fmt.Sprintf("PrefetcherKind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Coherence describes the memory system (CPUs, L1, L2).
+	Coherence coherence.Config
+	// Geometry is the spatial region geometry used by SMS/LS and the
+	// generation trackers. Zero selects the 64 B / 2 kB default.
+	Geometry mem.Geometry
+	// Prefetcher selects the attached prefetcher.
+	Prefetcher PrefetcherKind
+	// SMS configures per-CPU SMS engines (Geometry is overridden by the
+	// run's Geometry).
+	SMS core.Config
+	// LS configures the logical-sectored trainer (Geometry and
+	// CacheSize are overridden to match the run).
+	LS sectored.Config
+	// GHB configures the per-CPU GHB prefetchers.
+	GHB ghb.Config
+	// Stride configures the per-CPU stride prefetchers.
+	Stride stride.Config
+	// StreamRate is the number of stream requests issued to the memory
+	// system per demand access processed (models finite stream
+	// bandwidth; default 4).
+	StreamRate int
+	// WarmupAccesses is the number of leading accesses excluded from
+	// statistics. The convention (paper §4) is half the trace; callers
+	// set this explicitly because sources do not expose their length.
+	WarmupAccesses uint64
+	// TrackGenerations enables the per-level generation trackers that
+	// feed the density histograms (Fig. 5) and the oracle opportunity
+	// counts (Fig. 4). It costs memory proportional to live regions.
+	TrackGenerations bool
+	// WindowInstructions, when nonzero, splits the measured trace into
+	// fixed instruction windows and records per-window samples for the
+	// timing model (Figs. 12/13).
+	WindowInstructions uint64
+	// OverlapGap is the instruction distance under which consecutive
+	// misses are considered overlapped (one MLP group) by the window
+	// sampler. 0 selects the default.
+	OverlapGap uint64
+	// MaxMLP caps the number of misses per overlap group (the MSHR
+	// bound on outstanding misses). 0 selects the default.
+	MaxMLP uint64
+}
+
+// DefaultStreamRate bounds stream issue per processed access.
+const DefaultStreamRate = 4
+
+// DefaultOverlapGap is the instruction distance within which two misses
+// are treated as overlapped (issued from the same instruction window by
+// the out-of-order core). It matches the paper's 256-entry ROB: two
+// misses less than a reorder-buffer's worth of instructions apart can be
+// outstanding together.
+const DefaultOverlapGap = 256
+
+// DefaultMaxMLP caps misses per overlap group, mirroring the paper's
+// 32-MSHR L1 shared between demand misses and stream requests.
+const DefaultMaxMLP = 16
+
+func (c Config) withDefaults() Config {
+	if c.Coherence.CPUs == 0 {
+		c.Coherence = coherence.DefaultConfig()
+	}
+	if c.Geometry == (mem.Geometry{}) {
+		c.Geometry = mem.DefaultGeometry()
+	}
+	if c.StreamRate == 0 {
+		c.StreamRate = DefaultStreamRate
+	}
+	if c.OverlapGap == 0 {
+		c.OverlapGap = DefaultOverlapGap
+	}
+	if c.MaxMLP == 0 {
+		c.MaxMLP = DefaultMaxMLP
+	}
+	return c
+}
+
+// Runner executes one simulation.
+type Runner struct {
+	cfg Config
+	sys *coherence.System
+
+	sms    []*core.SMS
+	ls     []*sectored.LogicalSectored
+	ghbs   []*ghb.GHB
+	strids []*stride.Prefetcher
+
+	gensL1 []*genTracker
+	gensL2 []*genTracker
+
+	res     Result
+	warm    bool
+	counted uint64 // accesses processed
+
+	win winState
+}
+
+// NewRunner builds a runner for cfg.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	sys, err := coherence.New(cfg.Coherence)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{cfg: cfg, sys: sys}
+	ncpu := cfg.Coherence.CPUs
+
+	switch cfg.Prefetcher {
+	case PrefetchNone:
+	case PrefetchSMS:
+		smsCfg := cfg.SMS
+		smsCfg.Geometry = cfg.Geometry
+		for i := 0; i < ncpu; i++ {
+			eng, err := core.New(smsCfg)
+			if err != nil {
+				return nil, err
+			}
+			r.sms = append(r.sms, eng)
+		}
+	case PrefetchLS:
+		lsCfg := cfg.LS
+		lsCfg.Geometry = cfg.Geometry
+		if lsCfg.CacheSize == 0 {
+			lsCfg.CacheSize = cfg.Coherence.L1.Size
+		}
+		for i := 0; i < ncpu; i++ {
+			t, err := sectored.NewLogicalSectored(lsCfg)
+			if err != nil {
+				return nil, err
+			}
+			r.ls = append(r.ls, t)
+		}
+	case PrefetchGHB:
+		gcfg := cfg.GHB
+		gcfg.BlockSize = cfg.Coherence.L1.BlockSize
+		for i := 0; i < ncpu; i++ {
+			g, err := ghb.New(gcfg)
+			if err != nil {
+				return nil, err
+			}
+			r.ghbs = append(r.ghbs, g)
+		}
+	case PrefetchStride:
+		scfg := cfg.Stride
+		scfg.BlockSize = cfg.Coherence.L1.BlockSize
+		for i := 0; i < ncpu; i++ {
+			p, err := stride.New(scfg)
+			if err != nil {
+				return nil, err
+			}
+			r.strids = append(r.strids, p)
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown prefetcher kind %d", int(cfg.Prefetcher))
+	}
+
+	if cfg.TrackGenerations {
+		for i := 0; i < ncpu; i++ {
+			r.gensL1 = append(r.gensL1, newGenTracker(cfg.Geometry))
+			r.gensL2 = append(r.gensL2, newGenTracker(cfg.Geometry))
+		}
+	}
+	r.res.DensityL1 = newDensityHistogram()
+	r.res.DensityL2 = newDensityHistogram()
+	return r, nil
+}
+
+// MustNewRunner is NewRunner that panics on error.
+func MustNewRunner(cfg Config) *Runner {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Config returns the resolved configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Run drives the whole trace and returns the accumulated result. The
+// returned Result is detached from the Runner, so callers that retain
+// results (e.g. the experiment session cache) do not pin the runner's
+// simulation state (caches, directory, predictor tables) in memory.
+func (r *Runner) Run(src trace.Source) *Result {
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		r.Step(rec)
+	}
+	r.finish()
+	return r.Result()
+}
+
+// Result returns a detached copy of the accumulated statistics (for
+// Step-based drivers).
+func (r *Runner) Result() *Result {
+	out := r.res
+	return &out
+}
+
+// Step processes a single record (exposed for incremental drivers and
+// tests).
+func (r *Runner) Step(rec trace.Record) {
+	r.counted++
+	r.warm = r.counted > r.cfg.WarmupAccesses
+	cpu := int(rec.CPU)
+	write := rec.IsWrite()
+
+	acc := r.sys.Access(cpu, rec.Addr, write)
+
+	if r.warm {
+		r.account(rec, acc)
+	}
+	if r.cfg.WindowInstructions > 0 && r.warm {
+		r.windowAccount(rec, acc)
+	}
+	if r.cfg.TrackGenerations {
+		r.trackGenerations(cpu, rec, acc)
+	}
+	r.notifyPrefetcher(cpu, rec, acc)
+	r.issueStreams(cpu)
+}
+
+// account updates post-warm-up counters.
+func (r *Runner) account(rec trace.Record, acc coherence.AccessResult) {
+	res := &r.res
+	res.Accesses++
+	if rec.IsWrite() {
+		res.Writes++
+		if acc.Missed(coherence.LevelL1) {
+			res.L1WriteMisses++
+		}
+		if acc.Missed(coherence.LevelL2) {
+			res.OffChipWriteMisses++
+		}
+		r.accountTraffic(acc)
+		return
+	}
+	res.Reads++
+	if acc.Missed(coherence.LevelL1) {
+		res.L1ReadMisses++
+	}
+	r.accountTraffic(acc)
+	if acc.Missed(coherence.LevelL2) {
+		res.OffChipReadMisses++
+		if acc.CoherenceMiss {
+			res.CoherenceReadMisses++
+			if acc.FalseSharing {
+				res.FalseSharingReadMisses++
+			}
+		}
+	}
+	if acc.L1PrefetchHit {
+		res.L1CoveredMisses++
+		if acc.L1PrefetchOffChip {
+			res.OffChipCoveredMisses++
+		}
+	}
+	if acc.L2PrefetchHit {
+		res.OffChipCoveredMisses++
+	}
+}
+
+// accountTraffic counts off-chip coherence-unit transfers: L2 demand
+// fills and dirty L2 writebacks. (Dirty copies destroyed by invalidations
+// also write back in a real protocol; they are a small second-order term
+// and are not counted.)
+func (r *Runner) accountTraffic(acc coherence.AccessResult) {
+	if acc.Missed(coherence.LevelL2) {
+		r.res.OffChipBlocks++
+	}
+	for _, ev := range acc.L2Evictions {
+		if ev.Dirty {
+			r.res.OffChipBlocks++
+		}
+	}
+}
+
+// notifyPrefetcher trains the attached prefetcher and feeds it
+// generation-ending events.
+func (r *Runner) notifyPrefetcher(cpu int, rec trace.Record, acc coherence.AccessResult) {
+	switch r.cfg.Prefetcher {
+	case PrefetchSMS:
+		eng := r.sms[cpu]
+		eng.Access(rec.PC, rec.Addr)
+		for _, ev := range acc.L1Evictions {
+			eng.BlockRemoved(ev.Addr)
+		}
+		// Overpredictions are judged at the L2 lifetime: an L1 victim
+		// with a surviving L2 copy may still be used from L2.
+		r.countL2Overpredictions(acc)
+		r.feedInvalidations(acc)
+	case PrefetchLS:
+		t := r.ls[cpu]
+		t.Access(rec.PC, rec.Addr)
+		r.countL2Overpredictions(acc)
+		r.feedInvalidationsLS(acc)
+	case PrefetchGHB:
+		if acc.Missed(coherence.LevelL2) || acc.L2PrefetchHit {
+			// GHB observes the L2 miss stream (Nesbit & Smith train on
+			// L2 misses; the paper applies GHB at L2). First-use hits
+			// on prefetched lines also train, so a correctly predicted
+			// stream keeps running ahead instead of stalling every
+			// `degree` blocks.
+			for _, a := range r.ghbs[cpu].Train(rec.PC, rec.Addr) {
+				r.stream(cpu, a)
+			}
+		}
+		r.countL2Overpredictions(acc)
+	case PrefetchStride:
+		if acc.Missed(coherence.LevelL2) || acc.L2PrefetchHit {
+			for _, a := range r.strids[cpu].Train(rec.PC, rec.Addr) {
+				r.stream(cpu, a)
+			}
+		}
+		r.countL2Overpredictions(acc)
+	default:
+		// Baseline: still count stray flags (none expected).
+	}
+}
+
+// feedInvalidations forwards invalidations to the victims' SMS engines:
+// an invalidation ends the spatial region generation on the CPU that lost
+// the block (§2.1) and destroys streamed-but-unused lines.
+func (r *Runner) feedInvalidations(acc coherence.AccessResult) {
+	for _, inv := range acc.Invalidations {
+		if inv.L1 {
+			r.sms[inv.CPU].BlockRemoved(inv.Addr)
+		}
+	}
+}
+
+func (r *Runner) feedInvalidationsLS(acc coherence.AccessResult) {
+	for _, inv := range acc.Invalidations {
+		if inv.L1 {
+			r.ls[inv.CPU].BlockRemoved(inv.Addr)
+		}
+	}
+}
+
+// countL2Overpredictions accounts overpredictions judged at the L2
+// lifetime: streamed blocks whose L2 copy (or only copy) died unused.
+func (r *Runner) countL2Overpredictions(acc coherence.AccessResult) {
+	if !r.warm {
+		return
+	}
+	for _, ev := range acc.L2Evictions {
+		if ev.PrefetchedUnused {
+			r.res.Overpredictions++
+		}
+	}
+	for _, inv := range acc.Invalidations {
+		if inv.PrefetchedUnused {
+			r.res.Overpredictions++
+		}
+	}
+}
+
+// issueStreams pulls up to StreamRate requests from the CPU's streaming
+// engine and applies them to the memory system.
+func (r *Runner) issueStreams(cpu int) {
+	switch r.cfg.Prefetcher {
+	case PrefetchSMS:
+		for _, a := range r.sms[cpu].NextStreamRequests(r.cfg.StreamRate) {
+			r.stream(cpu, a)
+		}
+	case PrefetchLS:
+		for _, a := range r.ls[cpu].NextStreamRequests(r.cfg.StreamRate) {
+			r.stream(cpu, a)
+		}
+	}
+}
+
+// stream applies one prefetch to the hierarchy: L1 fill for SMS/LS, L2
+// fill for the L2 prefetchers.
+func (r *Runner) stream(cpu int, a mem.Addr) {
+	if r.warm {
+		r.res.StreamRequests++
+	}
+	switch r.cfg.Prefetcher {
+	case PrefetchSMS:
+		sres := r.sys.Stream(cpu, a)
+		for _, ev := range sres.L1Evictions {
+			r.sms[cpu].BlockRemoved(ev.Addr)
+		}
+		r.accountStreamTraffic(sres)
+		r.countStreamL2Evictions(sres)
+		r.trackStreamEvictions(cpu, sres)
+	case PrefetchLS:
+		sres := r.sys.Stream(cpu, a)
+		r.accountStreamTraffic(sres)
+		r.countStreamL2Evictions(sres)
+		r.trackStreamEvictions(cpu, sres)
+	case PrefetchGHB, PrefetchStride:
+		sres := r.sys.L2Stream(cpu, a)
+		if r.warm && !sres.AlreadyPresent {
+			r.res.OffChipBlocks++
+		}
+		if r.warm {
+			for _, ev := range sres.L2Evictions {
+				if ev.Dirty {
+					r.res.OffChipBlocks++
+				}
+			}
+		}
+	}
+}
+
+// accountStreamTraffic counts the off-chip transfers caused by an
+// L1-targeted stream fill.
+func (r *Runner) accountStreamTraffic(sres coherence.StreamResult) {
+	if !r.warm || sres.AlreadyPresent {
+		return
+	}
+	if !sres.L2Hit {
+		r.res.OffChipBlocks++
+	}
+	for _, ev := range sres.L2Evictions {
+		if ev.Dirty {
+			r.res.OffChipBlocks++
+		}
+	}
+}
+
+// trackStreamEvictions keeps the generation trackers coherent with lines
+// displaced by stream fills.
+func (r *Runner) trackStreamEvictions(cpu int, sres coherence.StreamResult) {
+	if !r.cfg.TrackGenerations {
+		return
+	}
+	for _, ev := range sres.L1Evictions {
+		r.gensL1[cpu].remove(ev.Addr, r.warm, r.res.DensityL1, &r.res.OracleGenerationsL1)
+	}
+	for _, ev := range sres.L2Evictions {
+		r.gensL2[cpu].remove(ev.Addr, r.warm, r.res.DensityL2, &r.res.OracleGenerationsL2)
+	}
+}
+
+func (r *Runner) countStreamL2Evictions(sres coherence.StreamResult) {
+	if !r.warm {
+		return
+	}
+	for _, ev := range sres.L2Evictions {
+		if ev.PrefetchedUnused {
+			r.res.Overpredictions++
+		}
+	}
+}
+
+// trackGenerations updates the density/oracle trackers at both levels.
+func (r *Runner) trackGenerations(cpu int, rec trace.Record, acc coherence.AccessResult) {
+	g1 := r.gensL1[cpu]
+	g1.access(rec.Addr, !acc.L1Hit, r.warm)
+	for _, ev := range acc.L1Evictions {
+		g1.remove(ev.Addr, r.warm, r.res.DensityL1, &r.res.OracleGenerationsL1)
+	}
+	g2 := r.gensL2[cpu]
+	if !acc.L1Hit {
+		g2.access(rec.Addr, acc.Missed(coherence.LevelL2), r.warm)
+	}
+	for _, ev := range acc.L2Evictions {
+		g2.remove(ev.Addr, r.warm, r.res.DensityL2, &r.res.OracleGenerationsL2)
+	}
+	for _, inv := range acc.Invalidations {
+		if inv.L1 {
+			r.gensL1[inv.CPU].remove(inv.Addr, r.warm, r.res.DensityL1, &r.res.OracleGenerationsL1)
+		}
+		if inv.L2 {
+			r.gensL2[inv.CPU].remove(inv.Addr, r.warm, r.res.DensityL2, &r.res.OracleGenerationsL2)
+		}
+	}
+}
+
+// finish flushes still-open generations and the trailing window.
+func (r *Runner) finish() {
+	if r.cfg.TrackGenerations {
+		for cpu := range r.gensL1 {
+			r.gensL1[cpu].flush(r.res.DensityL1, &r.res.OracleGenerationsL1)
+			r.gensL2[cpu].flush(r.res.DensityL2, &r.res.OracleGenerationsL2)
+		}
+	}
+	r.flushWindow()
+	r.collectPredictorStats()
+}
+
+func (r *Runner) collectPredictorStats() {
+	for _, eng := range r.sms {
+		st := eng.Stats()
+		r.res.SMSStats = append(r.res.SMSStats, st)
+	}
+	for _, g := range r.ghbs {
+		r.res.GHBStats = append(r.res.GHBStats, g.Stats())
+	}
+	for _, t := range r.ls {
+		r.res.LSStats = append(r.res.LSStats, t.Stats())
+	}
+}

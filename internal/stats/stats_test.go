@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value after reset = %d", c.Value())
+	}
+}
+
+func TestRatioPercent(t *testing.T) {
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Errorf("Ratio = %g", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Errorf("Ratio div0 = %g", got)
+	}
+	if got := Percent(1, 4); got != 25 {
+		t.Errorf("Percent = %g", got)
+	}
+}
+
+func TestMeanStdDevMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2.138) > 0.001 {
+		t.Errorf("StdDev = %g, want ~2.138", got)
+	}
+	if got := Median(xs); got != 4.5 {
+		t.Errorf("Median = %g, want 4.5", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %g, want 2", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-slice helpers should return 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || g != 2 {
+		t.Errorf("GeoMean = %g, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean accepted zero")
+	}
+	if g, err := GeoMean(nil); err != nil || g != 0 {
+		t.Errorf("GeoMean(nil) = %g, %v", g, err)
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	iv := MeanCI95([]float64{10, 10, 10, 10})
+	if iv.Mean != 10 || iv.Half != 0 {
+		t.Errorf("constant samples CI = %v", iv)
+	}
+	iv = MeanCI95([]float64{9, 11})
+	// StdDev = sqrt(2); SE = 1; t(1) = 12.706
+	if math.Abs(iv.Half-12.706) > 0.001 {
+		t.Errorf("CI half = %g, want 12.706", iv.Half)
+	}
+	if !iv.Contains(10) {
+		t.Error("interval should contain the mean")
+	}
+	if iv := MeanCI95([]float64{5}); !math.IsInf(iv.Half, 1) {
+		t.Errorf("single-sample CI should be infinite, got %v", iv)
+	}
+	if iv := MeanCI95(nil); iv.Mean != 0 {
+		t.Errorf("empty CI = %v", iv)
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 60; df++ {
+		v := tCritical95(df)
+		if v > prev {
+			t.Fatalf("t-critical not non-increasing at df=%d: %g > %g", df, v, prev)
+		}
+		prev = v
+	}
+	if tCritical95(1000) != 1.96 {
+		t.Error("large-df critical value should be 1.96")
+	}
+}
+
+func TestPairedSpeedupCI95(t *testing.T) {
+	base := []float64{1, 1, 1, 1, 1}
+	enh := []float64{1.2, 1.2, 1.2, 1.2, 1.2}
+	iv, err := PairedSpeedupCI95(base, enh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-1.2) > 1e-12 || iv.Half != 0 {
+		t.Errorf("speedup = %v, want 1.200 ± 0", iv)
+	}
+	if _, err := PairedSpeedupCI95([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedSpeedupCI95(nil, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := PairedSpeedupCI95([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero base accepted")
+	}
+}
+
+func TestPairedSpeedupRatioOfMeans(t *testing.T) {
+	// Point estimate must be ratio of aggregate means, not mean of ratios.
+	base := []float64{1, 3}
+	enh := []float64{2, 3}
+	iv, err := PairedSpeedupCI95(base, enh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-5.0/4.0) > 1e-12 {
+		t.Errorf("speedup mean = %g, want 1.25", iv.Mean)
+	}
+}
+
+func TestHistogramFig5Buckets(t *testing.T) {
+	h := MustHistogram(1, 3, 7, 15, 23, 31)
+	if h.Buckets() != 7 {
+		t.Fatalf("Buckets = %d, want 7", h.Buckets())
+	}
+	labels := []string{"0-1", "2-3", "4-7", "8-15", "16-23", "24-31", "32+"}
+	for i, want := range labels {
+		if got := h.BucketLabel(i); got != want {
+			t.Errorf("BucketLabel(%d) = %q, want %q", i, got, want)
+		}
+	}
+	h.Observe(1, 10)
+	h.Observe(2, 5)
+	h.Observe(7, 5)
+	h.Observe(32, 20)
+	h.Observe(100, 2)
+	if h.Total() != 42 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(0) != 10 || h.Count(1) != 5 || h.Count(2) != 5 || h.Count(6) != 22 {
+		t.Errorf("counts = %v", []uint64{h.Count(0), h.Count(1), h.Count(2), h.Count(6)})
+	}
+	if got := h.Fraction(0); math.Abs(got-10.0/42.0) > 1e-12 {
+		t.Errorf("Fraction(0) = %g", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram(3, 3); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := NewHistogram(3, 1); err == nil {
+		t.Error("descending bounds accepted")
+	}
+}
+
+func TestHistogramTotalInvariant(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := MustHistogram(1, 3, 7, 15, 23, 31)
+		for _, v := range vals {
+			h.Observe(uint64(v), 1)
+		}
+		var sum uint64
+		for i := 0; i < h.Buckets(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == h.Total() && sum == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	iv := Interval{Mean: 1.37, Half: 0.05}
+	if iv.String() != "1.370 ± 0.050" {
+		t.Errorf("String = %q", iv.String())
+	}
+}

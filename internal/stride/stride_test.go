@@ -1,0 +1,93 @@
+package stride
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func train(p *Prefetcher, pc uint64, blocks ...uint64) []mem.Addr {
+	var out []mem.Addr
+	for _, b := range blocks {
+		out = p.Train(pc, mem.Addr(b*64))
+	}
+	return out
+}
+
+func TestDefaultsAndValidation(t *testing.T) {
+	p := MustNew(Config{})
+	if p.Config().Entries != 512 || p.Config().Degree != 2 || p.Config().BlockSize != 64 {
+		t.Errorf("defaults = %+v", p.Config())
+	}
+	if _, err := New(Config{BlockSize: 100}); err == nil {
+		t.Error("bad block size accepted")
+	}
+	if _, err := New(Config{Entries: -1}); err == nil {
+		t.Error("negative entries accepted")
+	}
+}
+
+func TestSteadyStridePrefetch(t *testing.T) {
+	p := MustNew(Config{})
+	out := train(p, 0x400, 0, 3, 6, 9)
+	if len(out) != 2 {
+		t.Fatalf("prefetches = %v", out)
+	}
+	if out[0] != mem.Addr(12*64) || out[1] != mem.Addr(15*64) {
+		t.Errorf("targets = %v", out)
+	}
+	if p.Stats().Steady == 0 {
+		t.Error("steady state never reached")
+	}
+}
+
+func TestIrregularNoPrefetch(t *testing.T) {
+	p := MustNew(Config{})
+	out := train(p, 0x400, 0, 17, 3, 999, 42)
+	if len(out) != 0 {
+		t.Fatalf("irregular stream prefetched %v", out)
+	}
+}
+
+func TestStrideChangeResets(t *testing.T) {
+	p := MustNew(Config{})
+	train(p, 0x400, 0, 2, 4, 6) // steady at stride 2
+	out := p.Train(0x400, mem.Addr(100*64))
+	if len(out) != 0 {
+		t.Fatal("prefetched immediately after stride break")
+	}
+	// Re-establish a new stride; needs two confirmations.
+	out = train(p, 0x400, 105, 110, 115)
+	if len(out) == 0 {
+		t.Fatal("new stride never re-established")
+	}
+}
+
+func TestZeroStrideNotPredicted(t *testing.T) {
+	p := MustNew(Config{})
+	out := train(p, 0x400, 5, 5, 5, 5, 5)
+	if len(out) != 0 {
+		t.Fatalf("zero stride prefetched %v", out)
+	}
+}
+
+func TestPCConflictReallocates(t *testing.T) {
+	p := MustNew(Config{Entries: 1})
+	train(p, 0x400, 0, 2, 4)
+	// A different PC maps to the same (only) entry and steals it.
+	out := train(p, 0x555, 100, 103, 106, 109)
+	if len(out) == 0 {
+		t.Fatal("conflicting PC never predicted after steal")
+	}
+	if p.Stats().Trains != 7 {
+		t.Errorf("Trains = %d", p.Stats().Trains)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for _, s := range []State{StateInitial, StateTransient, StateSteady, StateNoPred, State(9)} {
+		if s.String() == "" {
+			t.Errorf("state %d renders empty", s)
+		}
+	}
+}

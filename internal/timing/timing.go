@@ -1,0 +1,250 @@
+// Package timing implements the first-order interval timing model that
+// turns the simulator's per-window samples into the paper's performance
+// results (Figs. 12 and 13): speedups with 95% confidence intervals and
+// normalized execution-time breakdowns.
+//
+// The model charges, per instruction window:
+//
+//	busy        = instructions × BaseCPI       (user+system compute)
+//	other       = instructions × OtherCPI      (front-end, branches, I-misses)
+//	on-chip     = onChipMissGroups × L2Latency
+//	off-chip    = offChipMissGroups × MemLatency
+//	store-buffer= overflow stores × MemLatency / StoreMLP
+//
+// Miss *groups* (misses separated by less than the overlap gap are one
+// group) make stall time proportional to serialized memory round-trips,
+// so memory-level parallelism falls out of the trace's burst structure
+// rather than being asserted: OLTP's dependent pointer chases serialize
+// (low MLP) while em3d's neighbour gathers overlap (high MLP), matching
+// the paper's §4.7 discussion.
+//
+// Confidence intervals use paired per-window measurements in the spirit of
+// the paper's SMARTS-derived paired-measurement sampling: base and
+// enhanced runs replay the same trace, so per-window cycle ratios are
+// paired samples.
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Params are the timing model's machine parameters, defaulted from the
+// paper's Table 1 (4 GHz, 25-cycle L2, 60 ns memory plus interconnect).
+type Params struct {
+	// BaseCPI is the busy cycles per committed instruction.
+	BaseCPI float64
+	// OtherCPI charges front-end/branch/I-cache stalls per instruction.
+	OtherCPI float64
+	// L2Latency is the L1-miss/L2-hit service latency in cycles.
+	L2Latency float64
+	// MemLatency is the off-chip round trip in cycles.
+	MemLatency float64
+	// StoreBufferDepth is the number of outstanding stores absorbed
+	// without stalling per window.
+	StoreBufferDepth float64
+	// StoreDrainPerKiloInstr is the additional store drain capacity per
+	// 1000 committed instructions.
+	StoreDrainPerKiloInstr float64
+	// StoreMLP is the drain parallelism once the buffer overflows.
+	StoreMLP float64
+	// SystemFrac is the fraction of wall time spent in the OS.
+	SystemFrac float64
+	// SystemProportionalToTime models OS work that scales with time
+	// rather than with application progress (the paper's observation
+	// for web and DSS: servicing saturated I/O).
+	SystemProportionalToTime bool
+}
+
+// DefaultParams returns Table 1-derived parameters: 4 GHz clock, 25-cycle
+// L2 hits, 60 ns memory (240 cycles) plus directory/interconnect hops
+// (~160 cycles), 64-entry store buffer.
+func DefaultParams() Params {
+	return Params{
+		BaseCPI:                0.5,
+		OtherCPI:               0.2,
+		L2Latency:              25,
+		MemLatency:             400,
+		StoreBufferDepth:       64,
+		StoreDrainPerKiloInstr: 24,
+		StoreMLP:               4,
+		SystemFrac:             0.1,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.BaseCPI <= 0 || p.MemLatency <= 0 || p.L2Latency <= 0 {
+		return fmt.Errorf("timing: non-positive latency parameters: %+v", p)
+	}
+	if p.StoreMLP <= 0 {
+		return fmt.Errorf("timing: StoreMLP must be positive")
+	}
+	if p.SystemFrac < 0 || p.SystemFrac >= 1 {
+		return fmt.Errorf("timing: SystemFrac %f out of [0,1)", p.SystemFrac)
+	}
+	return nil
+}
+
+// Breakdown is execution time split into the paper's Figure 13 categories
+// (cycles; convert to fractions by dividing by Total).
+type Breakdown struct {
+	UserBusy    float64
+	SystemBusy  float64
+	OffChipRead float64
+	OnChipRead  float64
+	StoreBuffer float64
+	Other       float64
+}
+
+// Total returns total cycles.
+func (b Breakdown) Total() float64 {
+	return b.UserBusy + b.SystemBusy + b.OffChipRead + b.OnChipRead + b.StoreBuffer + b.Other
+}
+
+// Scale returns the breakdown with every component multiplied by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		UserBusy:    b.UserBusy * f,
+		SystemBusy:  b.SystemBusy * f,
+		OffChipRead: b.OffChipRead * f,
+		OnChipRead:  b.OnChipRead * f,
+		StoreBuffer: b.StoreBuffer * f,
+		Other:       b.Other * f,
+	}
+}
+
+// add accumulates d into b.
+func (b *Breakdown) add(d Breakdown) {
+	b.UserBusy += d.UserBusy
+	b.SystemBusy += d.SystemBusy
+	b.OffChipRead += d.OffChipRead
+	b.OnChipRead += d.OnChipRead
+	b.StoreBuffer += d.StoreBuffer
+	b.Other += d.Other
+}
+
+// Model evaluates windows under fixed parameters.
+type Model struct {
+	p Params
+}
+
+// NewModel builds a model.
+func NewModel(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{p: p}, nil
+}
+
+// MustNewModel is NewModel that panics on error.
+func MustNewModel(p Params) *Model {
+	m, err := NewModel(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// WindowCycles computes the cycle breakdown of one window.
+func (m *Model) WindowCycles(w sim.Window) Breakdown {
+	p := m.p
+	instr := float64(w.Instructions)
+	busy := instr * p.BaseCPI
+	other := instr * p.OtherCPI
+	onchip := float64(w.OnChipReadGroups) * p.L2Latency
+	offchip := float64(w.OffChipReadGroups) * p.MemLatency
+
+	quota := p.StoreBufferDepth + instr*p.StoreDrainPerKiloInstr/1000
+	overflow := float64(w.OffChipWrites) - quota
+	var store float64
+	if overflow > 0 {
+		store = overflow * p.MemLatency / p.StoreMLP
+	}
+
+	b := Breakdown{
+		OffChipRead: offchip,
+		OnChipRead:  onchip,
+		StoreBuffer: store,
+		Other:       other,
+	}
+	if p.SystemProportionalToTime {
+		// OS work scales with wall time: inflate the total so the
+		// system share of wall time is SystemFrac.
+		total := busy + b.Total()
+		system := total*1/(1-p.SystemFrac) - total
+		b.UserBusy = busy
+		b.SystemBusy = system
+	} else {
+		b.UserBusy = busy * (1 - p.SystemFrac)
+		b.SystemBusy = busy * p.SystemFrac
+	}
+	return b
+}
+
+// Cycles sums the breakdown over all windows.
+func (m *Model) Cycles(ws []sim.Window) Breakdown {
+	var b Breakdown
+	for _, w := range ws {
+		b.add(m.WindowCycles(w))
+	}
+	return b
+}
+
+// Comparison is the timing outcome of a base-vs-enhanced pair.
+type Comparison struct {
+	// Speedup is base cycles / enhanced cycles with a 95% CI from the
+	// paired per-window ratios.
+	Speedup stats.Interval
+	// Base and Enhanced are total-cycle breakdowns; Enhanced is in the
+	// same units (cycles for the same completed work), so dividing both
+	// by Base.Total() gives the paper's normalized Figure 13 bars.
+	Base, Enhanced Breakdown
+}
+
+// Compare evaluates a paired base/enhanced run over the same trace. The
+// window lists must be the same length (same trace, same windowing); a
+// trailing partial-window mismatch of one is tolerated by truncation.
+func (m *Model) Compare(base, enhanced []sim.Window) (Comparison, error) {
+	n := len(base)
+	if len(enhanced) < n {
+		n = len(enhanced)
+	}
+	if n == 0 {
+		return Comparison{}, fmt.Errorf("timing: no windows to compare")
+	}
+	if diff := len(base) - len(enhanced); diff > 1 || diff < -1 {
+		return Comparison{}, fmt.Errorf("timing: window counts diverge: %d vs %d", len(base), len(enhanced))
+	}
+	base, enhanced = base[:n], enhanced[:n]
+
+	baseCycles := make([]float64, n)
+	enhCycles := make([]float64, n)
+	var cmp Comparison
+	for i := 0; i < n; i++ {
+		wb := m.WindowCycles(base[i])
+		we := m.WindowCycles(enhanced[i])
+		cmp.Base.add(wb)
+		cmp.Enhanced.add(we)
+		baseCycles[i] = wb.Total()
+		enhCycles[i] = we.Total()
+	}
+	// Performance per window is instructions/cycles; instructions are
+	// paired, so perf ratio per window = baseCycles/enhCycles.
+	basePerf := make([]float64, n)
+	enhPerf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		basePerf[i] = 1 / baseCycles[i]
+		enhPerf[i] = 1 / enhCycles[i]
+	}
+	iv, err := stats.PairedSpeedupCI95(basePerf, enhPerf)
+	if err != nil {
+		return Comparison{}, err
+	}
+	// Point estimate: aggregate cycle ratio (aggregate IPC ratio).
+	iv.Mean = cmp.Base.Total() / cmp.Enhanced.Total()
+	cmp.Speedup = iv
+	return cmp, nil
+}

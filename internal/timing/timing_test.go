@@ -1,0 +1,211 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func model(t *testing.T, mutate func(*Params)) *Model {
+	t.Helper()
+	p := DefaultParams()
+	if mutate != nil {
+		mutate(&p)
+	}
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	if DefaultParams().Validate() != nil {
+		t.Fatal("default params invalid")
+	}
+	bad := DefaultParams()
+	bad.BaseCPI = 0
+	if bad.Validate() == nil {
+		t.Error("zero BaseCPI accepted")
+	}
+	bad = DefaultParams()
+	bad.SystemFrac = 1
+	if bad.Validate() == nil {
+		t.Error("SystemFrac=1 accepted")
+	}
+	bad = DefaultParams()
+	bad.StoreMLP = 0
+	if bad.Validate() == nil {
+		t.Error("zero StoreMLP accepted")
+	}
+}
+
+func TestBusyOnlyWindow(t *testing.T) {
+	m := model(t, func(p *Params) { p.SystemFrac = 0.2 })
+	b := m.WindowCycles(sim.Window{Instructions: 1000})
+	if b.OffChipRead != 0 || b.OnChipRead != 0 || b.StoreBuffer != 0 {
+		t.Fatalf("stall categories nonzero: %+v", b)
+	}
+	wantBusy := 1000 * DefaultParams().BaseCPI
+	if math.Abs(b.UserBusy+b.SystemBusy-wantBusy) > 1e-9 {
+		t.Errorf("busy = %f, want %f", b.UserBusy+b.SystemBusy, wantBusy)
+	}
+	if math.Abs(b.SystemBusy-wantBusy*0.2) > 1e-9 {
+		t.Errorf("system = %f", b.SystemBusy)
+	}
+	if math.Abs(b.Other-1000*DefaultParams().OtherCPI) > 1e-9 {
+		t.Errorf("other = %f", b.Other)
+	}
+}
+
+func TestMissGroupsChargeLatency(t *testing.T) {
+	m := model(t, nil)
+	b := m.WindowCycles(sim.Window{
+		Instructions:      1000,
+		OffChipReads:      10,
+		OffChipReadGroups: 2, // 10 misses in 2 overlapped bursts
+		OnChipReads:       5,
+		OnChipReadGroups:  5,
+	})
+	if b.OffChipRead != 2*DefaultParams().MemLatency {
+		t.Errorf("offchip = %f", b.OffChipRead)
+	}
+	if b.OnChipRead != 5*DefaultParams().L2Latency {
+		t.Errorf("onchip = %f", b.OnChipRead)
+	}
+}
+
+func TestStoreBufferOverflow(t *testing.T) {
+	m := model(t, nil)
+	p := DefaultParams()
+	quota := p.StoreBufferDepth + 1000*p.StoreDrainPerKiloInstr/1000
+	under := m.WindowCycles(sim.Window{Instructions: 1000, OffChipWrites: uint64(quota)})
+	if under.StoreBuffer != 0 {
+		t.Errorf("under-quota store stall = %f", under.StoreBuffer)
+	}
+	over := m.WindowCycles(sim.Window{Instructions: 1000, OffChipWrites: uint64(quota) + 40})
+	want := 40 * p.MemLatency / p.StoreMLP
+	if math.Abs(over.StoreBuffer-want) > 1e-9 {
+		t.Errorf("store stall = %f, want %f", over.StoreBuffer, want)
+	}
+}
+
+func TestSystemProportionalToTime(t *testing.T) {
+	m := model(t, func(p *Params) {
+		p.SystemFrac = 0.25
+		p.SystemProportionalToTime = true
+	})
+	b := m.WindowCycles(sim.Window{Instructions: 1000, OffChipReadGroups: 10, OffChipReads: 10})
+	if frac := b.SystemBusy / b.Total(); math.Abs(frac-0.25) > 1e-9 {
+		t.Errorf("system share of wall time = %f, want 0.25", frac)
+	}
+}
+
+func TestBreakdownHelpers(t *testing.T) {
+	b := Breakdown{UserBusy: 1, SystemBusy: 2, OffChipRead: 3, OnChipRead: 4, StoreBuffer: 5, Other: 6}
+	if b.Total() != 21 {
+		t.Errorf("Total = %f", b.Total())
+	}
+	s := b.Scale(2)
+	if s.Total() != 42 || s.UserBusy != 2 {
+		t.Errorf("Scale = %+v", s)
+	}
+}
+
+func mkWindows(n int, offGroups uint64) []sim.Window {
+	ws := make([]sim.Window, n)
+	for i := range ws {
+		ws[i] = sim.Window{Instructions: 1000, OffChipReads: offGroups, OffChipReadGroups: offGroups}
+	}
+	return ws
+}
+
+func TestCompareSpeedup(t *testing.T) {
+	m := model(t, nil)
+	base := mkWindows(20, 10) // 10 serialized off-chip misses per window
+	enh := mkWindows(20, 4)   // prefetcher removed 6
+	cmp, err := m.Compare(base, enh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Speedup.Mean <= 1.0 {
+		t.Fatalf("speedup %v not > 1", cmp.Speedup)
+	}
+	wantBase := 20 * (1000*(DefaultParams().BaseCPI+DefaultParams().OtherCPI) + 10*DefaultParams().MemLatency)
+	if math.Abs(cmp.Base.Total()-wantBase) > 1e-6 {
+		t.Errorf("base cycles = %f, want %f", cmp.Base.Total(), wantBase)
+	}
+	// Identical windows → CI width 0.
+	if cmp.Speedup.Half > 1e-9 {
+		t.Errorf("CI half = %f, want 0 for identical windows", cmp.Speedup.Half)
+	}
+	// Same-run comparison → speedup exactly 1.
+	cmp, _ = m.Compare(base, base)
+	if math.Abs(cmp.Speedup.Mean-1) > 1e-12 {
+		t.Errorf("self speedup = %v", cmp.Speedup)
+	}
+}
+
+func TestCompareWindowMismatch(t *testing.T) {
+	m := model(t, nil)
+	if _, err := m.Compare(mkWindows(5, 1), mkWindows(9, 1)); err == nil {
+		t.Error("diverging window counts accepted")
+	}
+	// Off-by-one (trailing partial window) tolerated.
+	if _, err := m.Compare(mkWindows(5, 1), mkWindows(6, 1)); err != nil {
+		t.Errorf("off-by-one rejected: %v", err)
+	}
+	if _, err := m.Compare(nil, nil); err == nil {
+		t.Error("empty comparison accepted")
+	}
+}
+
+func TestCompareCIWidthWithVariance(t *testing.T) {
+	m := model(t, nil)
+	base := mkWindows(20, 10)
+	enh := mkWindows(20, 4)
+	// Perturb half the enhanced windows: CI must widen beyond zero.
+	for i := 0; i < len(enh); i += 2 {
+		enh[i].OffChipReadGroups = 8
+		enh[i].OffChipReads = 8
+	}
+	cmp, err := m.Compare(base, enh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Speedup.Half <= 0 {
+		t.Errorf("CI half = %f, want > 0", cmp.Speedup.Half)
+	}
+}
+
+func TestCyclesAggregation(t *testing.T) {
+	m := model(t, nil)
+	ws := mkWindows(3, 2)
+	total := m.Cycles(ws)
+	per := m.WindowCycles(ws[0])
+	if math.Abs(total.Total()-3*per.Total()) > 1e-9 {
+		t.Fatalf("Cycles = %f, want %f", total.Total(), 3*per.Total())
+	}
+	if m.Cycles(nil).Total() != 0 {
+		t.Fatal("empty window list should cost nothing")
+	}
+}
+
+func TestSpeedupImprovesWithCoverage(t *testing.T) {
+	// Monotonicity: more covered misses (fewer remaining groups) means
+	// higher speedup.
+	m := model(t, nil)
+	base := mkWindows(10, 10)
+	prev := 0.0
+	for _, remaining := range []uint64{8, 6, 4, 2, 0} {
+		cmp, err := m.Compare(base, mkWindows(10, remaining))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.Speedup.Mean <= prev {
+			t.Fatalf("speedup %f not increasing (remaining=%d)", cmp.Speedup.Mean, remaining)
+		}
+		prev = cmp.Speedup.Mean
+	}
+}

@@ -1,0 +1,269 @@
+// Package trace defines the canonical memory-access record produced by the
+// workload generators and consumed by the simulator, together with binary
+// trace file I/O and trace-stream utilities (windowing, warm-up splits,
+// sampling).
+//
+// The paper's trace methodology (§4) collects in-order memory access traces
+// with a fixed IPC of 1.0 and uses half of each trace for predictor warm-up.
+// The same conventions apply here: each Record carries the instruction
+// sequence number ("time" at IPC 1.0), the issuing CPU, the program counter
+// of the access, the byte address, and whether it is a read or a write.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Kind distinguishes reads from writes.
+type Kind uint8
+
+const (
+	// Read is a data load.
+	Read Kind = iota
+	// Write is a data store.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one memory access.
+type Record struct {
+	// Seq is the global instruction sequence number at which the access
+	// occurs (the trace clock; IPC 1.0 in the trace-based methodology).
+	Seq uint64
+	// PC is the program counter of the load/store instruction.
+	PC uint64
+	// Addr is the accessed byte address.
+	Addr mem.Addr
+	// CPU is the issuing processor, in [0, NumCPUs).
+	CPU uint8
+	// Kind is Read or Write.
+	Kind Kind
+}
+
+// IsWrite reports whether the record is a store.
+func (r Record) IsWrite() bool { return r.Kind == Write }
+
+// String implements fmt.Stringer.
+func (r Record) String() string {
+	return fmt.Sprintf("seq=%d cpu=%d pc=%#x %s %#x", r.Seq, r.CPU, r.PC, r.Kind, uint64(r.Addr))
+}
+
+// Source is a stream of access records. Next returns the next record and
+// true, or a zero Record and false when the stream is exhausted.
+//
+// Sources are single-use iterators; generators in package workload return a
+// fresh Source per call so traces are reproducible.
+type Source interface {
+	Next() (Record, bool)
+}
+
+// SliceSource adapts an in-memory record slice to a Source.
+type SliceSource struct {
+	recs []Record
+	i    int
+}
+
+// NewSliceSource returns a Source yielding recs in order.
+func NewSliceSource(recs []Record) *SliceSource { return &SliceSource{recs: recs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Record, bool) {
+	if s.i >= len(s.recs) {
+		return Record{}, false
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, true
+}
+
+// Collect drains a Source into a slice, stopping after max records
+// (max <= 0 means no limit).
+func Collect(src Source, max int) []Record {
+	var out []Record
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Limit wraps a Source so it yields at most n records.
+func Limit(src Source, n uint64) Source { return &limitSource{src: src, left: n} }
+
+type limitSource struct {
+	src  Source
+	left uint64
+}
+
+func (l *limitSource) Next() (Record, bool) {
+	if l.left == 0 {
+		return Record{}, false
+	}
+	l.left--
+	return l.src.Next()
+}
+
+// Skip discards n records from src, returning how many were actually
+// discarded (fewer if the stream ended early). It is used to implement the
+// paper's use-half-the-trace-for-warm-up convention at the consumer side.
+func Skip(src Source, n uint64) uint64 {
+	var i uint64
+	for i = 0; i < n; i++ {
+		if _, ok := src.Next(); !ok {
+			return i
+		}
+	}
+	return i
+}
+
+// Func adapts a closure to a Source.
+type Func func() (Record, bool)
+
+// Next implements Source.
+func (f Func) Next() (Record, bool) { return f() }
+
+// Concat chains sources one after another.
+func Concat(srcs ...Source) Source {
+	i := 0
+	return Func(func() (Record, bool) {
+		for i < len(srcs) {
+			if r, ok := srcs[i].Next(); ok {
+				return r, true
+			}
+			i++
+		}
+		return Record{}, false
+	})
+}
+
+// ---- Binary trace file format ----
+//
+// Header: magic "SMST" (4 bytes), version uint16, reserved uint16,
+// record count uint64 (0 if unknown at write time and stream is
+// length-delimited by EOF).
+// Records: fixed 26-byte little-endian encoding:
+//   seq uint64 | pc uint64 | addr uint64 | cpu uint8 | kind uint8
+
+const (
+	magic   = "SMST"
+	version = 1
+	recSize = 8 + 8 + 8 + 1 + 1
+)
+
+// ErrBadFormat is returned when a trace file fails validation.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// Writer streams records into an io.Writer using the binary trace format.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	buf   [recSize]byte
+}
+
+// NewWriter writes the trace header and returns a Writer. The header's
+// record count is written as zero; readers rely on EOF framing.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], version)
+	// hdr[2:4] reserved, hdr[4:12] record count (0: unknown).
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint64(b[0:8], r.Seq)
+	binary.LittleEndian.PutUint64(b[8:16], r.PC)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(r.Addr))
+	b[24] = r.CPU
+	b[25] = uint8(r.Kind)
+	if _, err := tw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader decodes a binary trace stream as a Source.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+	buf [recSize]byte
+}
+
+// NewReader validates the header and returns a streaming Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 4+12)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Source. After the stream ends, Err reports whether it
+// ended cleanly or mid-record.
+func (tr *Reader) Next() (Record, bool) {
+	if tr.err != nil {
+		return Record{}, false
+	}
+	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
+		if err != io.EOF {
+			tr.err = fmt.Errorf("trace: reading record: %w", err)
+		}
+		return Record{}, false
+	}
+	b := tr.buf[:]
+	return Record{
+		Seq:  binary.LittleEndian.Uint64(b[0:8]),
+		PC:   binary.LittleEndian.Uint64(b[8:16]),
+		Addr: mem.Addr(binary.LittleEndian.Uint64(b[16:24])),
+		CPU:  b[24],
+		Kind: Kind(b[25]),
+	}, true
+}
+
+// Err returns the first decoding error encountered, or nil if the stream
+// ended cleanly at a record boundary.
+func (tr *Reader) Err() error { return tr.err }

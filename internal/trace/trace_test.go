@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func mkRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Seq:  uint64(i * 3),
+			PC:   rng.Uint64(),
+			Addr: mem.Addr(rng.Uint64()),
+			CPU:  uint8(rng.Intn(16)),
+			Kind: Kind(rng.Intn(2)),
+		}
+	}
+	return recs
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Seq: 1, PC: 0x40, Addr: 0x1000, CPU: 2, Kind: Write}
+	if r.String() == "" || !r.IsWrite() {
+		t.Error("Record helpers broken")
+	}
+	if (Record{Kind: Read}).IsWrite() {
+		t.Error("read reported as write")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := mkRecords(5, 1)
+	src := NewSliceSource(recs)
+	got := Collect(src, 0)
+	if len(got) != 5 {
+		t.Fatalf("Collect = %d records", len(got))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("exhausted source yielded a record")
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	got := Collect(NewSliceSource(mkRecords(10, 2)), 4)
+	if len(got) != 4 {
+		t.Fatalf("Collect(max=4) = %d", len(got))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	src := Limit(NewSliceSource(mkRecords(10, 3)), 3)
+	if got := len(Collect(src, 0)); got != 3 {
+		t.Fatalf("Limit(3) yielded %d", got)
+	}
+	src = Limit(NewSliceSource(mkRecords(2, 3)), 5)
+	if got := len(Collect(src, 0)); got != 2 {
+		t.Fatalf("Limit beyond end yielded %d", got)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	src := NewSliceSource(mkRecords(10, 4))
+	if n := Skip(src, 6); n != 6 {
+		t.Fatalf("Skip = %d", n)
+	}
+	if got := len(Collect(src, 0)); got != 4 {
+		t.Fatalf("records after skip = %d", got)
+	}
+	src = NewSliceSource(mkRecords(3, 4))
+	if n := Skip(src, 10); n != 3 {
+		t.Fatalf("Skip past end = %d", n)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := mkRecords(3, 5)
+	b := mkRecords(2, 6)
+	src := Concat(NewSliceSource(a), NewSliceSource(b))
+	got := Collect(src, 0)
+	if len(got) != 5 {
+		t.Fatalf("Concat yielded %d", len(got))
+	}
+	if got[3] != b[0] {
+		t.Error("second source records out of order")
+	}
+	if got := Collect(Concat(), 0); len(got) != 0 {
+		t.Error("empty Concat should be empty")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := mkRecords(1000, 7)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 1000 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch: %v vs %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq, pc, addr uint64, cpu uint8, kind bool) bool {
+		rec := Record{Seq: seq, PC: pc, Addr: mem.Addr(addr), CPU: cpu, Kind: Read}
+		if kind {
+			rec.Kind = Write
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if err := w.Write(rec); err != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, ok := r.Next()
+		return ok && got == rec && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("JUNKJUNKJUNKJUNKJUNK"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Correct magic, wrong version.
+	raw := append([]byte("SMST"), make([]byte, 12)...)
+	raw[4] = 99
+	if _, err := NewReader(bytes.NewReader(raw)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{Seq: 1}); err != nil || w.Flush() != nil {
+		t.Fatal("write failed")
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record decoded")
+	}
+	if r.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := Func(func() (Record, bool) {
+		if n >= 2 {
+			return Record{}, false
+		}
+		n++
+		return Record{Seq: uint64(n)}, true
+	})
+	if got := len(Collect(src, 0)); got != 2 {
+		t.Fatalf("Func source yielded %d", got)
+	}
+}

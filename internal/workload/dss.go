@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// DSS workloads model the four TPC-H queries on DB2 that the paper selects
+// following the DBmbench categorization (§4, Table 1): Qry 1 is
+// scan-dominated, Qry 2 and Qry 16 are join-dominated, and Qry 17 mixes
+// scan and join behaviour.
+//
+// Structural properties reproduced:
+//   - scans stream over enormous fact tables and touch each page exactly
+//     once, so address-based prediction indices never see a region twice
+//     (the cold-miss story of §2.2/§4.2), while the scan loop's trigger PC
+//     repeats millions of times;
+//   - scan footprints are dense (most blocks of a region), matching the
+//     narrow high-density Fig. 5 profile for DSS;
+//   - Qry 1 copies a large amount of data into a temporary table, filling
+//     the store buffer with misses (the §4.7 store-buffer-full stall story);
+//   - joins probe a hash/index structure with high locality and mostly
+//     ordered keys, which is why GHB's delta correlation nearly matches SMS
+//     on DSS (§4.6);
+//   - interleaving is low: few regions are live at once.
+
+const (
+	dssWorkloadQ1 = iota + 10
+	dssWorkloadQ2
+	dssWorkloadQ16
+	dssWorkloadQ17
+)
+
+const (
+	dssOpScan = iota + 1
+	dssOpAgg
+	dssOpTempFlush
+	dssOpProbe
+	dssOpBuild
+	dssOpGroup
+)
+
+type dssParams struct {
+	workloadID int
+	// scanFrac is the probability an op is a table-scan page visit;
+	// probeFrac a hash/index probe; the remainder are build/group ops.
+	scanFrac  float64
+	probeFrac float64
+	// scanDensity is the probability each block of a scanned region is
+	// touched (column subset selection).
+	scanDensity float64
+	// aggWrites   — writes into the per-CPU aggregation area per scan page.
+	aggWrites int
+	// tempFlushEvery triggers a dense burst of writes to fresh temp-table
+	// pages every N scan pages (Qry 1's store-buffer pressure).
+	tempFlushEvery int
+	tempFlushLen   int // blocks written per flush burst
+	hashPages      int
+	probeLocality  float64 // probability the next probe lands near the last
+	actors         int
+	switchProb     float64
+	// instrPerAcc reflects per-tuple computation: DSS queries do
+	// substantial aggregation/predicate work between touches.
+	instrPerAcc uint64
+}
+
+func q1Params(cfg Config) dssParams {
+	return dssParams{
+		workloadID:     dssWorkloadQ1,
+		scanFrac:       0.9,
+		probeFrac:      0.0,
+		scanDensity:    0.88,
+		aggWrites:      3,
+		tempFlushEvery: 2,
+		tempFlushLen:   96,
+		hashPages:      cfg.scaled(128, 16),
+		probeLocality:  0.9,
+		actors:         2,
+		switchProb:     0.2,
+		instrPerAcc:    6,
+	}
+}
+
+func q2Params(cfg Config) dssParams {
+	return dssParams{
+		workloadID:    dssWorkloadQ2,
+		scanFrac:      0.35,
+		probeFrac:     0.5,
+		scanDensity:   0.8,
+		aggWrites:     1,
+		hashPages:     cfg.scaled(1536, 64),
+		probeLocality: 0.8,
+		actors:        3,
+		switchProb:    0.3,
+		instrPerAcc:   8,
+	}
+}
+
+func q16Params(cfg Config) dssParams {
+	p := q2Params(cfg)
+	p.workloadID = dssWorkloadQ16
+	p.probeFrac = 0.55
+	p.scanFrac = 0.3
+	p.hashPages = cfg.scaled(2048, 64)
+	p.probeLocality = 0.7
+	return p
+}
+
+func q17Params(cfg Config) dssParams {
+	p := q2Params(cfg)
+	p.workloadID = dssWorkloadQ17
+	p.scanFrac = 0.55
+	p.probeFrac = 0.3
+	p.scanDensity = 0.85
+	return p
+}
+
+func init() {
+	mk := func(params func(Config) dssParams) func(Config) trace.Source {
+		return func(cfg Config) trace.Source { return newDSS(cfg, params(cfg)) }
+	}
+	register(Workload{
+		Name:        "dss-q1",
+		Group:       GroupDSS,
+		Description: "TPC-H Q1-like scan-dominated query: dense single-visit table scan with heavy temp-table write bursts",
+		Make:        mk(q1Params),
+	})
+	register(Workload{
+		Name:        "dss-q2",
+		Group:       GroupDSS,
+		Description: "TPC-H Q2-like join-dominated query: scans plus high-locality hash probes",
+		Make:        mk(q2Params),
+	})
+	register(Workload{
+		Name:        "dss-q16",
+		Group:       GroupDSS,
+		Description: "TPC-H Q16-like join-dominated query with a larger, less local probe structure",
+		Make:        mk(q16Params),
+	})
+	register(Workload{
+		Name:        "dss-q17",
+		Group:       GroupDSS,
+		Description: "TPC-H Q17-like balanced scan-join query",
+		Make:        mk(q17Params),
+	})
+}
+
+func newDSS(cfg Config, p dssParams) trace.Source {
+	cfg = cfg.normalized()
+	fact := structBase(p.workloadID, 0)  // fact table, scanned once
+	hash := structBase(p.workloadID, 1)  // join hash/index structure
+	temp := structBase(p.workloadID, 2)  // temp table (Qry 1 copies)
+	agg := structBase(p.workloadID, 3)   // small per-CPU aggregation area
+	build := structBase(p.workloadID, 4) // build-side table
+
+	return newEngine(engineConfig{
+		cfg:            cfg,
+		actorsPerCPU:   p.actors,
+		switchProb:     p.switchProb,
+		instrPerAccess: p.instrPerAcc,
+		newActor: func(cpu, idx int, rng *rand.Rand) opFunc {
+			// Partition the fact table among actors; each cursor advances
+			// monotonically and never revisits a page.
+			actorID := cpu*64 + idx
+			scanPage := 0
+			tempPage := 0
+			tempBlock := 0
+			pagesScanned := 0
+			lastProbe := 0
+			buildPage := 0
+			return func(r *rand.Rand, buf []access) []access {
+				switch pick := r.Float64(); {
+				case pick < p.scanFrac:
+					buf = dssScanPage(r, p, fact, actorID, scanPage, buf)
+					scanPage++
+					pagesScanned++
+					// Aggregation writes to the actor's private area.
+					for i := 0; i < p.aggWrites; i++ {
+						buf = append(buf, access{
+							pc:    pcSite(p.workloadID, dssOpAgg, i),
+							addr:  pageAddr(agg, actorID, r.Intn(4)),
+							write: true,
+						})
+					}
+					if p.tempFlushEvery > 0 && pagesScanned%p.tempFlushEvery == 0 {
+						buf, tempPage, tempBlock = dssTempFlush(p, temp, actorID, tempPage, tempBlock, buf)
+					}
+					return buf
+				case pick < p.scanFrac+p.probeFrac:
+					var out []access
+					out, lastProbe = dssProbe(r, p, hash, lastProbe, buf)
+					return out
+				default:
+					buf = dssBuildScan(r, p, build, actorID, buildPage, buf)
+					buildPage++
+					return buf
+				}
+			}
+		},
+	})
+}
+
+// dssScanPage streams through one never-before-visited page of the fact
+// table, touching most blocks in order (the columns the query needs).
+func dssScanPage(rng *rand.Rand, p dssParams, fact mem.Addr, actorID, page int, buf []access) []access {
+	// Each actor owns a disjoint, unbounded strip of the table.
+	pageIdx := actorID*1_000_000 + page
+	for blk := 0; blk < pageBlocks; blk++ {
+		if rng.Float64() > p.scanDensity {
+			continue
+		}
+		buf = append(buf, access{
+			pc:   pcSite(p.workloadID, dssOpScan, 0),
+			addr: pageAddr(fact, pageIdx, blk),
+		})
+	}
+	return buf
+}
+
+// dssTempFlush writes a dense run of blocks into fresh temp-table pages:
+// Qry 1's temporary-table copy, which rapidly fills the store buffer with
+// cache misses (§4.7).
+func dssTempFlush(p dssParams, temp mem.Addr, actorID, tempPage, tempBlock int, buf []access) ([]access, int, int) {
+	for i := 0; i < p.tempFlushLen; i++ {
+		pageIdx := actorID*1_000_000 + tempPage
+		buf = append(buf, access{
+			pc:    pcSite(p.workloadID, dssOpTempFlush, 0),
+			addr:  pageAddr(temp, pageIdx, tempBlock),
+			write: true,
+		})
+		tempBlock++
+		if tempBlock == pageBlocks {
+			tempBlock = 0
+			tempPage++
+		}
+	}
+	return buf, tempPage, tempBlock
+}
+
+// dssProbe performs one join probe: 1-2 blocks in the shared hash/index
+// structure. Probe keys arrive mostly ordered (high locality), which keeps
+// the delta stream regular enough for GHB to predict (§4.6).
+func dssProbe(rng *rand.Rand, p dssParams, hash mem.Addr, lastProbe int, buf []access) ([]access, int) {
+	var page int
+	if rng.Float64() < p.probeLocality {
+		page = lastProbe + rng.Intn(3) // ordered keys: small forward steps
+	} else {
+		page = rng.Intn(p.hashPages)
+	}
+	page %= p.hashPages
+	start := rng.Intn(pageBlocks - 2)
+	n := 1 + rng.Intn(2)
+	for b := 0; b < n; b++ {
+		buf = append(buf, access{
+			pc:   pcSite(p.workloadID, dssOpProbe, b),
+			addr: pageAddr(hash, page, start+b),
+		})
+	}
+	return buf, page
+}
+
+// dssBuildScan streams the build-side table (dense, sequential, visited
+// once per actor), with occasional grouped writes.
+func dssBuildScan(rng *rand.Rand, p dssParams, build mem.Addr, actorID, page int, buf []access) []access {
+	pageIdx := actorID*1_000_000 + page
+	for blk := 0; blk < pageBlocks; blk += 1 + rng.Intn(2) {
+		buf = append(buf, access{
+			pc:   pcSite(p.workloadID, dssOpBuild, 0),
+			addr: pageAddr(build, pageIdx, blk),
+		})
+	}
+	buf = append(buf, access{
+		pc:    pcSite(p.workloadID, dssOpGroup, 0),
+		addr:  pageAddr(build, pageIdx, pageBlocks-1),
+		write: true,
+	})
+	return buf
+}

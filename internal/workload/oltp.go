@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// OLTP workloads model TPC-C on DB2 and Oracle (Table 1 of the paper):
+// a large shared buffer pool of fixed-layout database pages accessed by many
+// concurrent transactions, B-tree index probes, tuple fetches through slot
+// indices, in-place updates that dirty pages and invalidate remote copies,
+// and per-CPU log append streams.
+//
+// Structural properties reproduced (paper §1, §2, Fig. 5, Fig. 11):
+//   - accesses within a page are spatially correlated but sparse and
+//     non-contiguous (header + slot index + a few tuples);
+//   - many transactions interleave, so many spatial region generations are
+//     live at once (OLTP shows the most interleaving in the paper);
+//   - pages are revisited (hot buffer pool), so address indexing works too;
+//   - one tuple-fetch code path serves tables with different tuple sizes,
+//     which PC+offset indexing disambiguates and PC-only indexing cannot
+//     (paper §4.2);
+//   - updates write tuple blocks and the page-header log field, generating
+//     invalidations and — at large block sizes — false sharing.
+
+const (
+	oltpWorkloadDB2 = iota + 1
+	oltpWorkloadOracle
+)
+
+// oltp op codes (used in PC construction).
+const (
+	oltpOpBtree = iota + 1
+	oltpOpTuple
+	oltpOpPageScan
+	oltpOpUpdate
+	oltpOpLog
+	oltpOpPrivate
+	oltpOpCatalog
+)
+
+type oltpParams struct {
+	workloadID int
+	// pool sizes in pages (2 kB each)
+	dataPagesA  int
+	dataPagesB  int
+	indexPages  int
+	hotProb     float64
+	hotFrac     float64
+	actors      int
+	switchProb  float64
+	updateFrac  float64 // fraction of tuple ops that update
+	scanTuples  [2]int  // min/max tuples visited by a page scan
+	tupleSizeA  int     // blocks
+	tupleSizeB  int     // blocks
+	logBurst    int
+	instrPerAcc uint64
+}
+
+func db2Params(cfg Config) oltpParams {
+	return oltpParams{
+		workloadID:  oltpWorkloadDB2,
+		dataPagesA:  cfg.scaled(3072, 64),
+		dataPagesB:  cfg.scaled(2048, 64),
+		indexPages:  cfg.scaled(1024, 32),
+		hotProb:     0.65,
+		hotFrac:     0.12,
+		actors:      8,
+		switchProb:  0.55,
+		updateFrac:  0.22,
+		scanTuples:  [2]int{2, 6},
+		tupleSizeA:  2,
+		tupleSizeB:  4,
+		logBurst:    6,
+		instrPerAcc: 3,
+	}
+}
+
+func oracleParams(cfg Config) oltpParams {
+	p := db2Params(cfg)
+	p.workloadID = oltpWorkloadOracle
+	// Oracle places the largest demand on the accumulation table (§4.5):
+	// more concurrent transactions, heavier interleaving, bigger hot set.
+	p.dataPagesA = cfg.scaled(4096, 64)
+	p.dataPagesB = cfg.scaled(2560, 64)
+	p.actors = 12
+	p.switchProb = 0.7
+	p.hotFrac = 0.18
+	p.updateFrac = 0.28
+	p.scanTuples = [2]int{2, 8}
+	return p
+}
+
+func init() {
+	register(Workload{
+		Name:        "oltp-db2",
+		Group:       GroupOLTP,
+		Description: "TPC-C-like OLTP on a DB2-flavoured buffer pool: page visits, B-tree probes, tuple fetches, updates, log appends",
+		Make: func(cfg Config) trace.Source {
+			return newOLTP(cfg, db2Params(cfg))
+		},
+	})
+	register(Workload{
+		Name:        "oltp-oracle",
+		Group:       GroupOLTP,
+		Description: "TPC-C-like OLTP with Oracle-flavoured parameters: more concurrent transactions and heavier interleaving",
+		Make: func(cfg Config) trace.Source {
+			return newOLTP(cfg, oracleParams(cfg))
+		},
+	})
+}
+
+func newOLTP(cfg Config, p oltpParams) trace.Source {
+	cfg = cfg.normalized()
+	poolA := structBase(p.workloadID, 0)
+	poolB := structBase(p.workloadID, 1)
+	index := structBase(p.workloadID, 2)
+	logsB := structBase(p.workloadID, 3)
+	priv := structBase(p.workloadID, 4)
+	catalog := structBase(p.workloadID, 5)
+
+	return newEngine(engineConfig{
+		cfg:            cfg,
+		actorsPerCPU:   p.actors,
+		switchProb:     p.switchProb,
+		instrPerAccess: p.instrPerAcc,
+		newActor: func(cpu, idx int, rng *rand.Rand) opFunc {
+			logPage := cpu*64 + idx // per-actor log cursor area
+			logBlock := 0
+			return func(r *rand.Rand, buf []access) []access {
+				// Each op is a transaction step touching several
+				// structures (catalog, index levels, data page, log,
+				// private state): the per-step working set spans many
+				// distinct pages, which is what makes multi-kB blocks
+				// thrash a fixed-capacity L1 (Fig. 4) while 64 B blocks
+				// need only the touched lines.
+				//
+				// Every step consults the catalog/schema cache first: a
+				// small set of intensely hot blocks that stay resident
+				// with 64 B lines but conflict with the transaction's
+				// data pages when lines span kilobytes.
+				buf = oltpCatalog(r, p, catalog, buf)
+				switch pick := r.Float64(); {
+				case pick < 0.28:
+					// Index lookup then direct tuple fetch.
+					buf = oltpBtreeProbe(r, p, index, buf)
+					return oltpTupleFetch(r, p, poolA, poolB, buf)
+				case pick < 0.50:
+					// Range scan entry: index probe then page scan.
+					buf = oltpBtreeProbe(r, p, index, buf)
+					return oltpPageScan(r, p, poolA, poolB, buf)
+				case pick < 0.72:
+					// Tuple fetch with transaction-local bookkeeping.
+					buf = oltpTupleFetch(r, p, poolA, poolB, buf)
+					return oltpPrivate(r, p, priv, cpu, idx, buf)
+				case pick < 0.72+p.updateFrac*0.5:
+					// Update: index probe, in-place write, log append.
+					buf = oltpBtreeProbe(r, p, index, buf)
+					buf = oltpUpdate(r, p, poolA, poolB, buf)
+					buf, logBlock = oltpLogAppend(p, logsB, logPage, logBlock, buf)
+					return buf
+				default:
+					return oltpPrivate(r, p, priv, cpu, idx, buf)
+				}
+			}
+		},
+	})
+}
+
+// oltpCatalog reads 2-3 schema/metadata blocks. The catalog spans a few
+// pages so that, at multi-kB block sizes, it occupies several cache lines
+// and thrashes against data pages; at 64 B its ~hot blocks simply stay
+// resident.
+func oltpCatalog(rng *rand.Rand, p oltpParams, catalog mem.Addr, buf []access) []access {
+	const catalogPages = 12
+	n := 2 + rng.Intn(2)
+	for step := 0; step < n; step++ {
+		page := zipfPick(rng, catalogPages, 0.5, 0.5)
+		blk := (page*7 + step*13) % pageBlocks
+		buf = append(buf, access{
+			pc:   pcSite(p.workloadID, oltpOpCatalog, step),
+			addr: pageAddr(catalog, page, blk),
+		})
+	}
+	return buf
+}
+
+// oltpBtreeProbe walks the index: a root-level lookup in one of a handful
+// of extremely hot root pages, then 2-4 sparse key/pointer blocks inside a
+// leaf page — the paper's canonical non-contiguous, non-strided access
+// pattern ("binary search in a B-tree"). The tiny, constantly revisited
+// root set is what makes 64 B blocks efficient (roots stay resident) and
+// multi-kB blocks catastrophic (a few root pages evict everything else) —
+// the Fig. 4 conflict behaviour.
+func oltpBtreeProbe(rng *rand.Rand, p oltpParams, index mem.Addr, buf []access) []access {
+	const rootPages = 6
+	root := rng.Intn(rootPages)
+	for step := 0; step < 2; step++ {
+		buf = append(buf, access{
+			pc:   pcSite(p.workloadID, oltpOpBtree, 8+step),
+			addr: pageAddr(index, root, (step*11+root*5)%pageBlocks),
+		})
+	}
+	page := rootPages + zipfPick(rng, p.indexPages-rootPages, p.hotProb, p.hotFrac)
+	levels := 2 + rng.Intn(3)
+	// A binary search narrows: block picks move toward the middle.
+	lo, hi := 0, pageBlocks-1
+	for step := 0; step < levels; step++ {
+		blk := (lo + hi) / 2
+		if rng.Intn(2) == 0 {
+			hi = (lo + hi) / 2
+		} else {
+			lo = (lo+hi)/2 + 1
+		}
+		if lo > hi {
+			lo, hi = 0, pageBlocks-1
+		}
+		buf = append(buf, access{
+			pc:   pcSite(p.workloadID, oltpOpBtree, step),
+			addr: pageAddr(index, page, blk),
+		})
+	}
+	return buf
+}
+
+// oltpTupleFetch reads one tuple directly (index-to-tuple path). The same
+// code path (same PCs) serves table A (2-block tuples at offsets ≡ 2 mod 4)
+// and table B (4-block tuples at offsets ≡ 0 mod 4); only the spatial region
+// offset of the trigger distinguishes them, which is exactly the case where
+// PC+offset indexing beats PC indexing (§4.2).
+func oltpTupleFetch(rng *rand.Rand, p oltpParams, poolA, poolB mem.Addr, buf []access) []access {
+	tableB := rng.Intn(2) == 1
+	var base mem.Addr
+	var page, start, size int
+	if tableB {
+		base = poolB
+		page = zipfPick(rng, p.dataPagesB, p.hotProb, p.hotFrac)
+		slots := (pageBlocks - 4) / p.tupleSizeB
+		start = 4 + zipfPick(rng, slots-1, 0.6, 0.2)*p.tupleSizeB // multiples of 4; hot rows
+		size = p.tupleSizeB
+	} else {
+		base = poolA
+		page = zipfPick(rng, p.dataPagesA, p.hotProb, p.hotFrac)
+		slots := (pageBlocks - 4) / 4
+		start = 2 + zipfPick(rng, slots, 0.6, 0.2)*4 // ≡ 2 mod 4; hot rows
+		size = p.tupleSizeA
+	}
+	for b := 0; b < size; b++ {
+		buf = append(buf, access{
+			pc:   pcSite(p.workloadID, oltpOpTuple, b), // shared fetch loop PC
+			addr: pageAddr(base, page, start+b),
+		})
+	}
+	return buf
+}
+
+// oltpPageScan visits a page the structured way the paper's Figure 1
+// describes: log serial number in the page header and the slot index in the
+// footer are always touched before tuples are scanned.
+func oltpPageScan(rng *rand.Rand, p oltpParams, poolA, poolB mem.Addr, buf []access) []access {
+	base, pages := poolA, p.dataPagesA
+	if rng.Intn(3) == 0 {
+		base, pages = poolB, p.dataPagesB
+	}
+	page := zipfPick(rng, pages, p.hotProb, p.hotFrac)
+	buf = append(buf,
+		access{pc: pcSite(p.workloadID, oltpOpPageScan, 0), addr: pageAddr(base, page, 0)},            // header
+		access{pc: pcSite(p.workloadID, oltpOpPageScan, 1), addr: pageAddr(base, page, pageBlocks-1)}, // slot index
+	)
+	n := p.scanTuples[0] + rng.Intn(p.scanTuples[1]-p.scanTuples[0]+1)
+	for t := 0; t < n; t++ {
+		blk := 2 + zipfPick(rng, pageBlocks-4, 0.5, 0.3)
+		buf = append(buf, access{
+			pc:   pcSite(p.workloadID, oltpOpPageScan, 2),
+			addr: pageAddr(base, page, blk),
+		})
+	}
+	return buf
+}
+
+// oltpUpdate rewrites a tuple in place: read header + slot + tuple, then
+// write the tuple blocks and the header log-serial field. The header write
+// is what invalidates remote sharers and creates false sharing at large
+// coherence units.
+func oltpUpdate(rng *rand.Rand, p oltpParams, poolA, poolB mem.Addr, buf []access) []access {
+	base, pages, size := poolA, p.dataPagesA, p.tupleSizeA
+	if rng.Intn(2) == 1 {
+		base, pages, size = poolB, p.dataPagesB, p.tupleSizeB
+	}
+	page := zipfPick(rng, pages, p.hotProb, p.hotFrac)
+	slots := (pageBlocks - 4) / 4
+	start := 2 + zipfPick(rng, slots, 0.6, 0.2)*4
+	if size == p.tupleSizeB {
+		start = 4 + zipfPick(rng, slots-1, 0.6, 0.2)*4
+	}
+	buf = append(buf,
+		access{pc: pcSite(p.workloadID, oltpOpUpdate, 0), addr: pageAddr(base, page, 0)},
+		access{pc: pcSite(p.workloadID, oltpOpUpdate, 1), addr: pageAddr(base, page, pageBlocks-1)},
+	)
+	for b := 0; b < size; b++ {
+		buf = append(buf, access{
+			pc:    pcSite(p.workloadID, oltpOpUpdate, 2),
+			addr:  pageAddr(base, page, start+b),
+			write: true,
+		})
+	}
+	// Log serial number update in the header.
+	buf = append(buf, access{
+		pc:    pcSite(p.workloadID, oltpOpUpdate, 3),
+		addr:  pageAddr(base, page, 0),
+		write: true,
+	})
+	return buf
+}
+
+// oltpLogAppend emits a burst of sequential log-record writes in the
+// actor's private log area.
+func oltpLogAppend(p oltpParams, logs mem.Addr, logPage, logBlock int, buf []access) ([]access, int) {
+	for i := 0; i < p.logBurst; i++ {
+		buf = append(buf, access{
+			pc:    pcSite(p.workloadID, oltpOpLog, 0),
+			addr:  pageAddr(logs, logPage, logBlock),
+			write: true,
+		})
+		logBlock = (logBlock + 1) % pageBlocks
+	}
+	return buf, logBlock
+}
+
+// oltpPrivate touches the actor's small private working set (transaction
+// state); these mostly hit in L1 and dilute the miss rate realistically.
+func oltpPrivate(rng *rand.Rand, p oltpParams, priv mem.Addr, cpu, idx int, buf []access) []access {
+	page := cpu*64 + idx
+	n := 3 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		buf = append(buf, access{
+			pc:    pcSite(p.workloadID, oltpOpPrivate, i%4),
+			addr:  pageAddr(priv, page, rng.Intn(8)),
+			write: rng.Intn(4) == 0,
+		})
+	}
+	return buf
+}

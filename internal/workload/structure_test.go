@@ -1,0 +1,211 @@
+package workload
+
+// Structural tests: verify that the generators actually exhibit the
+// properties DESIGN.md claims they reproduce — the properties the paper's
+// results depend on.
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func collect(t *testing.T, name string, cpus int, n uint64) []trace.Record {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Collect(w.Make(Config{CPUs: cpus, Seed: 21, Length: n}), 0)
+}
+
+func TestOLTPTupleAlignmentDisambiguation(t *testing.T) {
+	// The §4.2 PC-vs-PC+offset story: the shared tuple-fetch PC serves
+	// table A at offsets ≡ 2 (mod 4) and table B at offsets ≡ 0 (mod 4).
+	recs := collect(t, "oltp-db2", 2, 300_000)
+	g := mem.DefaultGeometry()
+	fetchPC := pcSite(oltpWorkloadDB2, oltpOpTuple, 0)
+	offsetsA := map[int]bool{}
+	offsetsB := map[int]bool{}
+	for _, r := range recs {
+		if r.PC != fetchPC {
+			continue
+		}
+		off := g.RegionOffset(r.Addr)
+		if off%4 == 2 {
+			offsetsA[off] = true
+		} else if off%4 == 0 {
+			offsetsB[off] = true
+		} else {
+			t.Fatalf("tuple trigger at unexpected offset %d", off)
+		}
+	}
+	if len(offsetsA) == 0 || len(offsetsB) == 0 {
+		t.Fatalf("both tables must appear under the shared PC: A=%d B=%d", len(offsetsA), len(offsetsB))
+	}
+}
+
+func TestOLTPPageScanTouchesHeaderAndFooter(t *testing.T) {
+	// Figure 1's structural elements: the page header and the slot index
+	// are always touched before tuples.
+	recs := collect(t, "oltp-db2", 1, 100_000)
+	g := mem.DefaultGeometry()
+	headerPC := pcSite(oltpWorkloadDB2, oltpOpPageScan, 0)
+	slotPC := pcSite(oltpWorkloadDB2, oltpOpPageScan, 1)
+	headers, slots := 0, 0
+	for _, r := range recs {
+		switch r.PC {
+		case headerPC:
+			headers++
+			if g.RegionOffset(r.Addr) != 0 {
+				t.Fatal("header access not at block 0")
+			}
+		case slotPC:
+			slots++
+			if g.RegionOffset(r.Addr) != pageBlocks-1 {
+				t.Fatal("slot-index access not at the page footer")
+			}
+		}
+	}
+	if headers == 0 || slots == 0 {
+		t.Fatal("page scans missing header/footer accesses")
+	}
+	if diff := headers - slots; diff < -2 || diff > 2 {
+		t.Fatalf("headers %d and slots %d should pair up", headers, slots)
+	}
+}
+
+func TestWebSharedFileCacheCrossCPU(t *testing.T) {
+	// The file cache is shared: the same region must be touched by
+	// multiple CPUs (this is what creates web coherence traffic).
+	recs := collect(t, "web-apache", 4, 400_000)
+	g := mem.DefaultGeometry()
+	filePC := pcSite(webWorkloadApache, webOpFileRead, 0)
+	byRegion := map[uint64]map[uint8]bool{}
+	for _, r := range recs {
+		if r.PC != filePC {
+			continue
+		}
+		tag := g.RegionTag(r.Addr)
+		if byRegion[tag] == nil {
+			byRegion[tag] = map[uint8]bool{}
+		}
+		byRegion[tag][r.CPU] = true
+	}
+	shared := 0
+	for _, cpus := range byRegion {
+		if len(cpus) > 1 {
+			shared++
+		}
+	}
+	if shared < 10 {
+		t.Fatalf("only %d file regions shared across CPUs", shared)
+	}
+}
+
+func TestEm3dRemoteFraction(t *testing.T) {
+	// Paper parameter: 15% remote neighbours.
+	recs := collect(t, "em3d", 4, 400_000)
+	remote, local := 0, 0
+	pagesPerCPU := (Config{CPUs: 4, Seed: 21}).normalized().scaled(1024, 64)
+	valsBase := structBase(sciWorkloadEm3d, 1)
+	for _, r := range recs {
+		isGather := r.PC >= pcSite(sciWorkloadEm3d, sciOpRemote, 0) &&
+			r.PC <= pcSite(sciWorkloadEm3d, sciOpRemote, 3)
+		if !isGather {
+			continue
+		}
+		page := int((r.Addr - valsBase) / pageBytes)
+		owner := page / pagesPerCPU
+		if owner == int(r.CPU) {
+			local++
+		} else {
+			remote++
+		}
+	}
+	if remote+local == 0 {
+		t.Fatal("no gather accesses found")
+	}
+	frac := float64(remote) / float64(remote+local)
+	if frac < 0.08 || frac > 0.25 {
+		t.Fatalf("remote gather fraction = %.3f, want ~0.15", frac)
+	}
+}
+
+func TestEm3dGraphStableAcrossIterations(t *testing.T) {
+	// The neighbour structure must repeat across iterations, or the
+	// predictors would have nothing to learn.
+	a := nodeHash(10, 4, 1)
+	b := nodeHash(10, 4, 1)
+	if a != b {
+		t.Fatal("nodeHash not deterministic")
+	}
+	if nodeHash(10, 4, 1) == nodeHash(10, 4, 0) {
+		t.Fatal("distinct neighbours collide")
+	}
+}
+
+func TestOceanRowsDense(t *testing.T) {
+	// Ocean reads whole rows: every block of a visited region appears.
+	recs := collect(t, "ocean", 1, 200_000)
+	g := mem.DefaultGeometry()
+	seen := map[uint64]*mem.Pattern{}
+	for _, r := range recs {
+		tag := g.RegionTag(r.Addr)
+		p := seen[tag]
+		if p == nil {
+			np := mem.NewPattern(g.BlocksPerRegion())
+			p = &np
+			seen[tag] = p
+		}
+		p.Set(g.RegionOffset(r.Addr))
+	}
+	full := 0
+	for _, p := range seen {
+		if p.PopCount() == g.BlocksPerRegion() {
+			full++
+		}
+	}
+	if float64(full)/float64(len(seen)) < 0.8 {
+		t.Fatalf("only %d/%d ocean regions fully dense", full, len(seen))
+	}
+}
+
+func TestDSSQ1WriteBursts(t *testing.T) {
+	// Qry 1's temp-table flush must produce long consecutive write runs
+	// (the store-buffer pressure §4.7 describes).
+	recs := collect(t, "dss-q1", 1, 100_000)
+	flushPC := pcSite(dssWorkloadQ1, dssOpTempFlush, 0)
+	longest, cur := 0, 0
+	for _, r := range recs {
+		if r.PC == flushPC && r.IsWrite() {
+			cur++
+			if cur > longest {
+				longest = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	if longest < 32 {
+		t.Fatalf("longest temp-flush write burst = %d, want >= 32", longest)
+	}
+}
+
+func TestScaleGrowsFootprint(t *testing.T) {
+	g := mem.DefaultGeometry()
+	regionsAt := func(scale float64) int {
+		w, _ := ByName("oltp-db2")
+		recs := trace.Collect(w.Make(Config{CPUs: 1, Seed: 3, Scale: scale, Length: 100_000}), 0)
+		set := map[uint64]bool{}
+		for _, r := range recs {
+			set[g.RegionTag(r.Addr)] = true
+		}
+		return len(set)
+	}
+	small, large := regionsAt(0.25), regionsAt(4.0)
+	if large <= small {
+		t.Fatalf("scale did not grow footprint: %d vs %d regions", small, large)
+	}
+}

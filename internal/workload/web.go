@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Web workloads model SPECweb99 on Apache and Zeus (Table 1): thousands of
+// concurrent connections, each parsing request headers and assembling
+// responses in fixed-layout per-connection buffers, reading file content
+// from a shared, skewed file cache, and writing into recycled socket/packet
+// buffers.
+//
+// Structural properties reproduced:
+//   - packet headers and trailers have "arbitrarily complex but fixed
+//     structure" (paper Fig. 1 discussion) — per-connection buffer ops have
+//     stable sparse footprints keyed by the protocol-handling PCs;
+//   - connection handling interleaves heavily (16K connections in the
+//     paper), keeping many generations live;
+//   - the file cache is shared and hot (revisited: address indexing also
+//     works), while connection buffers recycle through a pool, so their
+//     regions reappear under different requests;
+//   - mostly reads, with response/socket writes.
+
+const (
+	webWorkloadApache = iota + 20
+	webWorkloadZeus
+)
+
+const (
+	webOpReqParse = iota + 1
+	webOpRespHdr
+	webOpFileRead
+	webOpSockWrite
+	webOpConnState
+)
+
+type webParams struct {
+	workloadID  int
+	connPool    int // recycled connection-buffer regions per CPU
+	filePages   int // shared file-cache pages
+	fileHotProb float64
+	fileHotFrac float64
+	fileRun     [2]int // min/max blocks read per file-cache visit
+	sockPool    int    // recycled socket-buffer pages per CPU
+	actors      int
+	switchProb  float64
+	instrPerAcc uint64
+}
+
+func apacheParams(cfg Config) webParams {
+	return webParams{
+		workloadID: webWorkloadApache,
+		connPool:   96,
+		filePages:  cfg.scaled(8192, 128),
+		// The popular-file set is several times the L2 capacity: web
+		// caches churn, so even popular content misses off-chip.
+		fileHotProb: 0.6,
+		fileHotFrac: 0.25,
+		fileRun:     [2]int{6, 24},
+		sockPool:    64,
+		actors:      10,
+		switchProb:  0.6,
+		instrPerAcc: 3,
+	}
+}
+
+func zeusParams(cfg Config) webParams {
+	p := apacheParams(cfg)
+	p.workloadID = webWorkloadZeus
+	// Zeus's event-driven model: fewer worker contexts, tighter loops,
+	// slightly denser file transfers.
+	p.actors = 6
+	p.switchProb = 0.45
+	p.fileRun = [2]int{8, 28}
+	p.instrPerAcc = 3
+	return p
+}
+
+func init() {
+	register(Workload{
+		Name:        "web-apache",
+		Group:       GroupWeb,
+		Description: "SPECweb99-like serving on an Apache-flavoured worker model: request parse, shared file cache reads, socket writes",
+		Make:        func(cfg Config) trace.Source { return newWeb(cfg, apacheParams(cfg)) },
+	})
+	register(Workload{
+		Name:        "web-zeus",
+		Group:       GroupWeb,
+		Description: "SPECweb99-like serving with Zeus-flavoured event-loop parameters",
+		Make:        func(cfg Config) trace.Source { return newWeb(cfg, zeusParams(cfg)) },
+	})
+}
+
+func newWeb(cfg Config, p webParams) trace.Source {
+	cfg = cfg.normalized()
+	conns := structBase(p.workloadID, 0) // per-CPU connection buffer pools
+	files := structBase(p.workloadID, 1) // shared file cache
+	socks := structBase(p.workloadID, 2) // per-CPU socket buffer pools
+	state := structBase(p.workloadID, 3) // per-CPU connection state tables
+
+	return newEngine(engineConfig{
+		cfg:            cfg,
+		actorsPerCPU:   p.actors,
+		switchProb:     p.switchProb,
+		instrPerAccess: p.instrPerAcc,
+		newActor: func(cpu, idx int, rng *rand.Rand) opFunc {
+			connCursor := idx // rotates through the CPU's connection pool
+			sockCursor := idx
+			return func(r *rand.Rand, buf []access) []access {
+				// One request lifecycle per op, in protocol order.
+				connPage := cpu*p.connPool + connCursor
+				connCursor = (connCursor + p.actors) % p.connPool
+
+				// 1. Parse request headers: fixed sparse layout at the
+				// front of the connection buffer.
+				for step, blk := range []int{0, 1, 2} {
+					buf = append(buf, access{
+						pc:   pcSite(p.workloadID, webOpReqParse, step),
+						addr: pageAddr(conns, connPage, blk),
+					})
+				}
+				// Connection state lookup (small hot table).
+				buf = append(buf, access{
+					pc:   pcSite(p.workloadID, webOpConnState, 0),
+					addr: pageAddr(state, cpu, r.Intn(16)),
+				})
+
+				// 2. Compose response headers mid-buffer (writes), and
+				// touch the trailer block.
+				for step, blk := range []int{16, 17} {
+					buf = append(buf, access{
+						pc:    pcSite(p.workloadID, webOpRespHdr, step),
+						addr:  pageAddr(conns, connPage, blk),
+						write: true,
+					})
+				}
+				buf = append(buf, access{
+					pc:   pcSite(p.workloadID, webOpRespHdr, 2),
+					addr: pageAddr(conns, connPage, pageBlocks-1),
+				})
+
+				// 3. Assemble the response from the shared file cache.
+				// Responses are built from several non-contiguous chunks
+				// (content headers, body pieces, chunk metadata) spread
+				// over different cache pages. Each chunk is a spatially
+				// correlated footprint inside one region — SMS's unit of
+				// prediction — while the per-PC delta stream alternates
+				// small steps with inter-page jumps whose pairings
+				// change per request, which is what defeats GHB's delta
+				// correlation on web servers (§4.6).
+				total := p.fileRun[0] + r.Intn(p.fileRun[1]-p.fileRun[0]+1)
+				read := 0
+				for read < total {
+					filePage := zipfPick(r, p.filePages, p.fileHotProb, p.fileHotFrac)
+					chunk := 2 + r.Intn(3)
+					blk := r.Intn(4)
+					for b := 0; b < chunk && blk < pageBlocks && read < total; b++ {
+						buf = append(buf, access{
+							pc:   pcSite(p.workloadID, webOpFileRead, 0),
+							addr: pageAddr(files, filePage, blk),
+						})
+						read++
+						switch x := r.Intn(8); {
+						case x < 4:
+							blk++
+						case x < 7:
+							blk += 2
+						default:
+							blk += 3
+						}
+					}
+				}
+
+				// 4. Write the response into a recycled socket buffer.
+				sockPage := cpu*p.sockPool + sockCursor
+				sockCursor = (sockCursor + p.actors) % p.sockPool
+				for b := 0; b < 4+r.Intn(6); b++ {
+					buf = append(buf, access{
+						pc:    pcSite(p.workloadID, webOpSockWrite, 0),
+						addr:  pageAddr(socks, sockPage, b),
+						write: true,
+					})
+				}
+				return buf
+			}
+		},
+	})
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("registered %d workloads, want 11 (paper Table 1)", len(all))
+	}
+	wantNames := []string{
+		"oltp-db2", "oltp-oracle",
+		"dss-q1", "dss-q2", "dss-q16", "dss-q17",
+		"web-apache", "web-zeus",
+		"em3d", "ocean", "sparse",
+	}
+	for i, w := range all {
+		if w.Name != wantNames[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, w.Name, wantNames[i])
+		}
+		if w.Description == "" {
+			t.Errorf("%s: empty description", w.Name)
+		}
+		if w.Make == nil {
+			t.Errorf("%s: nil Make", w.Name)
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	gs := Groups()
+	if len(gs) != 4 {
+		t.Fatalf("Groups = %v", gs)
+	}
+	counts := map[string]int{}
+	for _, g := range gs {
+		counts[g] = len(ByGroup(g))
+	}
+	if counts[GroupOLTP] != 2 || counts[GroupDSS] != 4 || counts[GroupWeb] != 2 || counts[GroupScientific] != 3 {
+		t.Errorf("group sizes = %v", counts)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("sparse")
+	if err != nil || w.Name != "sparse" {
+		t.Fatalf("ByName(sparse) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range All() {
+		cfg := Config{CPUs: 4, Seed: 42, Length: 5000}
+		a := trace.Collect(w.Make(cfg), 0)
+		b := trace.Collect(w.Make(cfg), 0)
+		if len(a) != len(b) || len(a) != 5000 {
+			t.Fatalf("%s: lengths %d vs %d", w.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: record %d differs: %v vs %v", w.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	w, _ := ByName("oltp-db2")
+	a := trace.Collect(w.Make(Config{CPUs: 4, Seed: 1, Length: 2000}), 0)
+	b := trace.Collect(w.Make(Config{CPUs: 4, Seed: 2, Length: 2000}), 0)
+	same := 0
+	for i := range a {
+		if a[i].Addr == b[i].Addr {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical address streams")
+	}
+}
+
+func TestRecordWellFormed(t *testing.T) {
+	for _, w := range All() {
+		cfg := Config{CPUs: 4, Seed: 7, Length: 20000}
+		recs := trace.Collect(w.Make(cfg), 0)
+		var lastSeq uint64
+		cpusSeen := map[uint8]bool{}
+		writes := 0
+		for i, r := range recs {
+			if r.Seq <= lastSeq {
+				t.Fatalf("%s: Seq not increasing at %d (%d after %d)", w.Name, i, r.Seq, lastSeq)
+			}
+			lastSeq = r.Seq
+			if int(r.CPU) >= cfg.CPUs {
+				t.Fatalf("%s: CPU %d out of range", w.Name, r.CPU)
+			}
+			cpusSeen[r.CPU] = true
+			if r.Addr == 0 {
+				t.Fatalf("%s: zero address at %d", w.Name, i)
+			}
+			if r.IsWrite() {
+				writes++
+			}
+		}
+		if len(cpusSeen) != cfg.CPUs {
+			t.Errorf("%s: only %d of %d CPUs issued accesses", w.Name, len(cpusSeen), cfg.CPUs)
+		}
+		if writes == 0 {
+			t.Errorf("%s: no writes in trace", w.Name)
+		}
+		if writes == len(recs) {
+			t.Errorf("%s: no reads in trace", w.Name)
+		}
+	}
+}
+
+func TestDistinctPCsSmall(t *testing.T) {
+	// Code-correlated prediction requires far fewer distinct PCs than
+	// addresses (§2.2). Verify the generators honour this.
+	for _, w := range All() {
+		recs := trace.Collect(w.Make(Config{CPUs: 4, Seed: 3, Length: 50000}), 0)
+		pcs := map[uint64]bool{}
+		addrs := map[mem.Addr]bool{}
+		g := mem.DefaultGeometry()
+		for _, r := range recs {
+			pcs[r.PC] = true
+			addrs[g.BlockAddr(r.Addr)] = true
+		}
+		if len(pcs) > 100 {
+			t.Errorf("%s: %d distinct PCs, want a small code footprint", w.Name, len(pcs))
+		}
+		if len(addrs) < len(pcs) {
+			t.Errorf("%s: fewer blocks (%d) than PCs (%d)?", w.Name, len(addrs), len(pcs))
+		}
+	}
+}
+
+func TestDSSScanNeverRevisits(t *testing.T) {
+	// The DSS scan story requires fact-table regions be visited once:
+	// address-based indices must not get a second chance (§4.2).
+	w, _ := ByName("dss-q1")
+	recs := trace.Collect(w.Make(Config{CPUs: 2, Seed: 5, Length: 200000}), 0)
+	g := mem.DefaultGeometry()
+	// Track per-region first/last access positions for fact-table reads
+	// (the dominant read PC). A region's accesses must be one contiguous
+	// burst per actor, never revisited after a long gap.
+	scanPC := pcSite(dssWorkloadQ1, dssOpScan, 0)
+	firstSeen := map[uint64]int{}
+	lastSeen := map[uint64]int{}
+	for i, r := range recs {
+		if r.PC != scanPC {
+			continue
+		}
+		tag := g.RegionTag(r.Addr)
+		if _, ok := firstSeen[tag]; !ok {
+			firstSeen[tag] = i
+		}
+		lastSeen[tag] = i
+	}
+	if len(firstSeen) < 100 {
+		t.Fatalf("only %d scanned regions", len(firstSeen))
+	}
+	for tag := range firstSeen {
+		if lastSeen[tag]-firstSeen[tag] > 50000 {
+			t.Fatalf("region %#x revisited after a long gap (%d..%d)", tag, firstSeen[tag], lastSeen[tag])
+		}
+	}
+}
+
+func TestScientificIterationRepetition(t *testing.T) {
+	// Scientific codes revisit the same addresses every iteration; the
+	// set of distinct regions must saturate well below the trace length.
+	for _, name := range []string{"ocean", "sparse", "em3d"} {
+		w, _ := ByName(name)
+		recs := trace.Collect(w.Make(Config{CPUs: 2, Seed: 9, Length: 400000}), 0)
+		g := mem.DefaultGeometry()
+		regions := map[uint64]bool{}
+		for _, r := range recs {
+			regions[g.RegionTag(r.Addr)] = true
+		}
+		if len(regions) > len(recs)/10 {
+			t.Errorf("%s: %d distinct regions in %d accesses — not iterative", name, len(regions), len(recs))
+		}
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{}.normalized()
+	if c.CPUs != 4 || c.Scale != 1.0 || c.Length != DefaultLength {
+		t.Errorf("normalized zero config = %+v", c)
+	}
+	c = Config{CPUs: 1000}.normalized()
+	if c.CPUs != 256 {
+		t.Errorf("CPUs not clamped: %d", c.CPUs)
+	}
+	if got := (Config{Scale: 0.001}).scaled(1000, 64); got != 64 {
+		t.Errorf("scaled floor = %d", got)
+	}
+	if got := (Config{Scale: 2}.normalized()).scaled(100, 1); got != 200 {
+		t.Errorf("scaled x2 = %d", got)
+	}
+}
+
+func TestZipfPick(t *testing.T) {
+	rng := newTestRNG()
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[zipfPick(rng, 100, 0.7, 0.1)]++
+	}
+	hot, cold := 0, 0
+	for i, c := range counts {
+		if i < 10 {
+			hot += c
+		} else {
+			cold += c
+		}
+	}
+	if hot < cold {
+		t.Errorf("hot set not favoured: hot=%d cold=%d", hot, cold)
+	}
+	if zipfPick(rng, 1, 0.5, 0.5) != 0 {
+		t.Error("n=1 must return 0")
+	}
+	if zipfPick(rng, 0, 0.5, 0.5) != 0 {
+		t.Error("n=0 must return 0")
+	}
+}
+
+func TestSplitSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for cpu := 0; cpu < 16; cpu++ {
+		for a := -1; a < 16; a++ {
+			s := splitSeed(1, cpu, a)
+			if seen[s] {
+				t.Fatalf("seed collision at cpu=%d actor=%d", cpu, a)
+			}
+			seen[s] = true
+			if s < 0 {
+				t.Fatalf("negative seed %d", s)
+			}
+		}
+	}
+}
