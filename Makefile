@@ -1,0 +1,32 @@
+# Mirrors .github/workflows/ci.yml: `make ci` runs the exact pipeline
+# CI runs, so a green `make ci` means a green check.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test test-full bench
+
+ci: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short -race ./...
+
+# The full suite includes the figure-scale experiment tests (~minutes).
+test-full:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -22,13 +22,17 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
+
+	// Registered through the sim registry alone; imported so the scheme
+	// is selectable here even if no library path pulls it in.
+	_ "repro/internal/nextline"
 )
 
 func main() {
 	var (
 		name       = flag.String("workload", "oltp-db2", "workload name (see -list)")
 		list       = flag.Bool("list", false, "list workloads and exit")
-		prefetcher = flag.String("prefetcher", "none", "none | sms | ls | ghb | stride")
+		prefetcher = flag.String("prefetcher", "none", "prefetcher name: "+strings.Join(sim.Names(), " | "))
 		cpus       = flag.Int("cpus", 4, "simulated processors")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		length     = flag.Uint64("length", 1_200_000, "trace length in accesses (half warm-up)")
@@ -71,34 +75,24 @@ func main() {
 		SMS:            core.Config{Index: idx, PHTEntries: phtEntries},
 		GHB:            ghb.Config{HistoryEntries: *ghbEntries},
 	}
-	switch strings.ToLower(*prefetcher) {
-	case "none":
-		cfg.Prefetcher = sim.PrefetchNone
-	case "sms":
-		cfg.Prefetcher = sim.PrefetchSMS
-	case "ls":
-		cfg.Prefetcher = sim.PrefetchLS
-	case "ghb":
-		cfg.Prefetcher = sim.PrefetchGHB
-	case "stride":
-		cfg.Prefetcher = sim.PrefetchStride
-	default:
-		fatal(fmt.Errorf("unknown prefetcher %q", *prefetcher))
+	pfName := strings.ToLower(*prefetcher)
+	if pfName == "" {
+		pfName = "none"
 	}
 
-	runner, err := sim.NewRunner(cfg)
+	runner, err := sim.New(pfName, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	res := runner.Run(w.Make(workload.Config{CPUs: *cpus, Seed: *seed, Length: *length}))
 
 	fmt.Printf("workload        %s (%s)\n", w.Name, w.Group)
-	fmt.Printf("prefetcher      %s\n", cfg.Prefetcher)
+	fmt.Printf("prefetcher      %s\n", pfName)
 	fmt.Printf("accesses        %d (reads %d, writes %d)\n", res.Accesses, res.Reads, res.Writes)
 	fmt.Printf("L1 read misses  %d (%.2f%% of reads)\n", res.L1ReadMisses, 100*res.L1MissesPerAccess())
 	fmt.Printf("off-chip reads  %d (%.2f%% of reads)\n", res.OffChipReadMisses, 100*res.OffChipMissesPerAccess())
 	fmt.Printf("coherence       %d off-chip read misses (%d false sharing)\n", res.CoherenceReadMisses, res.FalseSharingReadMisses)
-	if cfg.Prefetcher != sim.PrefetchNone {
+	if pfName != "none" {
 		fmt.Printf("covered L1      %d\n", res.L1CoveredMisses)
 		fmt.Printf("covered offchip %d\n", res.OffChipCoveredMisses)
 		fmt.Printf("streams issued  %d (overpredictions %d, %.1f%% of streams)\n",
@@ -109,13 +103,16 @@ func main() {
 			cpu, st.Triggers, st.PatternsLearned, st.Predictions,
 			100*stats.Ratio(st.PHT.Hits, st.PHT.Lookups))
 	}
-	if cfg.Prefetcher == sim.PrefetchSMS && *pht > 0 {
+	if pfName == "sms" && *pht > 0 {
 		budget := core.PHTStorage(geo, *pht, core.DefaultPHTAssoc)
 		agt := core.AGTStorage(geo, core.DefaultFilterEntries, core.DefaultAccumEntries)
 		fmt.Printf("hardware budget per CPU: PHT %.1fKiB + AGT %.1fKiB\n", budget.KiB(), agt.KiB())
 	}
 	for cpu, st := range res.GHBStats {
 		fmt.Printf("GHB[cpu%d]       trains=%d matches=%d prefetches=%d\n", cpu, st.Trains, st.Matches, st.Prefetches)
+	}
+	for cpu, st := range res.PrefetcherStats {
+		fmt.Printf("%s[cpu%d]  %+v\n", pfName, cpu, st)
 	}
 }
 

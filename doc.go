@@ -11,12 +11,21 @@
 //	internal/sectored  — decoupled/logical sectored training baselines
 //	internal/ghb       — GHB PC/DC comparison prefetcher
 //	internal/stride    — stride prefetcher (extension baseline)
+//	internal/nextline  — next-N-line prefetcher (floor baseline, added
+//	                     through the registry alone)
 //	internal/cache     — set-associative cache model
 //	internal/coherence — MSI directory multiprocessor memory system
 //	internal/workload  — synthetic commercial/scientific trace generators
-//	internal/sim       — trace-driven simulation driver and accounting
+//	internal/sim       — trace-driven simulation driver, accounting, and
+//	                     the prefetcher registry
 //	internal/timing    — interval timing model (speedups, breakdowns)
 //	internal/exp       — one runner per paper figure/table
+//
+// Prefetchers are pluggable: the simulator dispatches through the
+// sim.Prefetcher interface, and schemes are selected by registry name
+// ("none", "sms", "ls", "ghb", "stride", "nextline", ...) via
+// sim.Config.PrefetcherName or sim.New. New schemes call sim.Register
+// from their package init and need no simulator changes; see README.md.
 //
 // See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
 // results.

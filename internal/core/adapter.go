@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// SimPrefetcher adapts one SMS engine to the simulator's per-CPU
+// prefetcher interface (repro/internal/sim.Prefetcher, satisfied
+// structurally so core never imports sim). SMS trains on every L1 access
+// and streams predicted blocks into L1.
+type SimPrefetcher struct {
+	eng *SMS
+}
+
+// NewSimPrefetcher builds an SMS engine for cfg and wraps it for the
+// simulator.
+func NewSimPrefetcher(cfg Config) (*SimPrefetcher, error) {
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SimPrefetcher{eng: eng}, nil
+}
+
+// Engine exposes the wrapped SMS engine.
+func (p *SimPrefetcher) Engine() *SMS { return p.eng }
+
+// Train records the access in the AGT/PHT and ends the generations of
+// blocks the demand fill evicted from L1.
+func (p *SimPrefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr {
+	p.eng.Access(rec.PC, rec.Addr)
+	for _, ev := range acc.L1Evictions {
+		p.eng.BlockRemoved(ev.Addr)
+	}
+	return nil
+}
+
+// Drain pops up to max pending stream requests from the prediction
+// registers.
+func (p *SimPrefetcher) Drain(max int) []mem.Addr { return p.eng.NextStreamRequests(max) }
+
+// FillLevel reports that SMS streams into L1.
+func (p *SimPrefetcher) FillLevel() coherence.Level { return coherence.LevelL1 }
+
+// StreamEvicted ends the generation of a block displaced by one of this
+// engine's own stream fills.
+func (p *SimPrefetcher) StreamEvicted(addr mem.Addr) { p.eng.BlockRemoved(addr) }
+
+// Invalidated ends the generation of a block a remote write invalidated
+// (§2.1: invalidations terminate spatial region generations).
+func (p *SimPrefetcher) Invalidated(addr mem.Addr) { p.eng.BlockRemoved(addr) }
+
+// Stats returns the engine's Stats (a core.Stats).
+func (p *SimPrefetcher) Stats() any { return p.eng.Stats() }

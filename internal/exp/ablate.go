@@ -62,9 +62,9 @@ func Ablate(s *Session) (*AblationResult, error) {
 		}
 		for _, v := range variants {
 			cfg := sim.Config{
-				Coherence:  s.opts.MemorySystem(64),
-				Prefetcher: sim.PrefetchSMS,
-				SMS:        core.Config{},
+				Coherence:      s.opts.MemorySystem(64),
+				PrefetcherName: "sms",
+				SMS:            core.Config{},
 			}
 			v.mutate(&cfg)
 			r, err := s.Run(name, cfg)

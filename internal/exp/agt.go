@@ -76,9 +76,9 @@ func AGTSizing(s *Session) (*AGTResult, error) {
 				smsCfg.FilterEntries = 1 << 20
 			}
 			res, err := s.Run(name, sim.Config{
-				Coherence:  s.opts.MemorySystem(64),
-				Prefetcher: sim.PrefetchSMS,
-				SMS:        smsCfg,
+				Coherence:      s.opts.MemorySystem(64),
+				PrefetcherName: "sms",
+				SMS:            smsCfg,
 			})
 			if err != nil {
 				return err

@@ -6,6 +6,11 @@
 //
 // The runners share a Session, which caches simulation results: many
 // figures reuse the same baseline runs.
+//
+// Runners select prefetchers by registry name (sim.Config.PrefetcherName:
+// "sms", "ls", "ghb", ...), so schemes registered via sim.Register — like
+// the next-line series in the Fig. 8 runner — plug in without touching
+// the simulator.
 package exp
 
 import (

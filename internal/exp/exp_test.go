@@ -2,6 +2,7 @@ package exp
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -9,9 +10,24 @@ import (
 	"repro/internal/workload"
 )
 
-// session returns a shared quick session for the package's tests; the
-// cache means repeated use across tests costs one set of runs.
-var sharedSession = NewSession(QuickOptions())
+var (
+	sharedOnce    sync.Once
+	sharedSession *Session
+)
+
+// quickSession returns a shared QuickOptions session; the cache means
+// repeated use across tests costs one set of runs. The figure-scale
+// simulations behind it take over a minute for the package, so tests
+// that need it honor testing.Short() and skip under `go test -short`
+// (the CI configuration).
+func quickSession(t *testing.T) *Session {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure-scale simulations skipped in -short mode")
+	}
+	sharedOnce.Do(func() { sharedSession = NewSession(QuickOptions()) })
+	return sharedSession
+}
 
 func TestOptionsNormalization(t *testing.T) {
 	o := Options{}.normalized()
@@ -46,7 +62,7 @@ func TestSessionCaching(t *testing.T) {
 	if a != b {
 		t.Fatal("identical runs not cached")
 	}
-	c, err := s.Run("sparse", sim.Config{Coherence: s.Options().MemorySystem(64), Prefetcher: sim.PrefetchSMS})
+	c, err := s.Run("sparse", sim.Config{Coherence: s.Options().MemorySystem(64), PrefetcherName: "sms"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +103,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestFig6ShapeQuick(t *testing.T) {
-	res, err := Fig6(sharedSession)
+	res, err := Fig6(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +140,7 @@ func TestFig6ShapeQuick(t *testing.T) {
 }
 
 func TestFig11ShapeQuick(t *testing.T) {
-	res, err := Fig11(sharedSession)
+	res, err := Fig11(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +170,7 @@ func TestFig11ShapeQuick(t *testing.T) {
 }
 
 func TestFig12ShapeQuick(t *testing.T) {
-	res, err := Fig12(sharedSession)
+	res, err := Fig12(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +206,7 @@ func TestFig12ShapeQuick(t *testing.T) {
 }
 
 func TestTable1Renders(t *testing.T) {
-	out := Table1(sharedSession)
+	out := Table1(quickSession(t))
 	for _, want := range []string{"Table 1", "16k-entry 16-way PHT", "2kB regions"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table1 missing %q", want)
@@ -233,7 +249,7 @@ func TestFig6UsesInfinitePHT(t *testing.T) {
 }
 
 func TestHeadlineQuick(t *testing.T) {
-	res, err := Headline(sharedSession)
+	res, err := Headline(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}

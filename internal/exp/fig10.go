@@ -42,10 +42,10 @@ func Fig10(s *Session) (*Fig10Result, error) {
 				return err
 			}
 			res, err := s.Run(name, sim.Config{
-				Coherence:  s.opts.MemorySystem(64),
-				Geometry:   geo,
-				Prefetcher: sim.PrefetchSMS,
-				SMS:        core.Config{PHTEntries: -1},
+				Coherence:      s.opts.MemorySystem(64),
+				Geometry:       geo,
+				PrefetcherName: "sms",
+				SMS:            core.Config{PHTEntries: -1},
 			})
 			if err != nil {
 				return err

@@ -56,13 +56,13 @@ func Fig11(s *Session) (*Fig11Result, error) {
 			cfg := sim.Config{Coherence: s.opts.MemorySystem(64)}
 			switch v {
 			case VariantGHB256:
-				cfg.Prefetcher = sim.PrefetchGHB
+				cfg.PrefetcherName = "ghb"
 				cfg.GHB = ghb.Config{HistoryEntries: 256}
 			case VariantGHB16k:
-				cfg.Prefetcher = sim.PrefetchGHB
+				cfg.PrefetcherName = "ghb"
 				cfg.GHB = ghb.Config{HistoryEntries: 16384}
 			case VariantSMS:
-				cfg.Prefetcher = sim.PrefetchSMS
+				cfg.PrefetcherName = "sms"
 				// Paper-default practical SMS: zero core.Config.
 			}
 			res, err := s.Run(name, cfg)

@@ -59,7 +59,7 @@ func Fig12(s *Session) (*Fig12Result, error) {
 			WindowInstructions: WindowInstructions,
 		}
 		smsCfg := baseCfg
-		smsCfg.Prefetcher = sim.PrefetchSMS
+		smsCfg.PrefetcherName = "sms"
 		base, err := s.Run(name, baseCfg)
 		if err != nil {
 			return err

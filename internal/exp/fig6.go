@@ -36,9 +36,9 @@ func Fig6(s *Session) (*Fig6Result, error) {
 		}
 		for ki, kind := range kinds {
 			res, err := s.Run(name, sim.Config{
-				Coherence:  s.opts.MemorySystem(64),
-				Prefetcher: sim.PrefetchSMS,
-				SMS:        core.Config{Index: kind, PHTEntries: -1},
+				Coherence:      s.opts.MemorySystem(64),
+				PrefetcherName: "sms",
+				SMS:            core.Config{Index: kind, PHTEntries: -1},
 			})
 			if err != nil {
 				return err

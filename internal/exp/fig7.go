@@ -50,9 +50,9 @@ func Fig7(s *Session) (*Fig7Result, error) {
 					phtEntries = -1 // unbounded
 				}
 				res, err := s.Run(name, sim.Config{
-					Coherence:  s.opts.MemorySystem(64),
-					Prefetcher: sim.PrefetchSMS,
-					SMS:        core.Config{Index: kind, PHTEntries: phtEntries, PHTAssoc: 16},
+					Coherence:      s.opts.MemorySystem(64),
+					PrefetcherName: "sms",
+					SMS:            core.Config{Index: kind, PHTEntries: phtEntries, PHTAssoc: 16},
 				})
 				if err != nil {
 					return err

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"repro/internal/core"
+	"repro/internal/nextline"
 	"repro/internal/sectored"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -10,11 +11,14 @@ import (
 // TrainingStructure labels the Fig. 8 variants.
 type TrainingStructure string
 
-// Figure 8 training structures.
+// Figure 8 training structures, plus the next-line floor baseline (an
+// extension series: a spatial-pattern-free sequential prefetcher, added
+// through the sim registry).
 const (
 	TrainDS  TrainingStructure = "DS"
 	TrainLS  TrainingStructure = "LS"
 	TrainAGT TrainingStructure = "AGT"
+	TrainNL  TrainingStructure = "NL"
 )
 
 // Fig8Row is one (group, training structure) bar.
@@ -33,13 +37,15 @@ type Fig8Result struct {
 // sectored cache, logical sectored tags, AGT) with an unbounded PHT.
 // Coverage is measured against the traditional-cache baseline, so the DS
 // cache's extra conflict misses appear as uncovered misses beyond 100%.
+// A fourth series extends the figure with the next-line floor baseline,
+// selected purely by its registry name.
 func Fig8(s *Session) (*Fig8Result, error) {
 	names := WorkloadNames()
-	structures := []TrainingStructure{TrainDS, TrainLS, TrainAGT}
+	structures := []TrainingStructure{TrainDS, TrainLS, TrainAGT, TrainNL}
 
 	covs := make(map[string]map[TrainingStructure]sim.Coverage, len(names))
 	for _, n := range names {
-		covs[n] = make(map[TrainingStructure]sim.Coverage, 3)
+		covs[n] = make(map[TrainingStructure]sim.Coverage, len(structures))
 	}
 	err := parallelOver(names, func(_ int, name string) error {
 		base, err := s.Baseline(name)
@@ -48,9 +54,9 @@ func Fig8(s *Session) (*Fig8Result, error) {
 		}
 		// AGT: the standard SMS engine.
 		agt, err := s.Run(name, sim.Config{
-			Coherence:  s.opts.MemorySystem(64),
-			Prefetcher: sim.PrefetchSMS,
-			SMS:        core.Config{PHTEntries: -1},
+			Coherence:      s.opts.MemorySystem(64),
+			PrefetcherName: "sms",
+			SMS:            core.Config{PHTEntries: -1},
 		})
 		if err != nil {
 			return err
@@ -58,14 +64,23 @@ func Fig8(s *Session) (*Fig8Result, error) {
 		covs[name][TrainAGT] = agt.L1Coverage(base)
 		// LS: logical sectored tags beside the real cache.
 		ls, err := s.Run(name, sim.Config{
-			Coherence:  s.opts.MemorySystem(64),
-			Prefetcher: sim.PrefetchLS,
-			LS:         sectored.Config{PHTEntries: -1},
+			Coherence:      s.opts.MemorySystem(64),
+			PrefetcherName: "ls",
+			LS:             sectored.Config{PHTEntries: -1},
 		})
 		if err != nil {
 			return err
 		}
 		covs[name][TrainLS] = ls.L1Coverage(base)
+		// NL: the next-line floor baseline, by registry name.
+		nl, err := s.Run(name, sim.Config{
+			Coherence:      s.opts.MemorySystem(64),
+			PrefetcherName: nextline.Name,
+		})
+		if err != nil {
+			return err
+		}
+		covs[name][TrainNL] = nl.L1Coverage(base)
 		// DS: the sectored cache replaces the L1 entirely.
 		ds := s.runDS(name, sectored.Config{
 			CacheSize:  s.opts.MemorySystem(64).L1.Size,
@@ -161,7 +176,7 @@ func (s *Session) runDS(name string, cfg sectored.Config) dsOutcome {
 func (r *Fig8Result) Render() string {
 	t := NewTable("Figure 8: training structure comparison (unbounded PHT)",
 		"group", "training", "coverage", "uncovered", "overpredictions")
-	t.SetCaption("DS = decoupled sectored cache, LS = logical sectored tags, AGT = active generation table. DS constrains cache contents, so its uncovered misses can exceed 100% of the baseline.")
+	t.SetCaption("DS = decoupled sectored cache, LS = logical sectored tags, AGT = active generation table, NL = next-line floor baseline. DS constrains cache contents, so its uncovered misses can exceed 100% of the baseline.")
 	for _, row := range r.Rows {
 		t.AddRow(row.Group, string(row.Train),
 			Pct(row.Coverage.Covered), Pct(row.Coverage.Uncovered), Pct(row.Coverage.Overpredicted))

@@ -48,18 +48,18 @@ func Fig9(s *Session) (*Fig9Result, error) {
 				phtEntries = -1
 			}
 			agt, err := s.Run(name, sim.Config{
-				Coherence:  s.opts.MemorySystem(64),
-				Prefetcher: sim.PrefetchSMS,
-				SMS:        core.Config{PHTEntries: phtEntries, PHTAssoc: 16},
+				Coherence:      s.opts.MemorySystem(64),
+				PrefetcherName: "sms",
+				SMS:            core.Config{PHTEntries: phtEntries, PHTAssoc: 16},
 			})
 			if err != nil {
 				return err
 			}
 			covs[name][TrainAGT][zi] = agt.L1Coverage(base).Covered
 			ls, err := s.Run(name, sim.Config{
-				Coherence:  s.opts.MemorySystem(64),
-				Prefetcher: sim.PrefetchLS,
-				LS:         sectored.Config{PHTEntries: phtEntries, PHTAssoc: 16},
+				Coherence:      s.opts.MemorySystem(64),
+				PrefetcherName: "ls",
+				LS:             sectored.Config{PHTEntries: phtEntries, PHTAssoc: 16},
 			})
 			if err != nil {
 				return err

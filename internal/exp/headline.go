@@ -44,7 +44,7 @@ func Headline(s *Session) (*HeadlineResult, error) {
 			WindowInstructions: WindowInstructions,
 		}
 		smsCfg := baseCfg
-		smsCfg.Prefetcher = sim.PrefetchSMS
+		smsCfg.PrefetcherName = "sms"
 		base, err := s.Run(name, baseCfg)
 		if err != nil {
 			return err

@@ -6,13 +6,14 @@ package exp
 // paper's argument depends on.
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/workload"
 )
 
 func TestFig4Shape(t *testing.T) {
-	res, err := Fig4(sharedSession)
+	res, err := Fig4(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	res, err := Fig5(sharedSession)
+	res, err := Fig5(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	res, err := Fig7(sharedSession)
+	res, err := Fig7(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	res, err := Fig8(sharedSession)
+	res, err := Fig8(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,8 +164,31 @@ func TestFig8Shape(t *testing.T) {
 	}
 }
 
+// TestFig8NextLineSeries checks the registry-added next-line scheme shows
+// up as its own Fig. 8 series. It runs a tiny dedicated session so the
+// check still executes in -short (CI) mode.
+func TestFig8NextLineSeries(t *testing.T) {
+	s := NewSession(Options{CPUs: 2, Length: 30_000})
+	res, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := 0
+	for _, r := range res.Rows {
+		if r.Train == TrainNL {
+			nl++
+		}
+	}
+	if want := len(GroupNames()); nl != want {
+		t.Fatalf("NL rows = %d, want %d", nl, want)
+	}
+	if out := res.Render(); !strings.Contains(out, "NL") {
+		t.Errorf("render missing NL series:\n%s", out)
+	}
+}
+
 func TestFig9Shape(t *testing.T) {
-	res, err := Fig9(sharedSession)
+	res, err := Fig9(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +221,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	res, err := Fig10(sharedSession)
+	res, err := Fig10(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +245,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestAGTSizingShape(t *testing.T) {
-	res, err := AGTSizing(sharedSession)
+	res, err := AGTSizing(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +270,7 @@ func TestAGTSizingShape(t *testing.T) {
 }
 
 func TestAblateShape(t *testing.T) {
-	res, err := Ablate(sharedSession)
+	res, err := Ablate(quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}

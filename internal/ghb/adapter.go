@@ -1,0 +1,53 @@
+package ghb
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// SimPrefetcher adapts a GHB PC/DC prefetcher to the simulator's per-CPU
+// prefetcher interface (repro/internal/sim.Prefetcher, satisfied
+// structurally). GHB observes the L2 miss stream and prefetches into L2
+// (§4.6), so training emits prefetch addresses directly instead of
+// queueing rate-limited streams.
+type SimPrefetcher struct {
+	g *GHB
+}
+
+// NewSimPrefetcher builds a GHB for cfg and wraps it for the simulator.
+func NewSimPrefetcher(cfg Config) (*SimPrefetcher, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SimPrefetcher{g: g}, nil
+}
+
+// Predictor exposes the wrapped GHB.
+func (p *SimPrefetcher) Predictor() *GHB { return p.g }
+
+// Train observes the L2 miss stream (Nesbit & Smith train on L2 misses).
+// First-use hits on prefetched lines also train, so a correctly predicted
+// stream keeps running ahead instead of stalling every `degree` blocks.
+func (p *SimPrefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr {
+	if acc.Missed(coherence.LevelL2) || acc.L2PrefetchHit {
+		return p.g.Train(rec.PC, rec.Addr)
+	}
+	return nil
+}
+
+// Drain returns nothing: GHB issues its prefetches at train time.
+func (p *SimPrefetcher) Drain(int) []mem.Addr { return nil }
+
+// FillLevel reports that GHB prefetches into L2.
+func (p *SimPrefetcher) FillLevel() coherence.Level { return coherence.LevelL2 }
+
+// StreamEvicted is a no-op: GHB keeps no per-block state to clean up.
+func (p *SimPrefetcher) StreamEvicted(mem.Addr) {}
+
+// Invalidated is a no-op: GHB correlates deltas, not resident blocks.
+func (p *SimPrefetcher) Invalidated(mem.Addr) {}
+
+// Stats returns the predictor's Stats (a ghb.Stats).
+func (p *SimPrefetcher) Stats() any { return p.g.Stats() }

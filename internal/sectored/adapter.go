@@ -1,0 +1,54 @@
+package sectored
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// SimPrefetcher adapts the logical-sectored trainer to the simulator's
+// per-CPU prefetcher interface (repro/internal/sim.Prefetcher, satisfied
+// structurally). Like SMS it trains on every L1 access and streams into
+// L1, but its generations live in the logical sector tags, not the real
+// cache, so real-cache evictions do not end them.
+type SimPrefetcher struct {
+	ls *LogicalSectored
+}
+
+// NewSimPrefetcher builds a logical-sectored trainer for cfg and wraps it
+// for the simulator.
+func NewSimPrefetcher(cfg Config) (*SimPrefetcher, error) {
+	ls, err := NewLogicalSectored(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SimPrefetcher{ls: ls}, nil
+}
+
+// Trainer exposes the wrapped logical-sectored structure.
+func (p *SimPrefetcher) Trainer() *LogicalSectored { return p.ls }
+
+// Train records the access in the logical sector tags. Real-cache
+// evictions are ignored: the logical tags model their own (sectored)
+// contents and end generations on their own sector replacements.
+func (p *SimPrefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr {
+	p.ls.Access(rec.PC, rec.Addr)
+	return nil
+}
+
+// Drain pops up to max pending stream requests.
+func (p *SimPrefetcher) Drain(max int) []mem.Addr { return p.ls.NextStreamRequests(max) }
+
+// FillLevel reports that LS streams into L1.
+func (p *SimPrefetcher) FillLevel() coherence.Level { return coherence.LevelL1 }
+
+// StreamEvicted is a no-op: stream fills displace real-cache blocks, which
+// the logical tags do not track.
+func (p *SimPrefetcher) StreamEvicted(mem.Addr) {}
+
+// Invalidated ends the generation of an invalidated block: coherence
+// invalidations hit the logical tags as well as the real cache.
+func (p *SimPrefetcher) Invalidated(addr mem.Addr) { p.ls.BlockRemoved(addr) }
+
+// Stats returns the trainer's Stats (a sectored.Stats).
+func (p *SimPrefetcher) Stats() any { return p.ls.Stats() }

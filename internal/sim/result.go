@@ -58,6 +58,11 @@ type Result struct {
 	SMSStats []core.Stats
 	GHBStats []ghb.Stats
 	LSStats  []sectored.Stats
+
+	// PrefetcherStats holds per-CPU internals of registry schemes that
+	// have no dedicated field above (e.g. stride, nextline), in CPU
+	// order; the concrete type is whatever the engine's Stats returns.
+	PrefetcherStats []any
 }
 
 // Instructions returns the committed-instruction count covered by the

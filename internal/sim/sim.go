@@ -33,6 +33,10 @@ import (
 )
 
 // PrefetcherKind selects the prefetcher attached to the hierarchy.
+//
+// Deprecated: prefetchers are selected by registry name (see Register and
+// Config.PrefetcherName). The enum remains as a shim for existing callers
+// and maps onto the built-in names via Name.
 type PrefetcherKind int
 
 // Available prefetchers.
@@ -71,6 +75,26 @@ func (k PrefetcherKind) String() string {
 	}
 }
 
+// Name maps the deprecated enum onto the registry name of the built-in
+// scheme it selected. Unknown kinds map to an unregistered name, so
+// NewRunner reports them as unknown prefetchers.
+func (k PrefetcherKind) Name() string {
+	switch k {
+	case PrefetchNone:
+		return "none"
+	case PrefetchSMS:
+		return "sms"
+	case PrefetchLS:
+		return "ls"
+	case PrefetchGHB:
+		return "ghb"
+	case PrefetchStride:
+		return "stride"
+	default:
+		return fmt.Sprintf("PrefetcherKind(%d)", int(k))
+	}
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// Coherence describes the memory system (CPUs, L1, L2).
@@ -78,7 +102,15 @@ type Config struct {
 	// Geometry is the spatial region geometry used by SMS/LS and the
 	// generation trackers. Zero selects the 64 B / 2 kB default.
 	Geometry mem.Geometry
+	// PrefetcherName selects the attached prefetcher by registry name
+	// (see Register; built-ins: "none", "sms", "ls", "ghb", "stride").
+	// Empty falls back to the deprecated Prefetcher enum, whose zero
+	// value is the baseline system.
+	PrefetcherName string
 	// Prefetcher selects the attached prefetcher.
+	//
+	// Deprecated: set PrefetcherName instead. Ignored when
+	// PrefetcherName is non-empty.
 	Prefetcher PrefetcherKind
 	// SMS configures per-CPU SMS engines (Geometry is overridden by the
 	// run's Geometry).
@@ -130,6 +162,9 @@ const DefaultOverlapGap = 256
 const DefaultMaxMLP = 16
 
 func (c Config) withDefaults() Config {
+	if c.PrefetcherName == "" {
+		c.PrefetcherName = c.Prefetcher.Name()
+	}
 	if c.Coherence.CPUs == 0 {
 		c.Coherence = coherence.DefaultConfig()
 	}
@@ -153,10 +188,8 @@ type Runner struct {
 	cfg Config
 	sys *coherence.System
 
-	sms    []*core.SMS
-	ls     []*sectored.LogicalSectored
-	ghbs   []*ghb.GHB
-	strids []*stride.Prefetcher
+	pf     []Prefetcher // one engine per CPU; nil for the baseline
+	fillL1 bool         // cached pf[0].FillLevel() == LevelL1
 
 	gensL1 []*genTracker
 	gensL2 []*genTracker
@@ -168,7 +201,9 @@ type Runner struct {
 	win winState
 }
 
-// NewRunner builds a runner for cfg.
+// NewRunner builds a runner for cfg, attaching the prefetcher selected by
+// cfg.PrefetcherName (or the deprecated cfg.Prefetcher enum) from the
+// registry.
 func NewRunner(cfg Config) (*Runner, error) {
 	cfg = cfg.withDefaults()
 	sys, err := coherence.New(cfg.Coherence)
@@ -178,53 +213,24 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r := &Runner{cfg: cfg, sys: sys}
 	ncpu := cfg.Coherence.CPUs
 
-	switch cfg.Prefetcher {
-	case PrefetchNone:
-	case PrefetchSMS:
-		smsCfg := cfg.SMS
-		smsCfg.Geometry = cfg.Geometry
-		for i := 0; i < ncpu; i++ {
-			eng, err := core.New(smsCfg)
-			if err != nil {
-				return nil, err
-			}
-			r.sms = append(r.sms, eng)
+	ctor, err := lookup(cfg.PrefetcherName)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ncpu; i++ {
+		p, err := ctor(cfg)
+		if err != nil {
+			return nil, err
 		}
-	case PrefetchLS:
-		lsCfg := cfg.LS
-		lsCfg.Geometry = cfg.Geometry
-		if lsCfg.CacheSize == 0 {
-			lsCfg.CacheSize = cfg.Coherence.L1.Size
+		if p == nil {
+			// Baseline: the scheme attaches no engine.
+			r.pf = nil
+			break
 		}
-		for i := 0; i < ncpu; i++ {
-			t, err := sectored.NewLogicalSectored(lsCfg)
-			if err != nil {
-				return nil, err
-			}
-			r.ls = append(r.ls, t)
-		}
-	case PrefetchGHB:
-		gcfg := cfg.GHB
-		gcfg.BlockSize = cfg.Coherence.L1.BlockSize
-		for i := 0; i < ncpu; i++ {
-			g, err := ghb.New(gcfg)
-			if err != nil {
-				return nil, err
-			}
-			r.ghbs = append(r.ghbs, g)
-		}
-	case PrefetchStride:
-		scfg := cfg.Stride
-		scfg.BlockSize = cfg.Coherence.L1.BlockSize
-		for i := 0; i < ncpu; i++ {
-			p, err := stride.New(scfg)
-			if err != nil {
-				return nil, err
-			}
-			r.strids = append(r.strids, p)
-		}
-	default:
-		return nil, fmt.Errorf("sim: unknown prefetcher kind %d", int(cfg.Prefetcher))
+		r.pf = append(r.pf, p)
+	}
+	if len(r.pf) > 0 {
+		r.fillL1 = r.pf[0].FillLevel() == coherence.LevelL1
 	}
 
 	if cfg.TrackGenerations {
@@ -352,63 +358,29 @@ func (r *Runner) accountTraffic(acc coherence.AccessResult) {
 }
 
 // notifyPrefetcher trains the attached prefetcher and feeds it
-// generation-ending events.
+// generation-ending events. Addresses the engine returns from Train are
+// issued immediately (miss-triggered L2 prefetchers); queued streams are
+// rate-limited separately by issueStreams.
 func (r *Runner) notifyPrefetcher(cpu int, rec trace.Record, acc coherence.AccessResult) {
-	switch r.cfg.Prefetcher {
-	case PrefetchSMS:
-		eng := r.sms[cpu]
-		eng.Access(rec.PC, rec.Addr)
-		for _, ev := range acc.L1Evictions {
-			eng.BlockRemoved(ev.Addr)
-		}
-		// Overpredictions are judged at the L2 lifetime: an L1 victim
-		// with a surviving L2 copy may still be used from L2.
-		r.countL2Overpredictions(acc)
-		r.feedInvalidations(acc)
-	case PrefetchLS:
-		t := r.ls[cpu]
-		t.Access(rec.PC, rec.Addr)
-		r.countL2Overpredictions(acc)
-		r.feedInvalidationsLS(acc)
-	case PrefetchGHB:
-		if acc.Missed(coherence.LevelL2) || acc.L2PrefetchHit {
-			// GHB observes the L2 miss stream (Nesbit & Smith train on
-			// L2 misses; the paper applies GHB at L2). First-use hits
-			// on prefetched lines also train, so a correctly predicted
-			// stream keeps running ahead instead of stalling every
-			// `degree` blocks.
-			for _, a := range r.ghbs[cpu].Train(rec.PC, rec.Addr) {
-				r.stream(cpu, a)
-			}
-		}
-		r.countL2Overpredictions(acc)
-	case PrefetchStride:
-		if acc.Missed(coherence.LevelL2) || acc.L2PrefetchHit {
-			for _, a := range r.strids[cpu].Train(rec.PC, rec.Addr) {
-				r.stream(cpu, a)
-			}
-		}
-		r.countL2Overpredictions(acc)
-	default:
-		// Baseline: still count stray flags (none expected).
+	if r.pf == nil {
+		return
 	}
+	for _, a := range r.pf[cpu].Train(rec, acc) {
+		r.stream(cpu, a)
+	}
+	// Overpredictions are judged at the L2 lifetime: an L1 victim with a
+	// surviving L2 copy may still be used from L2.
+	r.countL2Overpredictions(acc)
+	r.feedInvalidations(acc)
 }
 
-// feedInvalidations forwards invalidations to the victims' SMS engines:
-// an invalidation ends the spatial region generation on the CPU that lost
+// feedInvalidations forwards invalidations to the victims' engines: an
+// invalidation ends the spatial region generation on the CPU that lost
 // the block (§2.1) and destroys streamed-but-unused lines.
 func (r *Runner) feedInvalidations(acc coherence.AccessResult) {
 	for _, inv := range acc.Invalidations {
 		if inv.L1 {
-			r.sms[inv.CPU].BlockRemoved(inv.Addr)
-		}
-	}
-}
-
-func (r *Runner) feedInvalidationsLS(acc coherence.AccessResult) {
-	for _, inv := range acc.Invalidations {
-		if inv.L1 {
-			r.ls[inv.CPU].BlockRemoved(inv.Addr)
+			r.pf[inv.CPU].Invalidated(inv.Addr)
 		}
 	}
 }
@@ -434,48 +406,38 @@ func (r *Runner) countL2Overpredictions(acc coherence.AccessResult) {
 // issueStreams pulls up to StreamRate requests from the CPU's streaming
 // engine and applies them to the memory system.
 func (r *Runner) issueStreams(cpu int) {
-	switch r.cfg.Prefetcher {
-	case PrefetchSMS:
-		for _, a := range r.sms[cpu].NextStreamRequests(r.cfg.StreamRate) {
-			r.stream(cpu, a)
-		}
-	case PrefetchLS:
-		for _, a := range r.ls[cpu].NextStreamRequests(r.cfg.StreamRate) {
-			r.stream(cpu, a)
-		}
+	if r.pf == nil {
+		return
+	}
+	for _, a := range r.pf[cpu].Drain(r.cfg.StreamRate) {
+		r.stream(cpu, a)
 	}
 }
 
-// stream applies one prefetch to the hierarchy: L1 fill for SMS/LS, L2
-// fill for the L2 prefetchers.
+// stream applies one prefetch to the hierarchy at the engine's fill
+// level: L1 engines (SMS, LS) stream into L1, the rest into L2.
 func (r *Runner) stream(cpu int, a mem.Addr) {
 	if r.warm {
 		r.res.StreamRequests++
 	}
-	switch r.cfg.Prefetcher {
-	case PrefetchSMS:
+	if r.fillL1 {
 		sres := r.sys.Stream(cpu, a)
 		for _, ev := range sres.L1Evictions {
-			r.sms[cpu].BlockRemoved(ev.Addr)
+			r.pf[cpu].StreamEvicted(ev.Addr)
 		}
 		r.accountStreamTraffic(sres)
 		r.countStreamL2Evictions(sres)
 		r.trackStreamEvictions(cpu, sres)
-	case PrefetchLS:
-		sres := r.sys.Stream(cpu, a)
-		r.accountStreamTraffic(sres)
-		r.countStreamL2Evictions(sres)
-		r.trackStreamEvictions(cpu, sres)
-	case PrefetchGHB, PrefetchStride:
-		sres := r.sys.L2Stream(cpu, a)
-		if r.warm && !sres.AlreadyPresent {
-			r.res.OffChipBlocks++
-		}
-		if r.warm {
-			for _, ev := range sres.L2Evictions {
-				if ev.Dirty {
-					r.res.OffChipBlocks++
-				}
+		return
+	}
+	sres := r.sys.L2Stream(cpu, a)
+	if r.warm && !sres.AlreadyPresent {
+		r.res.OffChipBlocks++
+	}
+	if r.warm {
+		for _, ev := range sres.L2Evictions {
+			if ev.Dirty {
+				r.res.OffChipBlocks++
 			}
 		}
 	}
@@ -558,15 +520,22 @@ func (r *Runner) finish() {
 	r.collectPredictorStats()
 }
 
+// collectPredictorStats gathers per-CPU engine internals. The built-in
+// predictors keep their typed Result fields; schemes added through the
+// registry land in the generic PrefetcherStats slice.
 func (r *Runner) collectPredictorStats() {
-	for _, eng := range r.sms {
-		st := eng.Stats()
-		r.res.SMSStats = append(r.res.SMSStats, st)
-	}
-	for _, g := range r.ghbs {
-		r.res.GHBStats = append(r.res.GHBStats, g.Stats())
-	}
-	for _, t := range r.ls {
-		r.res.LSStats = append(r.res.LSStats, t.Stats())
+	for _, p := range r.pf {
+		switch st := p.Stats().(type) {
+		case core.Stats:
+			r.res.SMSStats = append(r.res.SMSStats, st)
+		case ghb.Stats:
+			r.res.GHBStats = append(r.res.GHBStats, st)
+		case sectored.Stats:
+			r.res.LSStats = append(r.res.LSStats, st)
+		default:
+			// Nil stats are kept so the slice index stays the CPU
+			// number.
+			r.res.PrefetcherStats = append(r.res.PrefetcherStats, st)
+		}
 	}
 }

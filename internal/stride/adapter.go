@@ -1,0 +1,52 @@
+package stride
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// SimPrefetcher adapts a per-PC stride prefetcher to the simulator's
+// per-CPU prefetcher interface (repro/internal/sim.Prefetcher, satisfied
+// structurally). Like GHB it trains on the L2 miss stream and prefetches
+// into L2, emitting addresses directly at train time.
+type SimPrefetcher struct {
+	p *Prefetcher
+}
+
+// NewSimPrefetcher builds a stride prefetcher for cfg and wraps it for
+// the simulator.
+func NewSimPrefetcher(cfg Config) (*SimPrefetcher, error) {
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SimPrefetcher{p: p}, nil
+}
+
+// Predictor exposes the wrapped stride prefetcher.
+func (s *SimPrefetcher) Predictor() *Prefetcher { return s.p }
+
+// Train observes the L2 miss stream; first-use hits on prefetched lines
+// also train so steady strides keep running ahead.
+func (s *SimPrefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr {
+	if acc.Missed(coherence.LevelL2) || acc.L2PrefetchHit {
+		return s.p.Train(rec.PC, rec.Addr)
+	}
+	return nil
+}
+
+// Drain returns nothing: stride issues its prefetches at train time.
+func (s *SimPrefetcher) Drain(int) []mem.Addr { return nil }
+
+// FillLevel reports that stride prefetches into L2.
+func (s *SimPrefetcher) FillLevel() coherence.Level { return coherence.LevelL2 }
+
+// StreamEvicted is a no-op: no per-block state.
+func (s *SimPrefetcher) StreamEvicted(mem.Addr) {}
+
+// Invalidated is a no-op: no per-block state.
+func (s *SimPrefetcher) Invalidated(mem.Addr) {}
+
+// Stats returns the predictor's Stats (a stride.Stats).
+func (s *SimPrefetcher) Stats() any { return s.p.Stats() }
