@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test test-full bench
+.PHONY: ci fmt vet build test test-full bench bench-smoke
 
-ci: fmt vet build test
+ci: fmt vet build test bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -21,6 +21,8 @@ vet:
 build:
 	$(GO) build ./...
 
+# -race covers the concurrent subsystems (server singleflight/worker
+# pool, store, session) — their tests run in -short mode by design.
 test:
 	$(GO) test -short -race ./...
 
@@ -30,3 +32,9 @@ test-full:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark (no unit tests — those already ran):
+# catches bit-rotted benchmark code and exercises the store hit/miss
+# paths without measuring anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -short ./...

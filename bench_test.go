@@ -20,6 +20,7 @@ import (
 	"repro/internal/ghb"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/stride"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -184,6 +185,58 @@ func BenchmarkAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkFigureStore measures the cost of a figure regeneration against
+// a cold store (every simulation runs, results are persisted) versus a
+// warm one (the figure is a single store hit, zero simulations) — the gap
+// is what the persistent store buys repeated smsexp/smsd invocations.
+func BenchmarkFigureStore(b *testing.B) {
+	const figure = "fig8"
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := exp.NewSession(benchOptions())
+			s.SetStore(st)
+			b.StartTimer()
+			if _, err := s.Figure(figure); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		dir := b.TempDir()
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := exp.NewSession(benchOptions())
+		warm.SetStore(st)
+		if _, err := warm.Figure(figure); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh store handle and session per iteration models a new
+			// process hitting the same store directory.
+			st, err := store.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := exp.NewSession(benchOptions())
+			s.SetStore(st)
+			if _, err := s.Figure(figure); err != nil {
+				b.Fatal(err)
+			}
+			if s.Simulations() != 0 {
+				b.Fatalf("warm store ran %d simulations", s.Simulations())
+			}
+		}
+	})
+}
+
 // ---- component microbenchmarks ----
 
 func BenchmarkSMSAccess(b *testing.B) {
@@ -228,7 +281,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	runner := sim.MustNewRunner(sim.Config{Prefetcher: sim.PrefetchSMS})
+	runner := sim.MustNewRunner(sim.Config{PrefetcherName: "sms"})
 	src := w.Make(workload.Config{CPUs: 4, Seed: 1, Length: 1 << 62})
 	for i := 0; i < b.N; i++ {
 		rec, ok := src.Next()

@@ -1,0 +1,110 @@
+// Command smsd is the experiment daemon: a long-running HTTP server that
+// regenerates the paper's figures and runs ad-hoc simulations on demand,
+// deduplicating concurrent identical work and persisting every result in
+// a content-addressed store so nothing is ever simulated twice.
+//
+// Usage:
+//
+//	smsd -store /var/lib/smsd [-addr :8344] [-quick]
+//
+// Endpoints (see package repro/internal/server):
+//
+//	curl localhost:8344/v1/figures/fig8
+//	curl localhost:8344/v1/runs -d '{"workload":"oltp-db2","prefetcher":"sms"}'
+//	curl localhost:8344/v1/prefetchers
+//	curl localhost:8344/v1/workloads
+//	curl localhost:8344/healthz
+//	curl localhost:8344/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/server"
+
+	// Registered through the sim registry alone; imported so the scheme
+	// is selectable here even if no library path pulls it in.
+	_ "repro/internal/nextline"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8344", "listen address")
+		storeDir = flag.String("store", "", "result store directory (empty: in-memory caching only)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", server.DefaultQueue, "job queue bound (negative: no queueing)")
+		cpus     = flag.Int("cpus", 4, "simulated processors")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		length   = flag.Uint64("length", 1_200_000, "accesses per workload trace (half is warm-up)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		quick    = flag.Bool("quick", false, "abbreviated runs (overrides -cpus/-length)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *storeDir, *workers, *queue, *cpus, *seed, *length, *parallel, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "smsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uint64, parallel int, quick bool) error {
+	session := exp.NewSession(exp.CLIOptions(cpus, seed, length, parallel, quick))
+	if err := exp.AttachStore(session, storeDir); err != nil {
+		return err
+	}
+	if st := session.Store(); st != nil {
+		log.Printf("result store at %s", st.Dir())
+	} else {
+		log.Printf("no -store directory: results cached in memory only")
+	}
+
+	srv, err := server.New(server.Config{Session: session, Workers: workers, Queue: queue})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	o := session.Options()
+	log.Printf("smsd listening on %s (cpus=%d seed=%d length=%d)", addr, o.CPUs, o.Seed, o.Length)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	var serveErr error
+	select {
+	case serveErr = <-errc:
+		// The listener failed on its own (e.g. port in use).
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// Shutdown blocks until in-flight requests drain (or the
+		// timeout); only then may the deferred srv.Close stop the
+		// worker pool under them.
+		_ = httpSrv.Shutdown(shutdownCtx)
+		cancel()
+		serveErr = <-errc
+	}
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return nil
+}

@@ -6,162 +6,99 @@
 //	smsexp [flags] all
 //
 // Experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 agt fig11 fig12
-// fig13 ablate. Each prints a text table with the rows/series of the
-// corresponding figure in Somogyi et al., "Spatial Memory Streaming"
+// fig13 ablate headline. Each prints a text table with the rows/series of
+// the corresponding figure in Somogyi et al., "Spatial Memory Streaming"
 // (ISCA 2006).
+//
+// With -store DIR, simulation results and rendered figures persist in a
+// content-addressed store, so regenerating a figure a second time — in
+// this or any later process, including the smsd daemon — is a cache hit
+// that performs no simulations.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/exp"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main; it returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smsexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		cpus     = flag.Int("cpus", 4, "simulated processors")
-		seed     = flag.Int64("seed", 1, "workload generation seed")
-		length   = flag.Uint64("length", 1_200_000, "accesses per workload trace (half is warm-up)")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		quick    = flag.Bool("quick", false, "abbreviated runs (overrides -cpus/-length)")
+		cpus     = fs.Int("cpus", 4, "simulated processors")
+		seed     = fs.Int64("seed", 1, "workload generation seed")
+		length   = fs.Uint64("length", 1_200_000, "accesses per workload trace (half is warm-up)")
+		parallel = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		quick    = fs.Bool("quick", false, "abbreviated runs (overrides -cpus/-length)")
+		storeDir = fs.String("store", "", "persistent result store directory (reused across runs and by smsd)")
 	)
-	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() == 0 {
-		usage()
-		os.Exit(2)
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 
-	opts := exp.Options{CPUs: *cpus, Seed: *seed, Length: *length, Parallel: *parallel}
-	if *quick {
-		q := exp.QuickOptions()
-		q.Seed = *seed
-		q.Parallel = *parallel
-		opts = q
+	session := exp.NewSession(exp.CLIOptions(*cpus, *seed, *length, *parallel, *quick))
+	if err := exp.AttachStore(session, *storeDir); err != nil {
+		fmt.Fprintln(stderr, "smsexp:", err)
+		return 1
 	}
-	session := exp.NewSession(opts)
 
-	args := flag.Args()
+	args := fs.Args()
 	if len(args) == 1 && args[0] == "all" {
-		args = experimentOrder()
+		args = exp.ExperimentNames()
 	}
+	// Validate every experiment name up front so a typo at the end of the
+	// list cannot waste the simulations before it.
+	registry := exp.Experiments()
 	for _, name := range args {
-		run, ok := experiments()[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "smsexp: unknown experiment %q (have: %v)\n", name, experimentOrder())
-			os.Exit(2)
+		if _, ok := registry[name]; !ok {
+			fmt.Fprintf(stderr, "smsexp: unknown experiment %q\nknown experiments: %s\n",
+				name, strings.Join(exp.ExperimentNames(), " "))
+			return 2
 		}
+	}
+
+	for _, name := range args {
 		start := time.Now()
-		out, err := run(session)
+		out, err := session.Figure(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "smsexp: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "smsexp: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Println(out)
-		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(stdout, out)
+		fmt.Fprintf(stderr, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
-type runner func(*exp.Session) (string, error)
-
-func experiments() map[string]runner {
-	return map[string]runner{
-		"table1": func(s *exp.Session) (string, error) { return exp.Table1(s), nil },
-		"fig4": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig4(s)
-			return render(r, err)
-		},
-		"fig5": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig5(s)
-			return render(r, err)
-		},
-		"fig6": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig6(s)
-			return render(r, err)
-		},
-		"fig7": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig7(s)
-			return render(r, err)
-		},
-		"fig8": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig8(s)
-			return render(r, err)
-		},
-		"fig9": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig9(s)
-			return render(r, err)
-		},
-		"fig10": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig10(s)
-			return render(r, err)
-		},
-		"agt": func(s *exp.Session) (string, error) {
-			r, err := exp.AGTSizing(s)
-			return render(r, err)
-		},
-		"fig11": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig11(s)
-			return render(r, err)
-		},
-		"fig12": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig12(s)
-			return render(r, err)
-		},
-		"fig13": func(s *exp.Session) (string, error) {
-			r, err := exp.Fig12(s)
-			if err != nil {
-				return "", err
-			}
-			return r.RenderBreakdown(), nil
-		},
-		"ablate": func(s *exp.Session) (string, error) {
-			r, err := exp.Ablate(s)
-			return render(r, err)
-		},
-		"headline": func(s *exp.Session) (string, error) {
-			r, err := exp.Headline(s)
-			return render(r, err)
-		},
-	}
-}
-
-type renderable interface{ Render() string }
-
-func render(r renderable, err error) (string, error) {
-	if err != nil {
-		return "", err
-	}
-	return r.Render(), nil
-}
-
-func experimentOrder() []string {
-	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "agt", "fig11", "fig12", "fig13", "ablate", "headline"}
-	// Sanity: keep the map and the order in sync.
-	m := experiments()
-	if len(order) != len(m) {
-		keys := make([]string, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		return keys
-	}
-	return order
-}
-
-func usage() {
-	fmt.Fprintf(os.Stderr, `smsexp regenerates the figures of "Spatial Memory Streaming" (ISCA 2006).
+func usage(fs *flag.FlagSet, stderr io.Writer) {
+	fmt.Fprintf(stderr, `smsexp regenerates the figures of "Spatial Memory Streaming" (ISCA 2006).
 
 usage: smsexp [flags] <experiment> [<experiment> ...]
        smsexp [flags] all
 
-experiments: %v
+experiments: %s
 
 flags:
-`, experimentOrder())
-	flag.PrintDefaults()
+`, strings.Join(exp.ExperimentNames(), " "))
+	fs.PrintDefaults()
 }

@@ -1,39 +1,100 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
-
-	"repro/internal/exp"
 )
 
-func TestExperimentOrderMatchesMap(t *testing.T) {
-	order := experimentOrder()
-	m := experiments()
-	if len(order) != len(m) {
-		t.Fatalf("order has %d entries, map has %d", len(order), len(m))
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUnknownExperimentExitsNonZeroAndListsKnown(t *testing.T) {
+	code, _, stderr := runCLI(t, "fig99")
+	if code == 0 {
+		t.Fatal("unknown experiment exited zero")
 	}
-	seen := map[string]bool{}
-	for _, name := range order {
-		if _, ok := m[name]; !ok {
-			t.Errorf("ordered experiment %q missing from map", name)
-		}
-		if seen[name] {
-			t.Errorf("duplicate experiment %q", name)
-		}
-		seen[name] = true
-	}
-	for _, want := range []string{"table1", "fig4", "fig11", "fig12", "fig13", "agt", "ablate"} {
-		if !seen[want] {
-			t.Errorf("experiment %q not registered", want)
+	for _, want := range []string{"unknown experiment", "fig99", "table1", "fig8", "ablate"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
 		}
 	}
 }
 
-func TestTable1Runner(t *testing.T) {
-	s := exp.NewSession(exp.Options{CPUs: 1, Length: 10_000})
-	out, err := experiments()["table1"](s)
-	if err != nil || !strings.Contains(out, "Table 1") {
-		t.Fatalf("table1 runner: %v, %q", err, out)
+func TestUnknownExperimentRejectedBeforeAnyRuns(t *testing.T) {
+	// A bad name anywhere in the list must fail fast — even after valid
+	// names — so nothing simulates for a doomed invocation.
+	code, stdout, _ := runCLI(t, "-cpus", "1", "-length", "10000", "table1", "nope")
+	if code == 0 {
+		t.Fatal("bad trailing experiment exited zero")
+	}
+	if strings.Contains(stdout, "Table 1") {
+		t.Error("experiments ran before validation failed")
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Errorf("-h printed no usage:\n%s", stderr)
+	}
+}
+
+func TestNoArgumentsPrintsUsage(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage:") || !strings.Contains(stderr, "table1") {
+		t.Errorf("usage missing:\n%s", stderr)
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-cpus", "1", "-length", "10000", "table1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Table 1") {
+		t.Errorf("stdout missing table:\n%s", stdout)
+	}
+}
+
+func TestStoreFlagPersistsFigures(t *testing.T) {
+	dir := t.TempDir()
+	code, out1, stderr := runCLI(t, "-store", dir, "-cpus", "1", "-length", "10000", "table1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	// The rendered figure must now exist in the store.
+	matches, err := filepath.Glob(filepath.Join(dir, "figures", "*", "*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("stored figures = %v (%v)", matches, err)
+	}
+	// Second process over the same store: identical output.
+	code, out2, _ := runCLI(t, "-store", dir, "-cpus", "1", "-length", "10000", "table1")
+	if code != 0 || out2 != out1 {
+		t.Errorf("second run: exit %d, output match %v", code, out2 == out1)
+	}
+}
+
+func TestStoreFlagBadDirectoryFails(t *testing.T) {
+	// A file in place of the store directory must fail cleanly.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-store", f, "table1")
+	if code != 1 || !strings.Contains(stderr, "smsexp:") {
+		t.Errorf("exit = %d, stderr:\n%s", code, stderr)
 	}
 }

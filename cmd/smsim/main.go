@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,7 @@ func main() {
 		index      = flag.String("index", "PC+off", "SMS index: Addr | PC+addr | PC | PC+off")
 		pht        = flag.Int("pht", core.DefaultPHTEntries, "PHT entries (0 = unbounded)")
 		ghbEntries = flag.Int("ghb-entries", 256, "GHB history buffer entries")
+		storeDir   = flag.String("store", "", "persistent result store directory (shared with smsexp/smsd)")
 	)
 	flag.Parse()
 
@@ -79,15 +81,29 @@ func main() {
 	if pfName == "" {
 		pfName = "none"
 	}
+	cfg.PrefetcherName = pfName
 
-	runner, err := sim.New(pfName, cfg)
+	// Running through the experiment session gives smsim the same store
+	// flow and the same key derivation as smsexp and the smsd daemon: an
+	// identical earlier run from any of the three is served from disk.
+	session := exp.NewSession(opts)
+	if err := exp.AttachStore(session, *storeDir); err != nil {
+		fatal(err)
+	}
+	res, err := session.Run(w.Name, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	res := runner.Run(w.Make(workload.Config{CPUs: *cpus, Seed: *seed, Length: *length}))
 
 	fmt.Printf("workload        %s (%s)\n", w.Name, w.Group)
 	fmt.Printf("prefetcher      %s\n", pfName)
+	if session.Store() != nil {
+		state := "miss (simulated and stored)"
+		if session.Simulations() == 0 {
+			state = "hit (served from store)"
+		}
+		fmt.Printf("store           %s, key %s\n", state, session.RunKey(w.Name, cfg)[:12])
+	}
 	fmt.Printf("accesses        %d (reads %d, writes %d)\n", res.Accesses, res.Reads, res.Writes)
 	fmt.Printf("L1 read misses  %d (%.2f%% of reads)\n", res.L1ReadMisses, 100*res.L1MissesPerAccess())
 	fmt.Printf("off-chip reads  %d (%.2f%% of reads)\n", res.OffChipReadMisses, 100*res.OffChipMissesPerAccess())
@@ -112,6 +128,20 @@ func main() {
 		fmt.Printf("GHB[cpu%d]       trains=%d matches=%d prefetches=%d\n", cpu, st.Trains, st.Matches, st.Prefetches)
 	}
 	for cpu, st := range res.PrefetcherStats {
+		// Rendered as JSON, normalized through a generic value (maps
+		// marshal with sorted keys), so a typed struct (fresh run) and
+		// the map a store hit decodes to print identically.
+		data, err := json.Marshal(st)
+		if err == nil {
+			var norm any
+			if json.Unmarshal(data, &norm) == nil {
+				if d, err := json.Marshal(norm); err == nil {
+					data = d
+				}
+			}
+			fmt.Printf("%s[cpu%d]  %s\n", pfName, cpu, data)
+			continue
+		}
 		fmt.Printf("%s[cpu%d]  %+v\n", pfName, cpu, st)
 	}
 }

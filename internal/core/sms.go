@@ -78,6 +78,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Canonical returns the configuration with zero fields resolved to the
+// paper defaults and every "unbounded"/"disabled" (<0) spelling
+// normalized to -1. Unlike the constructor-side resolution — which folds
+// <0 into an internal 0-means-unbounded encoding — Canonical is
+// idempotent, which the result store requires of anything it hashes.
+func (c Config) Canonical() Config {
+	if c.Geometry == (mem.Geometry{}) {
+		c.Geometry = mem.DefaultGeometry()
+	}
+	norm := func(v, def int) int {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return -1
+		}
+		return v
+	}
+	c.FilterEntries = norm(c.FilterEntries, DefaultFilterEntries)
+	c.AccumEntries = norm(c.AccumEntries, DefaultAccumEntries)
+	c.PHTEntries = norm(c.PHTEntries, DefaultPHTEntries)
+	c.PHTAssoc = norm(c.PHTAssoc, DefaultPHTAssoc)
+	c.PredictionRegisters = norm(c.PredictionRegisters, DefaultPredictionRegisters)
+	return c
+}
+
 // PredictionRegister holds one in-flight predicted stream (§3.2): the
 // region base address and the remaining pattern bits to stream.
 type PredictionRegister struct {

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -47,6 +49,33 @@ func QuickOptions() Options {
 	return Options{CPUs: 2, Seed: 1, Length: 200_000}
 }
 
+// CLIOptions resolves the standard CLI flag set shared by smsexp and
+// smsd: -quick overrides -cpus/-length but keeps the seed and
+// parallelism the caller asked for.
+func CLIOptions(cpus int, seed int64, length uint64, parallel int, quick bool) Options {
+	if quick {
+		q := QuickOptions()
+		q.Seed = seed
+		q.Parallel = parallel
+		return q
+	}
+	return Options{CPUs: cpus, Seed: seed, Length: length, Parallel: parallel}
+}
+
+// AttachStore opens the store at dir and attaches it to the session; an
+// empty dir is a no-op. It is the one place the CLIs wire -store.
+func AttachStore(s *Session, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	s.SetStore(st)
+	return nil
+}
+
 func (o Options) normalized() Options {
 	if o.CPUs <= 0 {
 		o.CPUs = 4
@@ -71,14 +100,28 @@ func (o Options) MemorySystem(blockSize int) coherence.Config {
 	}
 }
 
-// Session runs and caches simulations.
+// Session runs and caches simulations. With a Store attached (SetStore),
+// results also persist across processes: any run whose full identity —
+// workload, generation config, simulator config, prefetcher — matches a
+// stored object is served from the store instead of being resimulated.
 type Session struct {
 	opts Options
 
 	mu    sync.Mutex
 	cache map[string]*sim.Result
+	order []string // cache keys in insertion order, for eviction
 	sem   chan struct{}
+
+	store *store.Store
+	sims  atomic.Uint64
 }
+
+// maxCachedResults bounds the in-memory result cache. A figure grid needs
+// a few hundred distinct runs, so no figure regeneration ever evicts its
+// own working set; the bound only matters to a long-running smsd serving
+// unbounded distinct /v1/runs configurations, where evicted results
+// remain a store read away.
+const maxCachedResults = 4096
 
 // NewSession builds a session with the given options.
 func NewSession(opts Options) *Session {
@@ -93,9 +136,59 @@ func NewSession(opts Options) *Session {
 // Options returns the session's resolved options.
 func (s *Session) Options() Options { return s.opts }
 
+// SetStore attaches a persistent result store. It must be called before
+// the session runs anything.
+func (s *Session) SetStore(st *store.Store) { s.store = st }
+
+// Store returns the attached store (nil when none).
+func (s *Session) Store() *store.Store { return s.store }
+
+// Simulations returns how many actual simulations this session executed —
+// cache and store hits excluded. It is the "did we really resimulate?"
+// probe used by tests and the smsd metrics endpoint.
+func (s *Session) Simulations() uint64 { return s.sims.Load() }
+
 // runKey builds the memoization key for (workload, sim config).
 func runKey(name string, cfg sim.Config) string {
 	return fmt.Sprintf("%s|%+v", name, cfg)
+}
+
+// workloadConfig is the generation config every run of this session uses.
+func (s *Session) workloadConfig() workload.Config {
+	return workload.Config{CPUs: s.opts.CPUs, Seed: s.opts.Seed, Length: s.opts.Length}
+}
+
+// RunKey returns the store address Session.Run uses for (name, cfg),
+// including the session's warm-up convention. The smsd daemon keys its
+// singleflight and response on this, so it cannot diverge from what the
+// session actually persists.
+func (s *Session) RunKey(name string, cfg sim.Config) string {
+	cfg.WarmupAccesses = s.opts.Length / 2
+	return store.ForRun(name, s.workloadConfig(), cfg)
+}
+
+// CachedRun reports a run already available without simulating — in the
+// session's memory cache or one store read away. It is the cheap probe
+// the smsd daemon uses before committing a worker to a /v1/runs request;
+// a probe miss is not counted in the store stats (Session.Run's own
+// lookup will count the logical miss exactly once).
+func (s *Session) CachedRun(name string, cfg sim.Config) (*sim.Result, bool) {
+	cfg.WarmupAccesses = s.opts.Length / 2
+	key := runKey(name, cfg)
+	s.mu.Lock()
+	if res, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return res, true
+	}
+	s.mu.Unlock()
+	if s.store == nil {
+		return nil, false
+	}
+	if res, ok := s.store.ProbeResult(s.RunKey(name, cfg)); ok {
+		s.cachePut(key, res)
+		return res, true
+	}
+	return nil, false
 }
 
 // Run simulates workload name under cfg (warm-up set to half the trace),
@@ -123,6 +216,15 @@ func (s *Session) Run(name string, cfg sim.Config) (*sim.Result, error) {
 	}
 	s.mu.Unlock()
 
+	var storeKey string
+	if s.store != nil {
+		storeKey = s.RunKey(name, cfg)
+		if res, ok := s.store.GetResult(storeKey); ok {
+			s.cachePut(key, res)
+			return res, nil
+		}
+	}
+
 	w, err := workload.ByName(name)
 	if err != nil {
 		return nil, err
@@ -131,13 +233,32 @@ func (s *Session) Run(name string, cfg sim.Config) (*sim.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", name, err)
 	}
-	src := w.Make(workload.Config{CPUs: s.opts.CPUs, Seed: s.opts.Seed, Length: s.opts.Length})
-	res := runner.Run(src)
+	s.sims.Add(1)
+	res := runner.Run(w.Make(s.workloadConfig()))
 
-	s.mu.Lock()
-	s.cache[key] = res
-	s.mu.Unlock()
+	if s.store != nil {
+		// The store is a cache: a failed write must not lose the result.
+		_ = s.store.PutResult(storeKey, res)
+	}
+	s.cachePut(key, res)
 	return res, nil
+}
+
+// cachePut inserts a result, evicting the oldest entries past the bound
+// (insertion order: with a store attached evicted results stay one disk
+// read away, and without one the bound is far above any figure grid).
+func (s *Session) cachePut(key string, res *sim.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cache[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.cache[key] = res
+	for len(s.cache) > maxCachedResults {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.cache, oldest)
+	}
 }
 
 // Baseline runs workload name with no prefetcher on the standard memory

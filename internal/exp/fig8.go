@@ -124,6 +124,7 @@ func (s *Session) runDS(name string, cfg sectored.Config) dsOutcome {
 	if err != nil {
 		return dsOutcome{}
 	}
+	s.sims.Add(1)
 	src := w.Make(workload.Config{CPUs: s.opts.CPUs, Seed: s.opts.Seed, Length: s.opts.Length})
 	warmup := s.opts.Length / 2
 

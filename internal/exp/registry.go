@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/store"
+)
+
+// Runner regenerates one experiment (a figure or table of the paper) as
+// rendered text. The smsexp CLI and the smsd daemon both dispatch through
+// this registry.
+type Runner func(*Session) (string, error)
+
+type renderable interface{ Render() string }
+
+func rendered(r renderable, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// Experiments returns the experiment registry: name → runner for every
+// figure and table reproduced from the paper.
+func Experiments() map[string]Runner {
+	return map[string]Runner{
+		"table1": func(s *Session) (string, error) { return Table1(s), nil },
+		"fig4": func(s *Session) (string, error) {
+			r, err := Fig4(s)
+			return rendered(r, err)
+		},
+		"fig5": func(s *Session) (string, error) {
+			r, err := Fig5(s)
+			return rendered(r, err)
+		},
+		"fig6": func(s *Session) (string, error) {
+			r, err := Fig6(s)
+			return rendered(r, err)
+		},
+		"fig7": func(s *Session) (string, error) {
+			r, err := Fig7(s)
+			return rendered(r, err)
+		},
+		"fig8": func(s *Session) (string, error) {
+			r, err := Fig8(s)
+			return rendered(r, err)
+		},
+		"fig9": func(s *Session) (string, error) {
+			r, err := Fig9(s)
+			return rendered(r, err)
+		},
+		"fig10": func(s *Session) (string, error) {
+			r, err := Fig10(s)
+			return rendered(r, err)
+		},
+		"agt": func(s *Session) (string, error) {
+			r, err := AGTSizing(s)
+			return rendered(r, err)
+		},
+		"fig11": func(s *Session) (string, error) {
+			r, err := Fig11(s)
+			return rendered(r, err)
+		},
+		"fig12": func(s *Session) (string, error) {
+			r, err := Fig12(s)
+			return rendered(r, err)
+		},
+		"fig13": func(s *Session) (string, error) {
+			r, err := Fig12(s)
+			if err != nil {
+				return "", err
+			}
+			return r.RenderBreakdown(), nil
+		},
+		"ablate": func(s *Session) (string, error) {
+			r, err := Ablate(s)
+			return rendered(r, err)
+		},
+		"headline": func(s *Session) (string, error) {
+			r, err := Headline(s)
+			return rendered(r, err)
+		},
+	}
+}
+
+// ExperimentNames returns the registry's names in the paper's order.
+func ExperimentNames() []string {
+	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "agt", "fig11", "fig12", "fig13", "ablate", "headline"}
+	// Sanity: keep the map and the order in sync; fall back to a sorted
+	// listing if they ever drift so no experiment becomes unreachable.
+	m := Experiments()
+	if len(order) != len(m) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	return order
+}
+
+// Figure runs the named experiment through the figure-level store cache.
+// Unknown names report the known set.
+func (s *Session) Figure(name string) (string, error) {
+	run, ok := Experiments()[name]
+	if !ok {
+		return "", fmt.Errorf("exp: unknown experiment %q (have: %v)", name, ExperimentNames())
+	}
+	return s.RunFigure(name, run)
+}
+
+// CachedFigure reports the named figure if it is already persisted in
+// the store, computing nothing. It is the cheap fast path the smsd
+// daemon probes before committing a worker to a figure request; a probe
+// miss is not counted in the store stats (RunFigure's own lookup will
+// count the logical miss exactly once).
+func (s *Session) CachedFigure(name string) (string, bool) {
+	if s.store == nil {
+		return "", false
+	}
+	return s.store.ProbeFigure(store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length))
+}
+
+// RunFigure executes run under the figure-level store cache: with a store
+// attached, a rendered figure is keyed by (experiment name, session
+// options) and a hit skips every simulation behind it — including ones,
+// like the Fig. 8 decoupled-sectored study, that bypass Session.Run.
+func (s *Session) RunFigure(name string, run Runner) (string, error) {
+	if s.store == nil {
+		return run(s)
+	}
+	key := store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length)
+	if text, ok := s.store.GetFigure(key); ok {
+		return text, nil
+	}
+	text, err := run(s)
+	if err != nil {
+		return "", err
+	}
+	// The store is a cache: a failed write must not lose the figure.
+	_ = s.store.PutFigure(key, text)
+	return text, nil
+}

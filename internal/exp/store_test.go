@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ghb"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// tinyOpts keeps the store-integration tests fast enough for -short runs.
+func tinyOpts() Options { return Options{CPUs: 1, Seed: 1, Length: 20_000} }
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRunStorePersistsAcrossSessions: a second session over the same
+// store directory serves Session.Run from the store without simulating.
+func TestRunStorePersistsAcrossSessions(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := NewSession(tinyOpts())
+	s1.SetStore(openStore(t, dir))
+	cfg := sim.Config{Coherence: s1.Options().MemorySystem(64), PrefetcherName: "sms"}
+	a, err := s1.Run("sparse", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Simulations() != 1 {
+		t.Fatalf("simulations = %d, want 1", s1.Simulations())
+	}
+
+	s2 := NewSession(tinyOpts())
+	s2.SetStore(openStore(t, dir))
+	b, err := s2.Run("sparse", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Simulations() != 0 {
+		t.Fatalf("second session simulated %d times, want 0", s2.Simulations())
+	}
+	if b.L1ReadMisses != a.L1ReadMisses || b.Accesses != a.Accesses {
+		t.Errorf("stored result differs: %+v vs %+v", b, a)
+	}
+	st := s2.Store().Stats()
+	if st.Hits == 0 || st.Misses != 0 {
+		t.Errorf("store stats = %+v, want hits only", st)
+	}
+}
+
+// TestFigureStoreSkipsAllSimulations is the acceptance criterion for the
+// result store: regenerating fig8 against a warm store performs zero
+// simulations — including the decoupled-sectored runs that bypass
+// Session.Run — and the store reports hits only.
+func TestFigureStoreSkipsAllSimulations(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := NewSession(tinyOpts())
+	s1.SetStore(openStore(t, dir))
+	out1, err := s1.Figure("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Simulations() == 0 {
+		t.Fatal("cold run simulated nothing")
+	}
+
+	s2 := NewSession(tinyOpts())
+	s2.SetStore(openStore(t, dir))
+	out2, err := s2.Figure("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != out1 {
+		t.Error("stored figure differs from computed one")
+	}
+	if got := s2.Simulations(); got != 0 {
+		t.Fatalf("warm run simulated %d times, want 0", got)
+	}
+	st := s2.Store().Stats()
+	if st.Misses != 0 || st.Hits == 0 {
+		t.Fatalf("store stats = %+v, want hits only", st)
+	}
+	// (Option scoping of figure keys is covered by the store package's
+	// TestForFigureKeys.)
+}
+
+// TestRunKeyCrossToolEquivalence pins the cache-key contract: smsim
+// spells sub-config defaults out explicitly, smsd leaves them implicit,
+// and both must address the same stored object.
+func TestRunKeyCrossToolEquivalence(t *testing.T) {
+	s := NewSession(Options{CPUs: 4, Seed: 1, Length: 1_200_000})
+	coh := s.Options().MemorySystem(64)
+
+	// As cmd/smsim builds it: defaults written out.
+	explicit := sim.Config{
+		Coherence:      coh,
+		Geometry:       mem.DefaultGeometry(),
+		WarmupAccesses: 600_000,
+		PrefetcherName: "sms",
+		SMS:            core.Config{Index: core.IndexPCOffset, PHTEntries: core.DefaultPHTEntries},
+		GHB:            ghb.Config{HistoryEntries: 256},
+	}
+	// As smsd's POST /v1/runs builds it: defaults left zero.
+	implicit := sim.Config{Coherence: coh, PrefetcherName: "sms"}
+
+	if a, b := s.RunKey("oltp-db2", explicit), s.RunKey("oltp-db2", implicit); a != b {
+		t.Errorf("explicit and implicit defaults hash differently:\n%s\n%s", a, b)
+	}
+
+	// The unbounded spelling stays distinct from the resolved default.
+	unbounded := implicit
+	unbounded.SMS.PHTEntries = -1
+	if s.RunKey("oltp-db2", implicit) == s.RunKey("oltp-db2", unbounded) {
+		t.Error("unbounded PHT hashed like the default-size PHT")
+	}
+}
+
+// TestResultCacheBounded: the in-memory result cache evicts past its
+// bound (a long-running smsd must not grow without limit), oldest first.
+func TestResultCacheBounded(t *testing.T) {
+	s := NewSession(tinyOpts())
+	res := &sim.Result{}
+	for i := 0; i < maxCachedResults+10; i++ {
+		s.cachePut(fmt.Sprintf("key-%d", i), res)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cache) != maxCachedResults {
+		t.Fatalf("cache holds %d entries, want %d", len(s.cache), maxCachedResults)
+	}
+	if _, ok := s.cache["key-0"]; ok {
+		t.Error("oldest entry not evicted")
+	}
+	if _, ok := s.cache[fmt.Sprintf("key-%d", maxCachedResults+9)]; !ok {
+		t.Error("newest entry missing")
+	}
+}
+
+func TestFigureUnknownName(t *testing.T) {
+	s := NewSession(tinyOpts())
+	if _, err := s.Figure("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentNamesMatchRegistry(t *testing.T) {
+	names := ExperimentNames()
+	m := Experiments()
+	if len(names) != len(m) {
+		t.Fatalf("order has %d entries, map has %d", len(names), len(m))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if _, ok := m[n]; !ok {
+			t.Errorf("ordered experiment %q missing from map", n)
+		}
+		if seen[n] {
+			t.Errorf("duplicate experiment %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"table1", "fig4", "fig11", "fig12", "fig13", "agt", "ablate"} {
+		if !seen[want] {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+}

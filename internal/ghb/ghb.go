@@ -68,6 +68,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Canonical returns the configuration with every default resolved — the
+// idempotent form the result store hashes.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	c = c.withDefaults()

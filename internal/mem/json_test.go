@@ -1,0 +1,46 @@
+package mem
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestGeometryJSONRoundTrip(t *testing.T) {
+	for _, g := range []Geometry{DefaultGeometry(), MustGeometry(64, 128), MustGeometry(32, 8192), {}} {
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		var got Geometry
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if got != g {
+			t.Errorf("round trip %v -> %s -> %v", g, data, got)
+		}
+	}
+}
+
+func TestGeometryJSONStableForm(t *testing.T) {
+	data, err := json.Marshal(DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"block_size":64,"region_size":2048}`; string(data) != want {
+		t.Errorf("wire form = %s, want %s", data, want)
+	}
+}
+
+func TestGeometryJSONRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{
+		`{"block_size":48,"region_size":2048}`, // not a power of two
+		`{"block_size":64,"region_size":32}`,   // region smaller than block
+		`{"block_size":64}`,                    // missing region
+		`"not an object"`,
+	} {
+		var g Geometry
+		if err := json.Unmarshal([]byte(bad), &g); err == nil {
+			t.Errorf("%s: accepted", bad)
+		}
+	}
+}

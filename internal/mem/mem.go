@@ -10,6 +10,7 @@
 package mem
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
 )
@@ -108,4 +109,32 @@ func (g Geometry) BlockOfRegion(base Addr, offset int) Addr {
 func (g Geometry) String() string {
 	return fmt.Sprintf("geometry{block=%dB region=%dB blocks/region=%d}",
 		g.BlockSize(), g.RegionSize(), g.BlocksPerRegion())
+}
+
+// geometryJSON is the stable wire form of a Geometry: plain byte sizes
+// rather than the internal log2 representation, so stored configurations
+// and HTTP payloads stay readable and survive representation changes.
+type geometryJSON struct {
+	BlockSize  int `json:"block_size"`
+	RegionSize int `json:"region_size"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g Geometry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(geometryJSON{BlockSize: g.BlockSize(), RegionSize: g.RegionSize()})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the sizes through
+// NewGeometry.
+func (g *Geometry) UnmarshalJSON(data []byte) error {
+	var w geometryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("mem: decoding geometry: %w", err)
+	}
+	ng, err := NewGeometry(w.BlockSize, w.RegionSize)
+	if err != nil {
+		return err
+	}
+	*g = ng
+	return nil
 }

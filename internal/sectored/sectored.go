@@ -74,6 +74,35 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Canonical returns the configuration with zero fields resolved to the
+// defaults and the "unbounded" (<0) PHT spelling normalized to -1; it is
+// the idempotent form the result store hashes (withDefaults, which folds
+// <0 into the internal 0-means-unbounded encoding, is not).
+func (c Config) Canonical() Config {
+	if c.Geometry == (mem.Geometry{}) {
+		c.Geometry = mem.DefaultGeometry()
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 32 << 10
+	}
+	if c.Assoc == 0 {
+		c.Assoc = 2
+	}
+	switch {
+	case c.PHTEntries == 0:
+		c.PHTEntries = core.DefaultPHTEntries
+	case c.PHTEntries < 0:
+		c.PHTEntries = -1
+	}
+	if c.PHTAssoc == 0 {
+		c.PHTAssoc = core.DefaultPHTAssoc
+	}
+	if c.PredictionRegisters == 0 {
+		c.PredictionRegisters = core.DefaultPredictionRegisters
+	}
+	return c
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	c = c.withDefaults()

@@ -1,0 +1,417 @@
+// Package server implements the smsd experiment daemon: an HTTP front end
+// over the experiment harness that serves the paper's figures and ad-hoc
+// simulation runs, backed by the persistent result store.
+//
+// Endpoints:
+//
+//	GET  /v1/figures/{name}  rendered figure text (table1, fig4..fig13, agt, ablate, ...)
+//	POST /v1/runs            one workload/prefetcher simulation → sim.Result JSON
+//	GET  /v1/prefetchers     registered prefetcher names
+//	GET  /v1/workloads       registered workloads (name, group, description)
+//	GET  /healthz            liveness probe
+//	GET  /metrics            plain-text metrics (Prometheus exposition style)
+//
+// All simulation work funnels through a bounded worker pool with a job
+// queue, and identical requests are deduplicated singleflight-style: N
+// concurrent requests for the same uncached figure trigger exactly one
+// underlying computation, with every caller receiving its output. When
+// the queue is full the server sheds load with 503 instead of queueing
+// unbounded work.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exp"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ErrBusy is returned (as 503) when the job queue is full.
+var ErrBusy = errors.New("server: job queue full")
+
+// Config parameterizes a Server.
+type Config struct {
+	// Session executes and caches the simulations (required). Attach a
+	// store to it for cross-process persistence.
+	Session *exp.Session
+	// Workers bounds concurrently executing jobs (0 = GOMAXPROCS).
+	Workers int
+	// Queue bounds jobs waiting for a worker (0 = DefaultQueue,
+	// negative = no queueing: a job either starts immediately or is
+	// rejected).
+	Queue int
+	// Experiments overrides the figure registry (nil = exp.Experiments()).
+	// Tests use this to observe and stall figure computations.
+	Experiments map[string]exp.Runner
+}
+
+// DefaultQueue is the default job-queue bound.
+const DefaultQueue = 64
+
+// Server is the smsd HTTP daemon state.
+type Server struct {
+	session     *exp.Session
+	experiments map[string]exp.Runner
+	names       []string
+
+	jobs    chan func()
+	done    chan struct{}
+	wg      sync.WaitGroup
+	workers int
+
+	mu     sync.Mutex
+	flight map[string]*call
+
+	requests     atomic.Uint64
+	jobsExecuted atomic.Uint64
+	deduped      atomic.Uint64
+	rejected     atomic.Uint64
+	failures     atomic.Uint64
+}
+
+// call is one in-flight computation; followers block on done.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New builds a Server and starts its worker pool. Call Close to stop it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Session == nil {
+		return nil, fmt.Errorf("server: Config.Session is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	queue := cfg.Queue
+	switch {
+	case queue == 0:
+		queue = DefaultQueue
+	case queue < 0:
+		queue = 0
+	}
+	experiments := cfg.Experiments
+	var names []string
+	if experiments == nil {
+		experiments = exp.Experiments()
+		names = exp.ExperimentNames()
+	} else {
+		for name := range experiments {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+
+	s := &Server{
+		session:     cfg.Session,
+		experiments: experiments,
+		names:       names,
+		jobs:        make(chan func(), queue),
+		done:        make(chan struct{}),
+		workers:     workers,
+		flight:      make(map[string]*call),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-s.done:
+					return
+				case job := <-s.jobs:
+					s.jobsExecuted.Add(1)
+					job()
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Close stops the worker pool. Queued-but-unstarted jobs are abandoned,
+// so Close belongs after the HTTP listener has drained.
+func (s *Server) Close() {
+	close(s.done)
+	s.wg.Wait()
+}
+
+// submit hands a job to the pool without blocking.
+func (s *Server) submit(job func()) bool {
+	select {
+	case s.jobs <- job:
+		return true
+	default:
+		s.rejected.Add(1)
+		return false
+	}
+}
+
+// do runs fn through the worker pool, deduplicating concurrent calls with
+// the same key: exactly one execution happens and every caller gets its
+// outcome.
+func (s *Server) do(key string, fn func() (any, error)) (any, error) {
+	s.mu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[key] = c
+	s.mu.Unlock()
+
+	finish := func() {
+		s.mu.Lock()
+		delete(s.flight, key)
+		s.mu.Unlock()
+		close(c.done)
+	}
+	if !s.submit(func() {
+		c.val, c.err = fn()
+		finish()
+	}) {
+		c.err = ErrBusy
+		finish()
+	}
+	<-c.done
+	return c.val, c.err
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/prefetchers", s.handlePrefetchers)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	mux.HandleFunc("POST /v1/runs", s.handleRun)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// errorDoc is the JSON error body.
+type errorDoc struct {
+	Error string   `json:"error"`
+	Known []string `json:"known,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	run, ok := s.experiments[name]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{
+			Error: fmt.Sprintf("unknown figure %q", name),
+			Known: s.names,
+		})
+		return
+	}
+	// Fast path: a figure already persisted in the store is one disk
+	// read — serve it without burning a worker slot, so cached figures
+	// stay available even when the pool is saturated with simulations.
+	if text, ok := s.session.CachedFigure(name); ok {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, text)
+		return
+	}
+	val, err := s.do("figure/"+name, func() (any, error) {
+		return s.session.RunFigure(name, run)
+	})
+	switch {
+	case errors.Is(err, ErrBusy):
+		s.failures.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
+	case err != nil:
+		s.failures.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, val.(string))
+	}
+}
+
+// RunRequest asks for one simulation under the daemon's session options.
+type RunRequest struct {
+	// Workload is a registered workload name (see GET /v1/workloads).
+	Workload string `json:"workload"`
+	// Prefetcher is a registered prefetcher name (see GET /v1/prefetchers);
+	// empty selects the baseline system.
+	Prefetcher string `json:"prefetcher"`
+	// RegionSize optionally overrides the spatial region size in bytes
+	// (power of two, ≥ the 64 B block size).
+	RegionSize int `json:"region_size,omitempty"`
+}
+
+// RunResponse carries one simulation outcome.
+type RunResponse struct {
+	Workload   string      `json:"workload"`
+	Prefetcher string      `json:"prefetcher"`
+	Key        string      `json:"key"`
+	Result     *sim.Result `json:"result"`
+}
+
+// runConfig translates a request into the simulator config the session
+// will execute, mirroring the experiment harness conventions (standard
+// memory system, half-trace warm-up applied by Session.Run).
+func (s *Server) runConfig(req RunRequest) (sim.Config, error) {
+	cfg := sim.Config{
+		Coherence:      s.session.Options().MemorySystem(64),
+		PrefetcherName: req.Prefetcher,
+	}
+	if cfg.PrefetcherName == "" {
+		cfg.PrefetcherName = "none"
+	}
+	if !nameRegistered(cfg.PrefetcherName) {
+		return sim.Config{}, fmt.Errorf("unknown prefetcher %q (have: %s)", req.Prefetcher, strings.Join(sim.Names(), ", "))
+	}
+	if req.RegionSize > 0 {
+		geo, err := mem.NewGeometry(mem.DefaultBlockSize, req.RegionSize)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Geometry = geo
+	}
+	return cfg, nil
+}
+
+func nameRegistered(name string) bool {
+	for _, n := range sim.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// maxRunRequestBytes caps the /v1/runs request body; a RunRequest is a
+// few short fields, so anything larger is abuse of an open endpoint.
+const maxRunRequestBytes = 64 << 10
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRunRequestBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	if _, err := workload.ByName(req.Workload); err != nil {
+		known := make([]string, 0, len(workload.All()))
+		for _, wl := range workload.All() {
+			known = append(known, wl.Name)
+		}
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error(), Known: known})
+		return
+	}
+	cfg, err := s.runConfig(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+
+	key := s.session.RunKey(req.Workload, cfg)
+
+	// Fast path mirroring handleFigure: a result already in the session
+	// cache or the store needs no worker slot, so it stays served even
+	// when the pool is saturated.
+	if res, ok := s.session.CachedRun(req.Workload, cfg); ok {
+		writeJSON(w, http.StatusOK, RunResponse{
+			Workload:   req.Workload,
+			Prefetcher: cfg.Canonical().PrefetcherName,
+			Key:        key,
+			Result:     res,
+		})
+		return
+	}
+
+	val, err := s.do("run/"+key, func() (any, error) {
+		return s.session.Run(req.Workload, cfg)
+	})
+	switch {
+	case errors.Is(err, ErrBusy):
+		s.failures.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
+	case err != nil:
+		s.failures.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, RunResponse{
+			Workload:   req.Workload,
+			Prefetcher: cfg.Canonical().PrefetcherName,
+			Key:        key,
+			Result:     val.(*sim.Result),
+		})
+	}
+}
+
+func (s *Server) handlePrefetchers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, sim.Names())
+}
+
+// workloadDoc describes one registered workload.
+type workloadDoc struct {
+	Name        string `json:"name"`
+	Group       string `json:"group"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	var out []workloadDoc
+	for _, wl := range workload.All() {
+		out = append(out, workloadDoc{Name: wl.Name, Group: wl.Group, Description: wl.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "smsd_up 1\n")
+	fmt.Fprintf(&b, "smsd_workers %d\n", s.workers)
+	fmt.Fprintf(&b, "smsd_queue_depth %d\n", len(s.jobs))
+	fmt.Fprintf(&b, "smsd_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(&b, "smsd_jobs_executed_total %d\n", s.jobsExecuted.Load())
+	fmt.Fprintf(&b, "smsd_jobs_deduplicated_total %d\n", s.deduped.Load())
+	fmt.Fprintf(&b, "smsd_jobs_rejected_total %d\n", s.rejected.Load())
+	fmt.Fprintf(&b, "smsd_request_failures_total %d\n", s.failures.Load())
+	fmt.Fprintf(&b, "smsd_simulations_total %d\n", s.session.Simulations())
+	if st := s.session.Store(); st != nil {
+		stats := st.Stats()
+		fmt.Fprintf(&b, "smsd_store_hits_total %d\n", stats.Hits)
+		fmt.Fprintf(&b, "smsd_store_misses_total %d\n", stats.Misses)
+		fmt.Fprintf(&b, "smsd_store_mem_hits_total %d\n", stats.MemHits)
+		fmt.Fprintf(&b, "smsd_store_disk_hits_total %d\n", stats.DiskHits)
+		fmt.Fprintf(&b, "smsd_store_writes_total %d\n", stats.Writes)
+		fmt.Fprintf(&b, "smsd_store_corrupt_total %d\n", stats.Corrupt)
+		fmt.Fprintf(&b, "smsd_store_bytes_read_total %d\n", stats.BytesRead)
+		fmt.Fprintf(&b, "smsd_store_bytes_written_total %d\n", stats.BytesWritten)
+	}
+	_, _ = w.Write([]byte(b.String()))
+}

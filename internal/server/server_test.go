@@ -1,0 +1,412 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/store"
+)
+
+func tinySession(t *testing.T, dir string) *exp.Session {
+	t.Helper()
+	s := exp.NewSession(exp.Options{CPUs: 1, Seed: 1, Length: 10_000})
+	if dir != "" {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetStore(st)
+	}
+	return s
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestSingleflightDeduplicatesConcurrentFigureRequests is the acceptance
+// criterion for the daemon: 50 concurrent requests for the same uncached
+// figure execute exactly one underlying computation.
+func TestSingleflightDeduplicatesConcurrentFigureRequests(t *testing.T) {
+	var computations atomic.Uint64
+	gate := make(chan struct{})
+	experiments := map[string]exp.Runner{
+		"slowfig": func(*exp.Session) (string, error) {
+			computations.Add(1)
+			<-gate // stall until every request has arrived
+			return "the figure body", nil
+		},
+	}
+	s, ts := newTestServer(t, Config{
+		Session:     tinySession(t, ""),
+		Workers:     4,
+		Experiments: experiments,
+	})
+
+	const n = 50
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = get(t, ts.URL+"/v1/figures/slowfig")
+		}(i)
+	}
+	// Release the computation only once the leader is executing and all
+	// 49 followers have joined its in-flight call (deduped increments
+	// before a follower blocks), so the gate cannot open while a
+	// straggler could still start a second computation.
+	deadline := time.Now().Add(10 * time.Second)
+	for computations.Load() < 1 || s.deduped.Load() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("joined %d/%d followers, %d computations", s.deduped.Load(), n-1, computations.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := computations.Load(); got != 1 {
+		t.Fatalf("%d computations for %d concurrent requests, want exactly 1", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK || !strings.Contains(bodies[i], "the figure body") {
+			t.Fatalf("request %d: status %d body %q", i, codes[i], bodies[i])
+		}
+	}
+	if got := s.deduped.Load(); got != n-1 {
+		t.Errorf("deduplicated = %d, want %d", got, n-1)
+	}
+
+	// A request after completion recomputes (nothing cached in this
+	// registry-stubbed setup) — the flight entry must not leak.
+	if code, _ := get(t, ts.URL+"/v1/figures/slowfig"); code != http.StatusOK {
+		t.Fatalf("follow-up status %d", code)
+	}
+	if got := computations.Load(); got != 2 {
+		t.Errorf("follow-up did not run fresh: %d computations", got)
+	}
+}
+
+func TestQueueFullShedsLoad(t *testing.T) {
+	started := make(chan struct{}, 2)
+	gate := make(chan struct{})
+	experiments := map[string]exp.Runner{
+		"block": func(*exp.Session) (string, error) {
+			started <- struct{}{}
+			<-gate
+			return "blocked", nil
+		},
+		"other": func(*exp.Session) (string, error) { return "other", nil },
+	}
+	// One worker and no queue: whatever the worker is chewing on is the
+	// only admitted job.
+	s, ts := newTestServer(t, Config{
+		Session:     tinySession(t, ""),
+		Workers:     1,
+		Queue:       -1,
+		Experiments: experiments,
+	})
+
+	errc := make(chan error, 1)
+	go func() {
+		code, _ := get(t, ts.URL+"/v1/figures/block")
+		if code != http.StatusOK {
+			errc <- io.EOF
+		}
+		errc <- nil
+	}()
+	<-started // the worker is now occupied
+
+	code, body := get(t, ts.URL+"/v1/figures/other")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d body %q, want 503", code, body)
+	}
+	if s.rejected.Load() == 0 {
+		t.Error("rejection not counted")
+	}
+
+	close(gate)
+	if err := <-errc; err != nil {
+		t.Fatal("blocked request failed")
+	}
+}
+
+// TestWarmStoreFigureBypassesBusyPool: a figure already persisted in the
+// store must be served even when every worker is occupied — cached
+// serving is the daemon's primary job and needs no worker slot.
+func TestWarmStoreFigureBypassesBusyPool(t *testing.T) {
+	sess := tinySession(t, t.TempDir())
+	warm := func(*exp.Session) (string, error) { return "warm body", nil }
+	if _, err := sess.RunFigure("warmfig", warm); err != nil { // persists to the store
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	defer close(gate)
+	_, ts := newTestServer(t, Config{
+		Session: sess,
+		Workers: 1,
+		Queue:   -1,
+		Experiments: map[string]exp.Runner{
+			"warmfig": warm,
+			"block": func(*exp.Session) (string, error) {
+				started <- struct{}{}
+				<-gate
+				return "blocked", nil
+			},
+		},
+	})
+
+	go func() {
+		if resp, err := http.Get(ts.URL + "/v1/figures/block"); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started // the only worker is now occupied
+
+	code, body := get(t, ts.URL+"/v1/figures/warmfig")
+	if code != http.StatusOK || !strings.Contains(body, "warm body") {
+		t.Fatalf("warm figure under load: %d %q, want 200", code, body)
+	}
+}
+
+// TestCachedRunBypassesBusyPool: like the warm-figure fast path, a run
+// already computed must be served even when every worker is occupied.
+func TestCachedRunBypassesBusyPool(t *testing.T) {
+	sess := tinySession(t, t.TempDir())
+	started := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	defer close(gate)
+	_, ts := newTestServer(t, Config{
+		Session: sess,
+		Workers: 1,
+		Queue:   -1,
+		Experiments: map[string]exp.Runner{
+			"block": func(*exp.Session) (string, error) {
+				started <- struct{}{}
+				<-gate
+				return "blocked", nil
+			},
+		},
+	})
+
+	post := func() int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+			strings.NewReader(`{"workload":"sparse","prefetcher":"sms"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.ReadAll(resp.Body)
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusOK { // warm the caches
+		t.Fatalf("warming run: %d", code)
+	}
+
+	go func() {
+		if resp, err := http.Get(ts.URL + "/v1/figures/block"); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started // the only worker is now occupied
+
+	if code := post(); code != http.StatusOK {
+		t.Fatalf("cached run under load: %d, want 200", code)
+	}
+	if sess.Simulations() != 1 {
+		t.Errorf("cached run resimulated: %d", sess.Simulations())
+	}
+}
+
+func TestFigureEndpointServesRealFigure(t *testing.T) {
+	dir := t.TempDir()
+	sess := tinySession(t, dir)
+	_, ts := newTestServer(t, Config{Session: sess})
+
+	code, body := get(t, ts.URL+"/v1/figures/table1")
+	if code != http.StatusOK || !strings.Contains(body, "Table 1") {
+		t.Fatalf("status %d body %q", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/v1/figures/fig99")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown figure status %d", code)
+	}
+	var doc struct {
+		Error string   `json:"error"`
+		Known []string `json:"known"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Error == "" || len(doc.Known) == 0 {
+		t.Errorf("404 body %+v should name the known figures", doc)
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	sess := tinySession(t, dir)
+	_, ts := newTestServer(t, Config{Session: sess})
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(data)
+	}
+
+	code, body := post(`{"workload":"sparse","prefetcher":"sms"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %q", code, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal([]byte(body), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Result == nil || rr.Result.Accesses == 0 || rr.Key == "" || rr.Prefetcher != "sms" {
+		t.Errorf("response %+v", rr)
+	}
+	if sess.Simulations() != 1 {
+		t.Fatalf("simulations = %d", sess.Simulations())
+	}
+
+	// The same run again is served from cache — no new simulation.
+	if code, _ := post(`{"workload":"sparse","prefetcher":"sms"}`); code != http.StatusOK {
+		t.Fatal("repeat run failed")
+	}
+	if sess.Simulations() != 1 {
+		t.Errorf("repeat run resimulated: %d", sess.Simulations())
+	}
+
+	// Region-size override changes the key.
+	code, body = post(`{"workload":"sparse","prefetcher":"sms","region_size":4096}`)
+	if code != http.StatusOK {
+		t.Fatalf("region run status %d body %q", code, body)
+	}
+	var rr2 RunResponse
+	if err := json.Unmarshal([]byte(body), &rr2); err != nil {
+		t.Fatal(err)
+	}
+	if rr2.Key == rr.Key {
+		t.Error("region override did not change the run key")
+	}
+
+	for _, bad := range []string{
+		`{"workload":"nope","prefetcher":"sms"}`,
+		`{"workload":"sparse","prefetcher":"warp-drive"}`,
+		`{"workload":"sparse","prefetcher":"sms","region_size":100}`,
+		`{not json`,
+	} {
+		if code, _ := post(bad); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestListingAndHealthEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Session: tinySession(t, "")})
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/v1/prefetchers")
+	if code != http.StatusOK || !strings.Contains(body, `"sms"`) || !strings.Contains(body, `"ghb"`) {
+		t.Errorf("prefetchers: %d %q", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/v1/workloads")
+	if code != http.StatusOK {
+		t.Fatalf("workloads: %d", code)
+	}
+	var wls []struct {
+		Name  string `json:"name"`
+		Group string `json:"group"`
+	}
+	if err := json.Unmarshal([]byte(body), &wls); err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != 11 {
+		t.Errorf("%d workloads, want 11", len(wls))
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	sess := tinySession(t, dir)
+	_, ts := newTestServer(t, Config{Session: sess})
+
+	// Generate some activity first.
+	if code, _ := get(t, ts.URL+"/v1/figures/table1"); code != http.StatusOK {
+		t.Fatal("figure request failed")
+	}
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"smsd_up 1",
+		"smsd_workers ",
+		"smsd_requests_total ",
+		"smsd_jobs_executed_total 1",
+		"smsd_store_writes_total 1", // the figure landed in the store
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestNewRequiresSession(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil session accepted")
+	}
+}

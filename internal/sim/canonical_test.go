@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ghb"
+)
+
+// TestCanonicalIdempotent: the result store hashes Canonical forms, so
+// canonicalizing twice must be a no-op — in particular the <0 "unbounded"
+// spellings must not collapse into the 0-means-default encoding.
+func TestCanonicalIdempotent(t *testing.T) {
+	cfgs := []Config{
+		{},
+		{PrefetcherName: "sms"},
+		{Prefetcher: PrefetchGHB},
+		{PrefetcherName: "sms", SMS: core.Config{PHTEntries: -1, AccumEntries: -1, PredictionRegisters: -7}},
+		{PrefetcherName: "ghb", GHB: ghb.Config{HistoryEntries: 16384}},
+		{PrefetcherName: "ls", StreamRate: 9, WarmupAccesses: 123},
+	}
+	for i, c := range cfgs {
+		once := c.Canonical()
+		if twice := once.Canonical(); twice != once {
+			t.Errorf("cfg %d not idempotent:\nonce:  %+v\ntwice: %+v", i, once, twice)
+		}
+	}
+}
+
+// TestCanonicalFoldsEnum: the deprecated enum and the registry name
+// canonicalize identically.
+func TestCanonicalFoldsEnum(t *testing.T) {
+	byEnum := Config{Prefetcher: PrefetchSMS}.Canonical()
+	byName := Config{PrefetcherName: "sms"}.Canonical()
+	if byEnum != byName {
+		t.Errorf("enum and name differ:\n%+v\n%+v", byEnum, byName)
+	}
+	if byEnum.PrefetcherName != "sms" || byEnum.Prefetcher != PrefetchNone {
+		t.Errorf("enum not folded: %+v", byEnum)
+	}
+}
+
+// TestCanonicalResolvesSubConfigs: sub-config defaults spelled out and
+// left implicit canonicalize identically (the cross-tool cache-key
+// requirement), and run-derived fields (geometry, block size) are filled
+// the way the built-in constructors fill them.
+func TestCanonicalResolvesSubConfigs(t *testing.T) {
+	implicit := Config{PrefetcherName: "sms"}.Canonical()
+	explicit := Config{
+		PrefetcherName: "sms",
+		SMS:            core.Config{Index: core.IndexPCOffset, PHTEntries: core.DefaultPHTEntries},
+		GHB:            ghb.Config{HistoryEntries: 256},
+	}.Canonical()
+	if implicit != explicit {
+		t.Errorf("explicit defaults differ from implicit:\n%+v\n%+v", implicit, explicit)
+	}
+	if implicit.SMS.Geometry != implicit.Geometry {
+		t.Error("SMS geometry not derived from the run geometry")
+	}
+	if implicit.GHB.BlockSize != implicit.Coherence.L1.BlockSize {
+		t.Error("GHB block size not derived from the L1 block size")
+	}
+	if implicit.LS.CacheSize != implicit.Coherence.L1.Size {
+		t.Error("LS cache size not derived from the L1 size")
+	}
+}

@@ -62,6 +62,9 @@ type Result struct {
 	// PrefetcherStats holds per-CPU internals of registry schemes that
 	// have no dedicated field above (e.g. stride, nextline), in CPU
 	// order; the concrete type is whatever the engine's Stats returns.
+	// After a result-store round trip the entries decode as generic JSON
+	// (map[string]any with float64 numbers), so consumers must not
+	// type-assert the original structs on stored results.
 	PrefetcherStats []any
 }
 

@@ -183,6 +183,33 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Canonical returns the configuration with every default resolved and the
+// deprecated Prefetcher enum folded into PrefetcherName, so two configs
+// that select the same simulation serialize identically. It is the stable
+// form hashed by the result store and exchanged over the smsd HTTP API.
+//
+// Sub-configs are canonicalized too, mirroring how the built-in
+// constructors derive them from the run (geometry and block size come
+// from the run, the LS cache size from the L1): defaults spelled out and
+// defaults left implicit hash to the same key.
+func (c Config) Canonical() Config {
+	c = c.withDefaults()
+	c.Prefetcher = PrefetchNone
+
+	c.SMS.Geometry = c.Geometry
+	c.SMS = c.SMS.Canonical()
+	c.LS.Geometry = c.Geometry
+	if c.LS.CacheSize == 0 {
+		c.LS.CacheSize = c.Coherence.L1.Size
+	}
+	c.LS = c.LS.Canonical()
+	c.GHB.BlockSize = c.Coherence.L1.BlockSize
+	c.GHB = c.GHB.Canonical()
+	c.Stride.BlockSize = c.Coherence.L1.BlockSize
+	c.Stride = c.Stride.Canonical()
+	return c
+}
+
 // Runner executes one simulation.
 type Runner struct {
 	cfg Config

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := MustHistogram(1, 3, 7, 15, 23, 31)
+	h.Observe(1, 5)
+	h.Observe(6, 2)
+	h.Observe(100, 9) // overflow bucket
+
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != h.Total() || got.Buckets() != h.Buckets() {
+		t.Fatalf("round trip lost shape: total %d/%d buckets %d/%d",
+			got.Total(), h.Total(), got.Buckets(), h.Buckets())
+	}
+	for i := 0; i < h.Buckets(); i++ {
+		if got.Count(i) != h.Count(i) {
+			t.Errorf("bucket %d: %d != %d", i, got.Count(i), h.Count(i))
+		}
+		if got.BucketLabel(i) != h.BucketLabel(i) {
+			t.Errorf("bucket %d label: %q != %q", i, got.BucketLabel(i), h.BucketLabel(i))
+		}
+	}
+}
+
+func TestHistogramJSONRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{
+		`{"bounds":[],"counts":[0]}`,          // no bounds
+		`{"bounds":[3,1],"counts":[0,0,0]}`,   // not ascending
+		`{"bounds":[1,3],"counts":[0,0]}`,     // counts/bounds mismatch
+		`{"bounds":[1,3],"counts":[0,0,0,0]}`, // counts/bounds mismatch
+		`[1,2,3]`,
+	} {
+		var h Histogram
+		if err := json.Unmarshal([]byte(bad), &h); err == nil {
+			t.Errorf("%s: accepted", bad)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -229,6 +230,40 @@ func (h *Histogram) Total() uint64 { return h.total }
 
 // Fraction returns the share of total weight in bucket i (0 when empty).
 func (h *Histogram) Fraction(i int) float64 { return Ratio(h.counts[i], h.total) }
+
+// histogramJSON is the stable wire form of a Histogram. The total is
+// derived from the counts on decode, so it cannot disagree with them.
+type histogramJSON struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Bounds: h.bounds, Counts: h.counts})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the bucket shape
+// through NewHistogram.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("stats: decoding histogram: %w", err)
+	}
+	nh, err := NewHistogram(w.Bounds...)
+	if err != nil {
+		return err
+	}
+	if len(w.Counts) != len(nh.counts) {
+		return fmt.Errorf("stats: histogram has %d counts for %d bounds", len(w.Counts), len(w.Bounds))
+	}
+	copy(nh.counts, w.Counts)
+	for _, c := range nh.counts {
+		nh.total += c
+	}
+	*h = *nh
+	return nil
+}
 
 // BucketLabel renders bucket i as a human-readable range, e.g. "2-3" or "32+".
 func (h *Histogram) BucketLabel(i int) string {

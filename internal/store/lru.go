@@ -1,0 +1,74 @@
+package store
+
+import "container/list"
+
+// lruCache is a byte-bounded LRU over encoded objects. It is not
+// goroutine-safe; the Store serializes access under its mutex.
+type lruCache struct {
+	limit   int64
+	used    int64
+	order   *list.List // front = most recently used; values are *lruEntry
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	data []byte
+}
+
+func newLRUCache(limit int64) *lruCache {
+	return &lruCache{
+		limit:   limit,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (c *lruCache) add(key string, data []byte) {
+	// An object larger than the whole budget would immediately evict
+	// everything including itself; skip caching it.
+	if int64(len(data)) > c.limit {
+		c.remove(key)
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.used += int64(len(data)) - int64(len(ent.data))
+		ent.data = data
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&lruEntry{key: key, data: data})
+		c.used += int64(len(data))
+	}
+	for c.used > c.limit {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeElement(oldest)
+	}
+}
+
+func (c *lruCache) remove(key string) {
+	if el, ok := c.entries[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *lruCache) removeElement(el *list.Element) {
+	ent := el.Value.(*lruEntry)
+	c.order.Remove(el)
+	delete(c.entries, ent.key)
+	c.used -= int64(len(ent.data))
+}
+
+func (c *lruCache) len() int { return len(c.entries) }

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tinyResult runs a very short real simulation so the persisted result
+// exercises every field the simulator produces (histograms included).
+func tinyResult(t testing.TB) *sim.Result {
+	t.Helper()
+	w, err := workload.ByName("sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := sim.NewRunner(sim.Config{PrefetcherName: "sms", WarmupAccesses: 2000, TrackGenerations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runner.Run(w.Make(workload.Config{CPUs: 1, Seed: 1, Length: 4000}))
+}
+
+func TestForRunCanonicalizes(t *testing.T) {
+	wcfg := workload.Config{CPUs: 4, Seed: 1}
+	// The deprecated enum and the registry name must address the same
+	// object, as must implicit and explicit defaults.
+	a := ForRun("sparse", wcfg, sim.Config{Prefetcher: sim.PrefetchSMS})
+	b := ForRun("sparse", wcfg, sim.Config{PrefetcherName: "sms"})
+	c := ForRun("sparse", wcfg, sim.Config{PrefetcherName: "sms", StreamRate: sim.DefaultStreamRate})
+	d := ForRun("sparse", wcfg.Canonical(), sim.Config{PrefetcherName: "sms"})
+	if a != b || b != c || c != d {
+		t.Errorf("equivalent configs hash differently: %s %s %s %s", a, b, c, d)
+	}
+
+	for name, other := range map[string]string{
+		"workload":   ForRun("oltp-db2", wcfg, sim.Config{PrefetcherName: "sms"}),
+		"prefetcher": ForRun("sparse", wcfg, sim.Config{PrefetcherName: "ghb"}),
+		"seed":       ForRun("sparse", workload.Config{CPUs: 4, Seed: 2}, sim.Config{PrefetcherName: "sms"}),
+		"warmup":     ForRun("sparse", wcfg, sim.Config{PrefetcherName: "sms", WarmupAccesses: 7}),
+	} {
+		if other == a {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+}
+
+func TestForFigureKeys(t *testing.T) {
+	a := ForFigure("fig8", 2, 1, 200_000)
+	if a == ForFigure("fig9", 2, 1, 200_000) {
+		t.Error("figure name not in key")
+	}
+	if a == ForFigure("fig8", 2, 1, 100_000) {
+		t.Error("length not in key")
+	}
+	if a != ForFigure("fig8", 2, 1, 200_000) {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tinyResult(t)
+	key := ForRun("sparse", workload.Config{CPUs: 1, Seed: 1, Length: 4000}, sim.Config{PrefetcherName: "sms"})
+
+	if _, ok := s.GetResult(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.PutResult(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetResult(key)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if got.L1ReadMisses != res.L1ReadMisses || got.Accesses != res.Accesses ||
+		got.StreamRequests != res.StreamRequests {
+		t.Errorf("counters changed: got %+v want %+v", got, res)
+	}
+	if got.DensityL1 == nil || got.DensityL1.Total() != res.DensityL1.Total() {
+		t.Error("density histogram lost in round trip")
+	}
+	if len(got.SMSStats) != len(res.SMSStats) {
+		t.Errorf("SMS stats lost: %d vs %d", len(got.SMSStats), len(res.SMSStats))
+	}
+
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.MemHits != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// A second Store over the same directory must hit from disk.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetResult(key); !ok {
+		t.Fatal("cold open missed persisted result")
+	}
+	st2 := s2.Stats()
+	if st2.DiskHits != 1 || st2.MemHits != 0 || st2.BytesRead == 0 {
+		t.Errorf("cold stats = %+v", st2)
+	}
+	// Now cached in memory.
+	if _, ok := s2.GetResult(key); !ok {
+		t.Fatal("warm lookup missed")
+	}
+	if st2 := s2.Stats(); st2.MemHits != 1 {
+		t.Errorf("warm stats = %+v", st2)
+	}
+}
+
+func TestFigureRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ForFigure("fig8", 2, 1, 200_000)
+	if _, ok := s.GetFigure(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	text := "Figure 8: training structure comparison\ngroup training coverage\n"
+	if err := s.PutFigure(key, text); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetFigure(key)
+	if !ok || got != text {
+		t.Fatalf("round trip = %q, %v", got, ok)
+	}
+}
+
+func TestCorruptObjectIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ForFigure("fig4", 2, 1, 1000)
+	if err := s.PutFigure(key, "good"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write / damaged disk object.
+	path := s.objectPath(kindFigure, key)
+	if err := os.WriteFile(path, []byte(`{"text": trunca`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store (no memory layer entry) must treat it as a miss, not
+	// an error.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetFigure(key); ok {
+		t.Fatal("corrupt object served")
+	}
+	st := s2.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Re-putting repairs it.
+	if err := s2.PutFigure(key, "repaired"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.GetFigure(key); !ok || got != "repaired" {
+		t.Fatalf("after repair: %q, %v", got, ok)
+	}
+}
+
+// TestProbeDoesNotCountMisses: the Probe variants are fast-path lookups
+// followed by a real Get, so only their hits land in the stats.
+func TestProbeDoesNotCountMisses(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ForFigure("fig4", 1, 1, 10)
+	if _, ok := s.ProbeFigure(key); ok {
+		t.Fatal("probe hit on empty store")
+	}
+	if _, ok := s.ProbeResult(key); ok {
+		t.Fatal("probe hit on empty store")
+	}
+	if st := s.Stats(); st.Misses != 0 {
+		t.Errorf("probe misses counted: %+v", st)
+	}
+	if err := s.PutFigure(key, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.ProbeFigure(key); !ok {
+		t.Fatal("probe missed persisted figure")
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats = %+v, want one hit and no misses", st)
+	}
+}
+
+// TestObjectsAreWorldReadable: a store directory is shared between the
+// smsd service user and operators running the CLIs, so objects must not
+// keep CreateTemp's owner-only mode.
+func TestObjectsAreWorldReadable(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ForFigure("fig4", 1, 1, 10)
+	if err := s.PutFigure(key, "x"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(s.objectPath(kindFigure, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Errorf("object mode = %o, want 644", perm)
+	}
+}
+
+func TestAtomicWritesLeaveNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fig := range []string{"fig4", "fig5", "fig6"} {
+		if err := s.PutFigure(ForFigure(fig, 2, int64(i), 1000), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stray []string
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && filepath.Ext(path) != ".json" {
+			stray = append(stray, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stray) != 0 {
+		t.Errorf("stray non-object files: %v", stray)
+	}
+}
+
+func TestMemoryLayerEviction(t *testing.T) {
+	dir := t.TempDir()
+	// A budget big enough for roughly one figure object at a time.
+	s, err := OpenOptions(dir, Options{MemoryBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := ForFigure("fig4", 1, 1, 10)
+	k2 := ForFigure("fig5", 1, 1, 10)
+	if err := s.PutFigure(k1, "first object, forty-plus bytes of text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutFigure(k2, "second object, also forty-plus bytes!!"); err != nil {
+		t.Fatal(err)
+	}
+	if s.lru.len() != 1 {
+		t.Fatalf("lru holds %d entries, want 1", s.lru.len())
+	}
+	// The evicted object must still be served — from disk.
+	if got, ok := s.GetFigure(k1); !ok || got != "first object, forty-plus bytes of text" {
+		t.Fatalf("evicted object lost: %q, %v", got, ok)
+	}
+	if st := s.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

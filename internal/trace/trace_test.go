@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -204,6 +206,84 @@ func TestReaderTruncatedRecord(t *testing.T) {
 	}
 	if r.Err() == nil {
 		t.Error("truncation not reported")
+	}
+}
+
+// validTrace returns an encoded trace holding n records.
+func validTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range mkRecords(n, 11) {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReaderTruncatedFileWrapsError covers files cut off inside the
+// header: the constructor must return a wrapped io error, never panic.
+func TestReaderTruncatedFileWrapsError(t *testing.T) {
+	full := validTrace(t, 3)
+	for _, cut := range []int{1, 3, 4, 10, 15} { // all inside the 16-byte header
+		_, err := NewReader(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d accepted", cut)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut at %d: error %v does not wrap io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// A completely empty file surfaces as wrapped io.EOF.
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Errorf("empty file: error %v does not wrap io.EOF", err)
+	}
+}
+
+// TestReaderBadMagicAndVersionWrapErrBadFormat pins the sentinel: callers
+// distinguish "not a trace file" from I/O failures via ErrBadFormat.
+func TestReaderBadMagicAndVersionWrapErrBadFormat(t *testing.T) {
+	badMagic := append([]byte("JUNK"), make([]byte, 12)...)
+	if _, err := NewReader(bytes.NewReader(badMagic)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic: error %v does not wrap ErrBadFormat", err)
+	}
+
+	badVersion := validTrace(t, 0)
+	badVersion[4] = 99
+	if _, err := NewReader(bytes.NewReader(badVersion)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad version: error %v does not wrap ErrBadFormat", err)
+	}
+}
+
+// TestReaderShortRecordWrapsError covers a stream that ends mid-record:
+// Next reports exhaustion and Err carries a wrapped io.ErrUnexpectedEOF.
+func TestReaderShortRecordWrapsError(t *testing.T) {
+	full := validTrace(t, 2)
+	for _, drop := range []int{1, recSize / 2, recSize - 1} {
+		r, err := NewReader(bytes.NewReader(full[:len(full)-drop]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.Next(); !ok {
+			t.Fatalf("drop %d: first full record not decoded", drop)
+		}
+		if _, ok := r.Next(); ok {
+			t.Fatalf("drop %d: partial record decoded", drop)
+		}
+		if err := r.Err(); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("drop %d: error %v does not wrap io.ErrUnexpectedEOF", drop, err)
+		}
+		// The error latches: further Next calls stay exhausted.
+		if _, ok := r.Next(); ok {
+			t.Errorf("drop %d: Next yielded after error", drop)
+		}
 	}
 }
 

@@ -77,6 +77,11 @@ func (c Config) normalized() Config {
 	return c
 }
 
+// Canonical returns the configuration with every default resolved: the
+// stable form hashed by the result store and exchanged over the smsd HTTP
+// API. Two configs that generate the same trace canonicalize identically.
+func (c Config) Canonical() Config { return c.normalized() }
+
 // scaled returns n scaled by the config's Scale factor, at least min.
 func (c Config) scaled(n, min int) int {
 	v := int(float64(n) * c.Scale)
