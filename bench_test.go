@@ -13,6 +13,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -44,7 +45,7 @@ func BenchmarkTable1Params(b *testing.B) {
 func BenchmarkFig4BlockSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		res, err := exp.Fig4(s)
+		res, err := exp.Fig4(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func BenchmarkFig4BlockSize(b *testing.B) {
 func BenchmarkFig5Density(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		res, err := exp.Fig5(s)
+		res, err := exp.Fig5(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func BenchmarkFig5Density(b *testing.B) {
 func BenchmarkFig6Indexing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		res, err := exp.Fig6(s)
+		res, err := exp.Fig6(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func BenchmarkFig6Indexing(b *testing.B) {
 func BenchmarkFig7PHTStorage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		if _, err := exp.Fig7(s); err != nil {
+		if _, err := exp.Fig7(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -98,7 +99,7 @@ func BenchmarkFig7PHTStorage(b *testing.B) {
 func BenchmarkFig8Training(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		res, err := exp.Fig8(s)
+		res, err := exp.Fig8(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func BenchmarkFig8Training(b *testing.B) {
 func BenchmarkFig9TrainingStorage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		if _, err := exp.Fig9(s); err != nil {
+		if _, err := exp.Fig9(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -122,7 +123,7 @@ func BenchmarkFig9TrainingStorage(b *testing.B) {
 func BenchmarkFig10RegionSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		if _, err := exp.Fig10(s); err != nil {
+		if _, err := exp.Fig10(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +132,7 @@ func BenchmarkFig10RegionSize(b *testing.B) {
 func BenchmarkAGTSizing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		if _, err := exp.AGTSizing(s); err != nil {
+		if _, err := exp.AGTSizing(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +141,7 @@ func BenchmarkAGTSizing(b *testing.B) {
 func BenchmarkFig11VsGHB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		res, err := exp.Fig11(s)
+		res, err := exp.Fig11(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func BenchmarkFig11VsGHB(b *testing.B) {
 func BenchmarkFig12Speedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		res, err := exp.Fig12(s)
+		res, err := exp.Fig12(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func BenchmarkFig12Speedup(b *testing.B) {
 func BenchmarkFig13Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		res, err := exp.Fig12(s)
+		res, err := exp.Fig12(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func BenchmarkFig13Breakdown(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := exp.NewSession(benchOptions())
-		if _, err := exp.Ablate(s); err != nil {
+		if _, err := exp.Ablate(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -201,7 +202,7 @@ func BenchmarkFigureStore(b *testing.B) {
 			s := exp.NewSession(benchOptions())
 			s.SetStore(st)
 			b.StartTimer()
-			if _, err := s.Figure(figure); err != nil {
+			if _, err := s.Figure(context.Background(), figure); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -214,7 +215,7 @@ func BenchmarkFigureStore(b *testing.B) {
 		}
 		warm := exp.NewSession(benchOptions())
 		warm.SetStore(st)
-		if _, err := warm.Figure(figure); err != nil {
+		if _, err := warm.Figure(context.Background(), figure); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
@@ -227,7 +228,7 @@ func BenchmarkFigureStore(b *testing.B) {
 			}
 			s := exp.NewSession(benchOptions())
 			s.SetStore(st)
-			if _, err := s.Figure(figure); err != nil {
+			if _, err := s.Figure(context.Background(), figure); err != nil {
 				b.Fatal(err)
 			}
 			if s.Simulations() != 0 {

@@ -10,7 +10,10 @@
 // Endpoints (see package repro/internal/server):
 //
 //	curl localhost:8344/v1/figures/fig8
-//	curl localhost:8344/v1/runs -d '{"workload":"oltp-db2","prefetcher":"sms"}'
+//	curl -X POST localhost:8344/v1/runs -d '{"workload":"oltp-db2","prefetcher":"sms"}'
+//	curl localhost:8344/v1/jobs/<id>
+//	curl -X DELETE localhost:8344/v1/jobs/<id>
+//	curl -X POST localhost:8344/v1/figures/fig8
 //	curl localhost:8344/v1/prefetchers
 //	curl localhost:8344/v1/workloads
 //	curl localhost:8344/healthz
@@ -48,16 +51,17 @@ func main() {
 		length   = flag.Uint64("length", 1_200_000, "accesses per workload trace (half is warm-up)")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		quick    = flag.Bool("quick", false, "abbreviated runs (overrides -cpus/-length)")
+		grace    = flag.Duration("shutdown-deadline", 15*time.Second, "bound on graceful shutdown: in-flight simulations are cancelled, not drained")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *storeDir, *workers, *queue, *cpus, *seed, *length, *parallel, *quick); err != nil {
+	if err := run(*addr, *storeDir, *workers, *queue, *cpus, *seed, *length, *parallel, *quick, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "smsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uint64, parallel int, quick bool) error {
+func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uint64, parallel int, quick bool, grace time.Duration) error {
 	session := exp.NewSession(exp.CLIOptions(cpus, seed, length, parallel, quick))
 	if err := exp.AttachStore(session, storeDir); err != nil {
 		return err
@@ -72,7 +76,6 @@ func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uin
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -92,14 +95,23 @@ func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uin
 	var serveErr error
 	select {
 	case serveErr = <-errc:
-		// The listener failed on its own (e.g. port in use).
+		// The listener failed on its own (e.g. port in use); stop the
+		// daemon's jobs before returning.
+		srv.Close()
 	case <-ctx.Done():
-		log.Printf("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		// Shutdown blocks until in-flight requests drain (or the
-		// timeout); only then may the deferred srv.Close stop the
-		// worker pool under them.
+		log.Printf("shutting down (deadline %v)", grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+		// Cancel every job first — in-flight simulations stop within one
+		// progress interval, so even a synchronous figure request mid-
+		// computation returns quickly (a half-finished multi-minute run
+		// is cache-miss work we can redo, not something worth blocking
+		// shutdown on). Only then drain the HTTP listener, which is now
+		// fast, and finally stop the worker pool.
+		srv.CancelJobs()
 		_ = httpSrv.Shutdown(shutdownCtx)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("worker pool did not drain before the deadline: %v", err)
+		}
 		cancel()
 		serveErr = <-errc
 	}

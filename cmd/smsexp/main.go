@@ -17,11 +17,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -29,11 +31,15 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Ctrl-C cancels the in-flight simulations through the engine's
+	// context path instead of abandoning the process mid-figure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable body of main; it returns the process exit code.
-func run(argv []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("smsexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -77,9 +83,33 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Multi-figure requests prewarm one merged grid first: every unique
+	// simulation across the still-uncached figures runs exactly once,
+	// with full cross-figure parallelism, and the per-figure renders
+	// below become memoization hits. (Figures already persisted at the
+	// figure level are excluded — prewarming them would simulate runs a
+	// figure-cache hit skips entirely.)
+	if len(args) > 1 {
+		var cold []string
+		for _, name := range args {
+			if _, ok := session.CachedFigure(name); !ok {
+				cold = append(cold, name)
+			}
+		}
+		if plan, ok := exp.MergedPlan("prewarm", session.Options(), cold...); ok {
+			start := time.Now()
+			if _, err := session.Execute(ctx, plan); err != nil {
+				fmt.Fprintf(stderr, "smsexp: prewarming shared grid: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "[prewarmed the %d-experiment shared grid in %v]\n",
+				len(cold), time.Since(start).Round(time.Millisecond))
+		}
+	}
+
 	for _, name := range args {
 		start := time.Now()
-		out, err := session.Figure(name)
+		out, err := session.Figure(ctx, name)
 		if err != nil {
 			fmt.Fprintf(stderr, "smsexp: %s: %v\n", name, err)
 			return 1

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
@@ -86,11 +88,15 @@ func main() {
 	// Running through the experiment session gives smsim the same store
 	// flow and the same key derivation as smsexp and the smsd daemon: an
 	// identical earlier run from any of the three is served from disk.
+	// The signal context makes Ctrl-C stop the simulation mid-trace
+	// through the engine's cancellation path.
 	session := exp.NewSession(opts)
 	if err := exp.AttachStore(session, *storeDir); err != nil {
 		fatal(err)
 	}
-	res, err := session.Run(w.Name, cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := session.Run(ctx, w.Name, cfg)
 	if err != nil {
 		fatal(err)
 	}

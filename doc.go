@@ -16,10 +16,16 @@
 //	internal/cache     — set-associative cache model
 //	internal/coherence — MSI directory multiprocessor memory system
 //	internal/workload  — synthetic commercial/scientific trace generators
-//	internal/sim       — trace-driven simulation driver, accounting, and
-//	                     the prefetcher registry
+//	internal/sim       — trace-driven simulation driver (cancellable,
+//	                     progress-observable), accounting, and the
+//	                     prefetcher registry
 //	internal/timing    — interval timing model (speedups, breakdowns)
-//	internal/exp       — one runner per paper figure/table
+//	internal/engine    — grid-native execution engine: declarative Plans,
+//	                     deduplicated runs, memoization, streamed events
+//	internal/exp       — one declarative plan + renderer per paper
+//	                     figure/table
+//	internal/store     — persistent content-addressed result store
+//	internal/server    — smsd HTTP daemon with its async job API
 //
 // Prefetchers are pluggable: the simulator dispatches through the
 // sim.Prefetcher interface, and schemes are selected by registry name

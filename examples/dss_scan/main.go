@@ -43,8 +43,8 @@ func main() {
 	fmt.Println("SMS L1 coverage by prediction index (unbounded PHT):")
 	for _, kind := range core.AllIndexKinds() {
 		res := run(sim.Config{
-			Prefetcher: sim.PrefetchSMS,
-			SMS:        core.Config{Index: kind, PHTEntries: -1},
+			PrefetcherName: "sms",
+			SMS:            core.Config{Index: kind, PHTEntries: -1},
 		})
 		cov := res.L1Coverage(base)
 		var note string

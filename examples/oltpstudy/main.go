@@ -43,8 +43,8 @@ func main() {
 	fmt.Printf("          %d coherence misses (%d false sharing)\n\n",
 		base.CoherenceReadMisses, base.FalseSharingReadMisses)
 
-	ghbRes := run(sim.Config{Prefetcher: sim.PrefetchGHB, GHB: ghb.Config{HistoryEntries: 16384}})
-	smsRes := run(sim.Config{Prefetcher: sim.PrefetchSMS})
+	ghbRes := run(sim.Config{PrefetcherName: "ghb", GHB: ghb.Config{HistoryEntries: 16384}})
+	smsRes := run(sim.Config{PrefetcherName: "sms"})
 
 	fmt.Println("off-chip read miss coverage (vs baseline):")
 	for _, row := range []struct {

@@ -40,9 +40,9 @@ func main() {
 			log.Fatal(err)
 		}
 		res := run(w, sim.Config{
-			Geometry:   geo,
-			Prefetcher: sim.PrefetchSMS,
-			SMS:        core.Config{PHTEntries: -1},
+			Geometry:       geo,
+			PrefetcherName: "sms",
+			SMS:            core.Config{PHTEntries: -1},
 		})
 		cov := res.L1Coverage(base).Covered
 		fmt.Printf("   %5dB regions: coverage %5.1f%%\n", size, 100*cov)
@@ -60,9 +60,9 @@ func main() {
 	fmt.Println("2) PHT budget at that region size:")
 	for _, entries := range []int{1024, 4096, 16384, -1} {
 		res := run(w, sim.Config{
-			Geometry:   geo,
-			Prefetcher: sim.PrefetchSMS,
-			SMS:        core.Config{PHTEntries: entries},
+			Geometry:       geo,
+			PrefetcherName: "sms",
+			SMS:            core.Config{PHTEntries: entries},
 		})
 		label := fmt.Sprintf("%d", entries)
 		if entries == -1 {
@@ -79,7 +79,7 @@ func main() {
 		} else {
 			cfg.FilterEntries, cfg.AccumEntries = 1<<20, -1
 		}
-		res := run(w, sim.Config{Geometry: geo, Prefetcher: sim.PrefetchSMS, SMS: cfg})
+		res := run(w, sim.Config{Geometry: geo, PrefetcherName: "sms", SMS: cfg})
 		label := fmt.Sprintf("filter=%d accum=%d", c.f, c.a)
 		if c.f < 0 {
 			label = "unbounded AGT"

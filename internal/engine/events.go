@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// EventKind classifies execution events.
+type EventKind int
+
+// Execution event kinds, in rough lifecycle order.
+const (
+	// RunStarted: a simulation left the queue and began executing.
+	RunStarted EventKind = iota
+	// RunProgress: a running simulation processed Event.Records records.
+	RunProgress
+	// RunCached: a run was served from the memoization layer or the
+	// persistent store without simulating.
+	RunCached
+	// RunFinished: a simulation completed and its result was recorded.
+	RunFinished
+	// RunFailed: a run returned an error (including cancellation of a
+	// run that had already started).
+	RunFailed
+	// RunSkipped: a run was cancelled before it ever started; the grid
+	// records no result for it and the store is untouched.
+	RunSkipped
+	// GridDone: the whole plan finished (successfully or not). The event
+	// carries the Grid and the execution error.
+	GridDone
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case RunStarted:
+		return "run-started"
+	case RunProgress:
+		return "run-progress"
+	case RunCached:
+		return "run-cached"
+	case RunFinished:
+		return "run-finished"
+	case RunFailed:
+		return "run-failed"
+	case RunSkipped:
+		return "run-skipped"
+	case GridDone:
+		return "grid-done"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one step of a plan's execution, streamed to the sink attached
+// to the execution context (WithEventSink) or to a Stream channel.
+type Event struct {
+	Kind EventKind
+	// Plan is the executing plan's name (empty for bare Engine.Run calls).
+	Plan string
+	// Workload and Variant locate the cell; a deduplicated run serving
+	// several cells reports the first cell it was declared under.
+	Workload string
+	Variant  string
+	// Key is the run's content address in the store.
+	Key string
+	// Records is the running record count (RunProgress only).
+	Records uint64
+	// Done and Total count settled vs all runs of the plan, so a consumer
+	// can render grid progress without tracking state itself.
+	Done, Total int
+	// Err is set on RunFailed and on GridDone when execution failed.
+	Err error
+	// Grid carries the execution outcome (GridDone only).
+	Grid *Grid
+}
+
+// sinkContextKey addresses the event sink attached to a context.
+type sinkContextKey struct{}
+
+// WithEventSink returns a context that delivers execution events to fn.
+// Every Engine call that executes work under the returned context — Run,
+// Execute, and anything layered on them (exp figure builders, smsd jobs)
+// — reports its lifecycle through fn. The sink is called synchronously
+// from worker goroutines, possibly concurrently: it must be
+// goroutine-safe and fast (a slow sink stalls the simulation it
+// observes).
+func WithEventSink(ctx context.Context, fn func(Event)) context.Context {
+	return context.WithValue(ctx, sinkContextKey{}, fn)
+}
+
+// eventSink extracts the sink from ctx; the returned function is never
+// nil (a no-op stands in), so call sites emit unconditionally.
+func eventSink(ctx context.Context) func(Event) {
+	if fn, ok := ctx.Value(sinkContextKey{}).(func(Event)); ok && fn != nil {
+		return fn
+	}
+	return func(Event) {}
+}
+
+// Stream executes the plan in the background and returns a channel
+// carrying every execution event in order, ending with a GridDone event
+// (whose Grid and Err fields hold the outcome) followed by a close. The
+// caller must drain the channel; cancel ctx to abandon the execution
+// early (the stream still drains promptly, delivering the GridDone).
+func (e *Engine) Stream(ctx context.Context, plan Plan) <-chan Event {
+	ch := make(chan Event, 64)
+	ctx = WithEventSink(ctx, func(ev Event) { ch <- ev })
+	go func() {
+		defer close(ch)
+		// The outcome travels in the GridDone event Execute emits.
+		_, _ = e.Execute(ctx, plan)
+	}()
+	return ch
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Counts summarizes how a grid execution settled.
+type Counts struct {
+	// Runs is the number of deduplicated standard runs the plan compiled
+	// to (customs excluded).
+	Runs int
+	// Simulated / Cached / Skipped / Failed partition Runs: executed
+	// fresh, served from memo/store, cancelled before starting, or
+	// errored (including cancelled mid-run).
+	Simulated int
+	Cached    int
+	Skipped   int
+	Failed    int
+	// Customs is the number of custom cells; CustomsRun of them actually
+	// executed.
+	Customs    int
+	CustomsRun int
+}
+
+// customCell is one settled custom cell.
+type customCell struct {
+	started bool
+	val     any
+	err     error
+}
+
+// Grid is the outcome of executing a Plan: every cell resolved to its
+// run's result. After an error-free Execute every cell is populated;
+// after a cancelled one, Counts reports what settled and the accessors
+// panic for cells that never ran (calling them without checking
+// Execute's error is a programming error).
+type Grid struct {
+	plan    Plan
+	cells   map[cellRef]*node
+	customs map[cellRef]*customCell
+	counts  Counts
+}
+
+// settle tallies the counts and returns the first non-cancellation error
+// (or the first cancellation if nothing worse happened).
+func (g *Grid) settle() error {
+	var firstErr error
+	seen := make(map[*node]bool, len(g.cells))
+	for _, n := range g.cells {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		switch {
+		case n.err == nil && n.cached:
+			g.counts.Cached++
+		case n.err == nil:
+			g.counts.Simulated++
+		case isCtxErr(n.err) && !n.started:
+			g.counts.Skipped++
+		default:
+			g.counts.Failed++
+		}
+		if n.err != nil && (firstErr == nil || isCtxErr(firstErr) && !isCtxErr(n.err)) {
+			firstErr = n.err
+		}
+	}
+	g.counts.Customs = len(g.customs)
+	for _, c := range g.customs {
+		if c.started {
+			g.counts.CustomsRun++
+		}
+		if c.err != nil && (firstErr == nil || isCtxErr(firstErr) && !isCtxErr(c.err)) {
+			firstErr = c.err
+		}
+	}
+	return firstErr
+}
+
+// Plan returns the executed plan.
+func (g *Grid) Plan() Plan { return g.plan }
+
+// Counts returns the settlement summary.
+func (g *Grid) Counts() Counts { return g.counts }
+
+// Result returns the cell's simulation result. It panics on an
+// undeclared cell or one that did not complete (Execute returned an
+// error the caller should have checked).
+func (g *Grid) Result(workload, variant string) *sim.Result {
+	n, ok := g.cells[cellRef{workload, variant}]
+	if !ok {
+		panic(fmt.Sprintf("engine: plan %q has no cell %s/%s", g.plan.Name, workload, variant))
+	}
+	if n.err != nil || n.res == nil {
+		panic(fmt.Sprintf("engine: plan %q cell %s/%s did not complete: %v", g.plan.Name, workload, variant, n.err))
+	}
+	return n.res
+}
+
+// Ok reports whether the cell completed with a result.
+func (g *Grid) Ok(workload, variant string) bool {
+	n, ok := g.cells[cellRef{workload, variant}]
+	return ok && n.err == nil && n.res != nil
+}
+
+// Baseline returns the workload's run under the plan's Baseline variant.
+func (g *Grid) Baseline(workload string) *sim.Result {
+	if g.plan.Baseline == "" {
+		panic(fmt.Sprintf("engine: plan %q declares no baseline", g.plan.Name))
+	}
+	return g.Result(workload, g.plan.Baseline)
+}
+
+// Custom returns the value computed by the custom cell. Like Result, it
+// panics on an undeclared or incomplete cell.
+func (g *Grid) Custom(workload, key string) any {
+	c, ok := g.customs[cellRef{workload, key}]
+	if !ok {
+		panic(fmt.Sprintf("engine: plan %q has no custom cell %s/%s", g.plan.Name, workload, key))
+	}
+	if c.err != nil {
+		panic(fmt.Sprintf("engine: plan %q custom cell %s/%s did not complete: %v", g.plan.Name, workload, key, c.err))
+	}
+	return c.val
+}

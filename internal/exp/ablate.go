@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
@@ -20,6 +22,10 @@ type AblationRow struct {
 type AblationResult struct {
 	Rows []AblationRow
 }
+
+// ablateWorkloads are the two representative workloads the ablations run
+// on: the most interleaved commercial one and the densest scientific one.
+var ablateWorkloads = []string{"oltp-oracle", "sparse"}
 
 // ablationVariants enumerates the deltas studied beyond the paper's own
 // sweeps. Each mutates a practical-SMS config.
@@ -48,43 +54,46 @@ func ablationVariants() []struct {
 	}
 }
 
-// Ablate runs the extension ablations on two representative workloads
-// (the most interleaved commercial one and the densest scientific one).
-func Ablate(s *Session) (*AblationResult, error) {
-	names := []string{"oltp-oracle", "sparse"}
-	variants := ablationVariants()
-	res := &AblationResult{Rows: make([]AblationRow, 0, len(names)*len(variants))}
-	rows := make([][]AblationRow, len(names))
-	err := parallelOver(names, func(i int, name string) error {
-		base, err := s.Baseline(name)
-		if err != nil {
-			return err
+// AblatePlan declares the ablation grid over the two representative
+// workloads: every variant is a delta from the practical SMS config.
+func AblatePlan(o Options) engine.Plan {
+	p := engine.Plan{
+		Name:      "ablate",
+		Workloads: ablateWorkloads,
+		Baseline:  BaseVariant,
+		Variants:  []engine.Variant{{Key: BaseVariant, Config: o.BaselineConfig()}},
+	}
+	for _, v := range ablationVariants() {
+		cfg := sim.Config{
+			Coherence:      o.MemorySystem(64),
+			PrefetcherName: "sms",
+			SMS:            core.Config{},
 		}
+		v.mutate(&cfg)
+		p = p.WithVariant(v.name, cfg)
+	}
+	return p
+}
+
+// Ablate runs the extension ablations on the representative workloads.
+func Ablate(ctx context.Context, s *Session) (*AblationResult, error) {
+	variants := ablationVariants()
+	grid, err := s.Execute(ctx, AblatePlan(s.Options()))
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Rows: make([]AblationRow, 0, len(ablateWorkloads)*len(variants))}
+	for _, name := range ablateWorkloads {
+		base := grid.Baseline(name)
 		for _, v := range variants {
-			cfg := sim.Config{
-				Coherence:      s.opts.MemorySystem(64),
-				PrefetcherName: "sms",
-				SMS:            core.Config{},
-			}
-			v.mutate(&cfg)
-			r, err := s.Run(name, cfg)
-			if err != nil {
-				return err
-			}
-			rows[i] = append(rows[i], AblationRow{
+			r := grid.Result(name, v.name)
+			res.Rows = append(res.Rows, AblationRow{
 				Workload: name,
 				Variant:  v.name,
 				Coverage: r.L1Coverage(base),
 				Streams:  r.StreamRequests,
 			})
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, rs := range rows {
-		res.Rows = append(res.Rows, rs...)
 	}
 	return res, nil
 }

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
@@ -47,53 +49,55 @@ type AGTResult struct {
 	Rows []AGTRow
 }
 
+func agtConfig(o Options, c AGTConfig) sim.Config {
+	smsCfg := core.Config{PHTEntries: -1}
+	if c.Filter > 0 {
+		smsCfg.FilterEntries = c.Filter
+	}
+	if c.Accum > 0 {
+		smsCfg.AccumEntries = c.Accum
+	} else {
+		smsCfg.AccumEntries = -1
+	}
+	if c.Filter == 0 {
+		// Unbounded filter: capacity 0 means unbounded in the
+		// FilterTable, which core exposes via a large value.
+		smsCfg.FilterEntries = 1 << 20
+	}
+	return sim.Config{
+		Coherence:      o.MemorySystem(64),
+		PrefetcherName: "sms",
+		SMS:            smsCfg,
+	}
+}
+
+// AGTSizingPlan declares the §4.5 grid: the filter/accumulation sizing
+// sweep plus the shared baseline.
+func AGTSizingPlan(o Options) engine.Plan {
+	p := basePlan("agt", o)
+	for _, c := range AGTSizings {
+		p = p.WithVariant(c.Label(), agtConfig(o, c))
+	}
+	return p
+}
+
 // AGTSizing reproduces the §4.5 study: SMS coverage as a function of
 // filter and accumulation table sizes, against the unbounded AGT.
-func AGTSizing(s *Session) (*AGTResult, error) {
+func AGTSizing(ctx context.Context, s *Session) (*AGTResult, error) {
 	names := WorkloadNames()
-	covs := make(map[string][]float64, len(names))
-	for _, n := range names {
-		covs[n] = make([]float64, len(AGTSizings))
-	}
-	err := parallelOver(names, func(_ int, name string) error {
-		base, err := s.Baseline(name)
-		if err != nil {
-			return err
-		}
-		for ci, c := range AGTSizings {
-			smsCfg := core.Config{PHTEntries: -1}
-			if c.Filter > 0 {
-				smsCfg.FilterEntries = c.Filter
-			}
-			if c.Accum > 0 {
-				smsCfg.AccumEntries = c.Accum
-			} else {
-				smsCfg.AccumEntries = -1
-			}
-			if c.Filter == 0 {
-				// Unbounded filter: capacity 0 means unbounded in the
-				// FilterTable, which core exposes via a large value.
-				smsCfg.FilterEntries = 1 << 20
-			}
-			res, err := s.Run(name, sim.Config{
-				Coherence:      s.opts.MemorySystem(64),
-				PrefetcherName: "sms",
-				SMS:            smsCfg,
-			})
-			if err != nil {
-				return err
-			}
-			covs[name][ci] = res.L1Coverage(base).Covered
-		}
-		return nil
-	})
+	grid, err := s.Execute(ctx, AGTSizingPlan(s.Options()))
 	if err != nil {
 		return nil, err
 	}
 	res := &AGTResult{}
 	for _, name := range names {
-		for ci, c := range AGTSizings {
-			res.Rows = append(res.Rows, AGTRow{Workload: name, Config: c, Coverage: covs[name][ci]})
+		base := grid.Baseline(name)
+		for _, c := range AGTSizings {
+			res.Rows = append(res.Rows, AGTRow{
+				Workload: name,
+				Config:   c,
+				Coverage: grid.Result(name, c.Label()).L1Coverage(base).Covered,
+			})
 		}
 	}
 	return res, nil

@@ -1,11 +1,17 @@
 // Package exp contains one runner per figure/table in the paper's
-// evaluation (§4). Each runner executes the required simulations over the
-// synthetic workload suite and renders the same rows/series the paper
-// reports, so `smsexp fig11` (for example) regenerates the paper's
-// Figure 11 as a text table.
+// evaluation (§4). Each runner declares the grid of simulations its
+// figure needs as an engine.Plan — workloads × named configuration
+// variants, plus the baseline linkage coverage is computed against — and
+// renders the executed Grid into the same rows/series the paper reports,
+// so `smsexp fig11` (for example) regenerates the paper's Figure 11 as a
+// text table.
 //
-// The runners share a Session, which caches simulation results: many
-// figures reuse the same baseline runs.
+// The runners share a Session: a thin façade binding Options and an
+// optional persistent store to an engine.Engine. The engine deduplicates
+// runs across figures (many figures share the same baselines), bounds
+// parallelism, memoizes results, and propagates cancellation into the
+// simulation loop, so every figure is cancellable and progress-observable
+// through engine events.
 //
 // Runners select prefetchers by registry name (sim.Config.PrefetcherName:
 // "sms", "ls", "ghb", ...), so schemes registered via sim.Register — like
@@ -14,13 +20,12 @@
 package exp
 
 import (
-	"fmt"
+	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -100,192 +105,102 @@ func (o Options) MemorySystem(blockSize int) coherence.Config {
 	}
 }
 
-// Session runs and caches simulations. With a Store attached (SetStore),
-// results also persist across processes: any run whose full identity —
-// workload, generation config, simulator config, prefetcher — matches a
-// stored object is served from the store instead of being resimulated.
-type Session struct {
-	opts Options
-
-	mu    sync.Mutex
-	cache map[string]*sim.Result
-	order []string // cache keys in insertion order, for eviction
-	sem   chan struct{}
-
-	store *store.Store
-	sims  atomic.Uint64
+// BaselineConfig is the standard no-prefetcher configuration every
+// figure normalizes against.
+func (o Options) BaselineConfig() sim.Config {
+	return sim.Config{Coherence: o.MemorySystem(64)}
 }
 
-// maxCachedResults bounds the in-memory result cache. A figure grid needs
-// a few hundred distinct runs, so no figure regeneration ever evicts its
-// own working set; the bound only matters to a long-running smsd serving
-// unbounded distinct /v1/runs configurations, where evicted results
-// remain a store read away.
-const maxCachedResults = 4096
+// engineConfig derives the engine configuration the session binds.
+func (o Options) engineConfig(st *store.Store) engine.Config {
+	return engine.Config{
+		Workload: workload.Config{CPUs: o.CPUs, Seed: o.Seed, Length: o.Length},
+		Warmup:   o.Length / 2,
+		Parallel: o.Parallel,
+		Store:    st,
+	}
+}
+
+// BaseVariant is the conventional key of the baseline variant in the
+// figure plans.
+const BaseVariant = "base"
+
+// basePlan starts a figure plan over the full workload suite with the
+// baseline variant declared and linked.
+func basePlan(name string, o Options) engine.Plan {
+	return engine.Plan{
+		Name:      name,
+		Workloads: WorkloadNames(),
+		Baseline:  BaseVariant,
+		Variants:  []engine.Variant{{Key: BaseVariant, Config: o.BaselineConfig()}},
+	}
+}
+
+// Session binds Options and an optional persistent store to an
+// engine.Engine. With a store attached (SetStore), results also persist
+// across processes: any run whose full identity — workload, generation
+// config, simulator config, prefetcher — matches a stored object is
+// served from the store instead of being resimulated.
+type Session struct {
+	opts Options
+	eng  *engine.Engine
+}
 
 // NewSession builds a session with the given options.
 func NewSession(opts Options) *Session {
 	opts = opts.normalized()
-	return &Session{
-		opts:  opts,
-		cache: make(map[string]*sim.Result),
-		sem:   make(chan struct{}, opts.Parallel),
-	}
+	return &Session{opts: opts, eng: engine.New(opts.engineConfig(nil))}
 }
 
 // Options returns the session's resolved options.
 func (s *Session) Options() Options { return s.opts }
 
-// SetStore attaches a persistent result store. It must be called before
-// the session runs anything.
-func (s *Session) SetStore(st *store.Store) { s.store = st }
+// Engine returns the session's execution engine.
+func (s *Session) Engine() *engine.Engine { return s.eng }
 
-// Store returns the attached store (nil when none).
-func (s *Session) Store() *store.Store { return s.store }
-
-// Simulations returns how many actual simulations this session executed —
-// cache and store hits excluded. It is the "did we really resimulate?"
-// probe used by tests and the smsd metrics endpoint.
-func (s *Session) Simulations() uint64 { return s.sims.Load() }
-
-// runKey builds the memoization key for (workload, sim config).
-func runKey(name string, cfg sim.Config) string {
-	return fmt.Sprintf("%s|%+v", name, cfg)
+// SetStore attaches a persistent result store by rebinding the engine.
+// It must be called before the session runs anything.
+func (s *Session) SetStore(st *store.Store) {
+	s.eng = engine.New(s.opts.engineConfig(st))
 }
 
-// workloadConfig is the generation config every run of this session uses.
-func (s *Session) workloadConfig() workload.Config {
-	return workload.Config{CPUs: s.opts.CPUs, Seed: s.opts.Seed, Length: s.opts.Length}
+// Store returns the attached store (nil when none).
+func (s *Session) Store() *store.Store { return s.eng.Store() }
+
+// Simulations returns how many actual simulations this session executed
+// — cache and store hits excluded, custom cells (the Fig. 8
+// decoupled-sectored study) included. It is the "did we really
+// resimulate?" probe used by tests and the smsd metrics endpoint.
+func (s *Session) Simulations() uint64 {
+	return s.eng.Simulations() + s.eng.CustomRuns()
 }
 
 // RunKey returns the store address Session.Run uses for (name, cfg),
 // including the session's warm-up convention. The smsd daemon keys its
-// singleflight and response on this, so it cannot diverge from what the
-// session actually persists.
+// jobs and responses on this, so it cannot diverge from what the session
+// actually persists.
 func (s *Session) RunKey(name string, cfg sim.Config) string {
-	cfg.WarmupAccesses = s.opts.Length / 2
-	return store.ForRun(name, s.workloadConfig(), cfg)
+	return s.eng.Key(name, cfg)
 }
 
 // CachedRun reports a run already available without simulating — in the
-// session's memory cache or one store read away. It is the cheap probe
-// the smsd daemon uses before committing a worker to a /v1/runs request;
-// a probe miss is not counted in the store stats (Session.Run's own
-// lookup will count the logical miss exactly once).
+// engine's memoization layer or one store read away. It is the cheap
+// probe the smsd daemon uses before committing a worker to a job; a
+// probe miss is not counted in the store stats.
 func (s *Session) CachedRun(name string, cfg sim.Config) (*sim.Result, bool) {
-	cfg.WarmupAccesses = s.opts.Length / 2
-	key := runKey(name, cfg)
-	s.mu.Lock()
-	if res, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return res, true
-	}
-	s.mu.Unlock()
-	if s.store == nil {
-		return nil, false
-	}
-	if res, ok := s.store.ProbeResult(s.RunKey(name, cfg)); ok {
-		s.cachePut(key, res)
-		return res, true
-	}
-	return nil, false
+	return s.eng.Cached(name, cfg)
 }
 
 // Run simulates workload name under cfg (warm-up set to half the trace),
-// caching the result.
-func (s *Session) Run(name string, cfg sim.Config) (*sim.Result, error) {
-	cfg.WarmupAccesses = s.opts.Length / 2
-	key := runKey(name, cfg)
-
-	s.mu.Lock()
-	if res, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return res, nil
-	}
-	s.mu.Unlock()
-
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
-
-	// Recheck after acquiring the semaphore: a concurrent caller may
-	// have completed the same run.
-	s.mu.Lock()
-	if res, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return res, nil
-	}
-	s.mu.Unlock()
-
-	var storeKey string
-	if s.store != nil {
-		storeKey = s.RunKey(name, cfg)
-		if res, ok := s.store.GetResult(storeKey); ok {
-			s.cachePut(key, res)
-			return res, nil
-		}
-	}
-
-	w, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	runner, err := sim.NewRunner(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("exp: %s: %w", name, err)
-	}
-	s.sims.Add(1)
-	res := runner.Run(w.Make(s.workloadConfig()))
-
-	if s.store != nil {
-		// The store is a cache: a failed write must not lose the result.
-		_ = s.store.PutResult(storeKey, res)
-	}
-	s.cachePut(key, res)
-	return res, nil
+// memoized by the engine. Cancellation and engine events flow through
+// ctx.
+func (s *Session) Run(ctx context.Context, name string, cfg sim.Config) (*sim.Result, error) {
+	return s.eng.Run(ctx, name, cfg)
 }
 
-// cachePut inserts a result, evicting the oldest entries past the bound
-// (insertion order: with a store attached evicted results stay one disk
-// read away, and without one the bound is far above any figure grid).
-func (s *Session) cachePut(key string, res *sim.Result) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.cache[key]; !ok {
-		s.order = append(s.order, key)
-	}
-	s.cache[key] = res
-	for len(s.cache) > maxCachedResults {
-		oldest := s.order[0]
-		s.order = s.order[1:]
-		delete(s.cache, oldest)
-	}
-}
-
-// Baseline runs workload name with no prefetcher on the standard memory
-// system.
-func (s *Session) Baseline(name string) (*sim.Result, error) {
-	return s.Run(name, sim.Config{Coherence: s.opts.MemorySystem(64)})
-}
-
-// parallelOver runs fn for each name concurrently, collecting the first
-// error. fn is responsible for storing its own results (indexed by i).
-func parallelOver(names []string, fn func(i int, name string) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(names))
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			errs[i] = fn(i, name)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+// Execute runs a declarative plan through the session's engine.
+func (s *Session) Execute(ctx context.Context, plan engine.Plan) (*engine.Grid, error) {
+	return s.eng.Execute(ctx, plan)
 }
 
 // GroupNames returns the four paper groups.

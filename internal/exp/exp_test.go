@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -51,18 +52,18 @@ func TestOptionsNormalization(t *testing.T) {
 func TestSessionCaching(t *testing.T) {
 	s := NewSession(Options{CPUs: 1, Length: 20_000})
 	cfg := sim.Config{Coherence: s.Options().MemorySystem(64)}
-	a, err := s.Run("sparse", cfg)
+	a, err := s.Run(context.Background(), "sparse", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Run("sparse", cfg)
+	b, err := s.Run(context.Background(), "sparse", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Fatal("identical runs not cached")
 	}
-	c, err := s.Run("sparse", sim.Config{Coherence: s.Options().MemorySystem(64), PrefetcherName: "sms"})
+	c, err := s.Run(context.Background(), "sparse", sim.Config{Coherence: s.Options().MemorySystem(64), PrefetcherName: "sms"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestFig6ShapeQuick(t *testing.T) {
-	res, err := Fig6(quickSession(t))
+	res, err := Fig6(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFig6ShapeQuick(t *testing.T) {
 }
 
 func TestFig11ShapeQuick(t *testing.T) {
-	res, err := Fig11(quickSession(t))
+	res, err := Fig11(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestFig11ShapeQuick(t *testing.T) {
 }
 
 func TestFig12ShapeQuick(t *testing.T) {
-	res, err := Fig12(quickSession(t))
+	res, err := Fig12(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestFig6UsesInfinitePHT(t *testing.T) {
 }
 
 func TestHeadlineQuick(t *testing.T) {
-	res, err := Headline(quickSession(t))
+	res, err := Headline(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,5 +265,45 @@ func TestHeadlineQuick(t *testing.T) {
 	}
 	if res.Render() == "" {
 		t.Error("empty render")
+	}
+}
+
+// TestMergedPlanStructure: the prewarm grid covers every requested
+// experiment's exact cells (no workload-union inflation for subset
+// plans like ablate), drops custom cells, and validates.
+func TestMergedPlanStructure(t *testing.T) {
+	o := Options{CPUs: 1, Seed: 1, Length: 20_000}
+	p, ok := MergedPlan("prewarm", o, "fig5", "ablate", "fig8", "table1", "unknown")
+	if !ok {
+		t.Fatal("no plan built")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Customs) != 0 {
+		t.Fatalf("prewarm plan kept %d custom cells", len(p.Customs))
+	}
+	// fig5: 11 workloads × 1 variant; ablate: 2 workloads × 12 variants;
+	// fig8: 11 workloads × 4 standard variants (DS custom dropped);
+	// table1/unknown contribute nothing.
+	want := 11*1 + 2*12 + 11*4
+	if len(p.Extra) != want {
+		t.Fatalf("merged plan has %d cells, want %d", len(p.Extra), want)
+	}
+	if _, ok := MergedPlan("prewarm", o, "table1", "unknown"); ok {
+		t.Error("simulation-free experiments produced a plan")
+	}
+
+	// Aliases sharing a plan (fig13 renders from the fig12 grid) and
+	// duplicate names must merge cleanly, contributing the grid once.
+	p2, ok := MergedPlan("prewarm", o, "fig12", "fig13", "fig12")
+	if !ok {
+		t.Fatal("no plan for fig12+fig13")
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("fig12+fig13 merge invalid: %v", err)
+	}
+	if want := 11 * 2; len(p2.Extra) != want {
+		t.Fatalf("fig12+fig13 merged to %d cells, want %d", len(p2.Extra), want)
 	}
 }

@@ -1,7 +1,11 @@
 package exp
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -21,41 +25,41 @@ type Fig10Result struct {
 	Rows []Fig10Row
 }
 
+func fig10Key(size int) string { return fmt.Sprintf("region/%d", size) }
+
+// Fig10Plan declares the Figure 10 grid: the spatial-region-size sweep
+// with an unbounded PHT, plus the shared baseline.
+func Fig10Plan(o Options) engine.Plan {
+	p := basePlan("fig10", o)
+	for _, size := range Fig10Sizes {
+		p = p.WithVariant(fig10Key(size), sim.Config{
+			Coherence:      o.MemorySystem(64),
+			Geometry:       mem.MustGeometry(64, size),
+			PrefetcherName: "sms",
+			SMS:            core.Config{PHTEntries: -1},
+		})
+	}
+	return p
+}
+
 // Fig10 reproduces Figure 10: coverage versus spatial region size, with
 // PC+offset indexing, AGT training and an unbounded PHT. The paper selects
 // 2 kB: all groups except OLTP peak there, and OLTP's small further gain
 // does not justify doubling PHT storage (§4.4).
-func Fig10(s *Session) (*Fig10Result, error) {
+func Fig10(ctx context.Context, s *Session) (*Fig10Result, error) {
 	names := WorkloadNames()
-	covs := make(map[string][]float64, len(names))
-	for _, n := range names {
-		covs[n] = make([]float64, len(Fig10Sizes))
-	}
-	err := parallelOver(names, func(_ int, name string) error {
-		base, err := s.Baseline(name)
-		if err != nil {
-			return err
-		}
-		for zi, size := range Fig10Sizes {
-			geo, err := mem.NewGeometry(64, size)
-			if err != nil {
-				return err
-			}
-			res, err := s.Run(name, sim.Config{
-				Coherence:      s.opts.MemorySystem(64),
-				Geometry:       geo,
-				PrefetcherName: "sms",
-				SMS:            core.Config{PHTEntries: -1},
-			})
-			if err != nil {
-				return err
-			}
-			covs[name][zi] = res.L1Coverage(base).Covered
-		}
-		return nil
-	})
+	grid, err := s.Execute(ctx, Fig10Plan(s.Options()))
 	if err != nil {
 		return nil, err
+	}
+	covs := make(map[string][]float64, len(names))
+	for _, name := range names {
+		base := grid.Baseline(name)
+		cs := make([]float64, len(Fig10Sizes))
+		for zi, size := range Fig10Sizes {
+			cs[zi] = grid.Result(name, fig10Key(size)).L1Coverage(base).Covered
+		}
+		covs[name] = cs
 	}
 	res := &Fig10Result{}
 	for _, g := range GroupNames() {

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/ghb"
 	"repro/internal/sim"
 )
@@ -16,6 +18,9 @@ const (
 	VariantGHB16k Fig11Variant = "GHB-16k"
 	VariantSMS    Fig11Variant = "SMS"
 )
+
+// fig11Variants lists the figure's series in paper order.
+var fig11Variants = []Fig11Variant{VariantGHB256, VariantGHB16k, VariantSMS}
 
 // Fig11Row is one (workload, variant) off-chip coverage bar.
 type Fig11Row struct {
@@ -32,61 +37,52 @@ type Fig11Result struct {
 	Rows []Fig11Row
 }
 
+func fig11Config(o Options, v Fig11Variant) sim.Config {
+	cfg := sim.Config{Coherence: o.MemorySystem(64)}
+	switch v {
+	case VariantGHB256:
+		cfg.PrefetcherName = "ghb"
+		cfg.GHB = ghb.Config{HistoryEntries: 256}
+	case VariantGHB16k:
+		cfg.PrefetcherName = "ghb"
+		cfg.GHB = ghb.Config{HistoryEntries: 16384}
+	case VariantSMS:
+		cfg.PrefetcherName = "sms"
+		// Paper-default practical SMS: zero core.Config.
+	}
+	return cfg
+}
+
+// Fig11Plan declares the Figure 11 grid: practical SMS against two GHB
+// sizings, plus the shared baseline.
+func Fig11Plan(o Options) engine.Plan {
+	p := basePlan("fig11", o)
+	for _, v := range fig11Variants {
+		p = p.WithVariant(string(v), fig11Config(o, v))
+	}
+	return p
+}
+
 // Fig11 reproduces Figure 11: the practical SMS configuration (32-entry
 // filter, 64-entry accumulation table, 2 kB regions, 16k-entry 16-way PHT)
 // against PC/DC GHB with 256- and 16k-entry history buffers, on off-chip
 // (L2) read misses.
-func Fig11(s *Session) (*Fig11Result, error) {
+func Fig11(ctx context.Context, s *Session) (*Fig11Result, error) {
 	names := WorkloadNames()
-	variants := []Fig11Variant{VariantGHB256, VariantGHB16k, VariantSMS}
-	type cell struct {
-		cov     sim.Coverage
-		traffic float64
-	}
-	covs := make(map[string]map[Fig11Variant]cell, len(names))
-	for _, n := range names {
-		covs[n] = make(map[Fig11Variant]cell, 3)
-	}
-	err := parallelOver(names, func(_ int, name string) error {
-		base, err := s.Baseline(name)
-		if err != nil {
-			return err
-		}
-		for _, v := range variants {
-			cfg := sim.Config{Coherence: s.opts.MemorySystem(64)}
-			switch v {
-			case VariantGHB256:
-				cfg.PrefetcherName = "ghb"
-				cfg.GHB = ghb.Config{HistoryEntries: 256}
-			case VariantGHB16k:
-				cfg.PrefetcherName = "ghb"
-				cfg.GHB = ghb.Config{HistoryEntries: 16384}
-			case VariantSMS:
-				cfg.PrefetcherName = "sms"
-				// Paper-default practical SMS: zero core.Config.
-			}
-			res, err := s.Run(name, cfg)
-			if err != nil {
-				return err
-			}
-			covs[name][v] = cell{
-				cov:     res.OffChipCoverage(base),
-				traffic: res.BandwidthOverhead(base, 64, 64),
-			}
-		}
-		return nil
-	})
+	grid, err := s.Execute(ctx, Fig11Plan(s.Options()))
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig11Result{}
 	for _, name := range names {
-		for _, v := range variants {
+		base := grid.Baseline(name)
+		for _, v := range fig11Variants {
+			r := grid.Result(name, string(v))
 			res.Rows = append(res.Rows, Fig11Row{
 				Workload: name,
 				Variant:  v,
-				Coverage: covs[name][v].cov,
-				Traffic:  covs[name][v].traffic,
+				Coverage: r.OffChipCoverage(base),
+				Traffic:  r.BandwidthOverhead(base, 64, 64),
 			})
 		}
 	}

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/timing"
@@ -11,6 +13,12 @@ import (
 
 // WindowInstructions is the sampling window for the timing model.
 const WindowInstructions = 20_000
+
+// Timing-model variant keys shared by the Fig. 12/13 and headline plans.
+const (
+	timedBaseKey = "base-windowed"
+	timedSMSKey  = "sms-windowed"
+)
 
 // Fig12Row is one workload's speedup.
 type Fig12Row struct {
@@ -47,34 +55,46 @@ func TimingParamsFor(group string) timing.Params {
 	return p
 }
 
+// Fig12Plan declares the Figure 12/13 grid: paired windowed runs
+// (baseline and practical SMS) feeding the interval timing model.
+func Fig12Plan(o Options) engine.Plan {
+	baseCfg := sim.Config{
+		Coherence:          o.MemorySystem(64),
+		WindowInstructions: WindowInstructions,
+	}
+	smsCfg := baseCfg
+	smsCfg.PrefetcherName = "sms"
+	return engine.Plan{
+		Name:      "fig12",
+		Workloads: WorkloadNames(),
+		Baseline:  timedBaseKey,
+		Variants: []engine.Variant{
+			{Key: timedBaseKey, Config: baseCfg},
+			{Key: timedSMSKey, Config: smsCfg},
+		},
+	}
+}
+
 // Fig12 reproduces Figures 12 and 13: speedup of SMS over the baseline
 // with 95% confidence intervals from paired per-window samples, and the
 // normalized execution-time breakdowns.
-func Fig12(s *Session) (*Fig12Result, error) {
+func Fig12(ctx context.Context, s *Session) (*Fig12Result, error) {
 	names := WorkloadNames()
+	grid, err := s.Execute(ctx, Fig12Plan(s.Options()))
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Fig12Row, len(names))
-	err := parallelOver(names, func(i int, name string) error {
-		baseCfg := sim.Config{
-			Coherence:          s.opts.MemorySystem(64),
-			WindowInstructions: WindowInstructions,
-		}
-		smsCfg := baseCfg
-		smsCfg.PrefetcherName = "sms"
-		base, err := s.Run(name, baseCfg)
-		if err != nil {
-			return err
-		}
-		smsRes, err := s.Run(name, smsCfg)
-		if err != nil {
-			return err
-		}
+	for i, name := range names {
+		base := grid.Result(name, timedBaseKey)
+		smsRes := grid.Result(name, timedSMSKey)
 		model, err := timing.NewModel(TimingParamsFor(groupOf(name)))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		cmp, err := model.Compare(base.Windows, smsRes.Windows)
 		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		norm := 1 / cmp.Base.Total()
 		rows[i] = Fig12Row{
@@ -83,10 +103,6 @@ func Fig12(s *Session) (*Fig12Result, error) {
 			Base:     cmp.Base.Scale(norm),
 			SMS:      cmp.Enhanced.Scale(norm),
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	res := &Fig12Result{Rows: rows}
 	speeds := make([]float64, len(rows))

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -38,44 +40,46 @@ type Fig4Result struct {
 	Rows []Fig4Row
 }
 
+func fig4BlockKey(size int) string  { return fmt.Sprintf("blk/%d", size) }
+func fig4OracleKey(size int) string { return fmt.Sprintf("oracle/%d", size) }
+
+// Fig4Plan declares the Figure 4 grid: for every swept size, a cache
+// with that block size and a 64 B oracle tracking generations at that
+// region size, against the shared baseline. The 64 B block point is
+// canonically identical to the baseline, so the engine runs it once.
+func Fig4Plan(o Options) engine.Plan {
+	p := basePlan("fig4", o)
+	for _, size := range Fig4Sizes {
+		p = p.WithVariant(fig4BlockKey(size), sim.Config{Coherence: o.MemorySystem(size)})
+		p = p.WithVariant(fig4OracleKey(size), sim.Config{
+			Coherence:        o.MemorySystem(64),
+			Geometry:         mem.MustGeometry(64, size),
+			TrackGenerations: true,
+		})
+	}
+	return p
+}
+
 // Fig4 reproduces Figure 4: L1 and L2 read miss rates versus block/region
 // size, against the one-miss-per-generation oracle opportunity.
-func Fig4(s *Session) (*Fig4Result, error) {
+func Fig4(ctx context.Context, s *Session) (*Fig4Result, error) {
 	names := WorkloadNames()
+	grid, err := s.Execute(ctx, Fig4Plan(s.Options()))
+	if err != nil {
+		return nil, err
+	}
 
 	type point struct {
 		l1Norm, l2Norm, fsNorm, l1Opp, l2Opp, bw float64
 	}
 	// points[name][sizeIdx]
 	points := make(map[string][]point, len(names))
-	for _, n := range names {
-		points[n] = make([]point, len(Fig4Sizes))
-	}
-
-	err := parallelOver(names, func(_ int, name string) error {
-		base, err := s.Baseline(name)
-		if err != nil {
-			return err
-		}
+	for _, name := range names {
+		base := grid.Baseline(name)
+		pts := make([]point, len(Fig4Sizes))
 		for si, size := range Fig4Sizes {
-			// Cache with block size = size.
-			blk, err := s.Run(name, sim.Config{Coherence: s.opts.MemorySystem(size)})
-			if err != nil {
-				return err
-			}
-			// Oracle with 64 B blocks and region = size.
-			geo, err := mem.NewGeometry(64, size)
-			if err != nil {
-				return err
-			}
-			orc, err := s.Run(name, sim.Config{
-				Coherence:        s.opts.MemorySystem(64),
-				Geometry:         geo,
-				TrackGenerations: true,
-			})
-			if err != nil {
-				return err
-			}
+			blk := grid.Result(name, fig4BlockKey(size))
+			orc := grid.Result(name, fig4OracleKey(size))
 			pt := point{
 				l1Norm: stats.Ratio(blk.L1ReadMisses, base.L1ReadMisses),
 				l2Norm: stats.Ratio(blk.OffChipReadMisses, base.OffChipReadMisses),
@@ -86,12 +90,9 @@ func Fig4(s *Session) (*Fig4Result, error) {
 			if size > 64 {
 				pt.fsNorm = stats.Ratio(blk.FalseSharingReadMisses, base.OffChipReadMisses)
 			}
-			points[name][si] = pt
+			pts[si] = pt
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		points[name] = pts
 	}
 
 	res := &Fig4Result{}

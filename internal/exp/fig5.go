@@ -1,6 +1,9 @@
 package exp
 
 import (
+	"context"
+
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -21,30 +24,35 @@ type Fig5Result struct {
 	Rows []Fig5Row
 }
 
+const fig5GensKey = "gens"
+
+// Fig5Plan declares the Figure 5 grid: one generation-tracking run per
+// workload.
+func Fig5Plan(o Options) engine.Plan {
+	return engine.Plan{
+		Name:      "fig5",
+		Workloads: WorkloadNames(),
+		Variants: []engine.Variant{{Key: fig5GensKey, Config: sim.Config{
+			Coherence:        o.MemorySystem(64),
+			TrackGenerations: true,
+		}}},
+	}
+}
+
 // Fig5 reproduces Figure 5: memory access density at 2 kB regions — the
 // percentage of L1/L2 misses from generations with 1, 2-3, 4-7, 8-15,
 // 16-23, 24-31, and 32 missed blocks.
-func Fig5(s *Session) (*Fig5Result, error) {
-	names := WorkloadNames()
-	rows := make([][2]Fig5Row, len(names))
-	err := parallelOver(names, func(i int, name string) error {
-		res, err := s.Run(name, sim.Config{
-			Coherence:        s.opts.MemorySystem(64),
-			TrackGenerations: true,
-		})
-		if err != nil {
-			return err
-		}
-		rows[i][0] = densityRow(name, "L1", res.DensityL1)
-		rows[i][1] = densityRow(name, "L2", res.DensityL2)
-		return nil
-	})
+func Fig5(ctx context.Context, s *Session) (*Fig5Result, error) {
+	grid, err := s.Execute(ctx, Fig5Plan(s.Options()))
 	if err != nil {
 		return nil, err
 	}
 	out := &Fig5Result{}
-	for _, pair := range rows {
-		out.Rows = append(out.Rows, pair[0], pair[1])
+	for _, name := range WorkloadNames() {
+		res := grid.Result(name, fig5GensKey)
+		out.Rows = append(out.Rows,
+			densityRow(name, "L1", res.DensityL1),
+			densityRow(name, "L2", res.DensityL2))
 	}
 	return out, nil
 }

@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"context"
+
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
@@ -17,38 +20,42 @@ type Fig6Result struct {
 	Rows []Fig6Row
 }
 
+func fig6Key(kind core.IndexKind) string { return "idx/" + kind.String() }
+
+// Fig6Plan declares the Figure 6 grid: one unbounded-PHT SMS run per
+// prediction index, plus the shared baseline.
+func Fig6Plan(o Options) engine.Plan {
+	p := basePlan("fig6", o)
+	for _, kind := range core.AllIndexKinds() {
+		p = p.WithVariant(fig6Key(kind), sim.Config{
+			Coherence:      o.MemorySystem(64),
+			PrefetcherName: "sms",
+			SMS:            core.Config{Index: kind, PHTEntries: -1},
+		})
+	}
+	return p
+}
+
 // Fig6 reproduces Figure 6: prediction-index comparison (Address,
 // PC+address, PC, PC+offset) with an unbounded PHT, reporting L1 read-miss
 // coverage, uncovered misses, and overpredictions per application group.
-func Fig6(s *Session) (*Fig6Result, error) {
+func Fig6(ctx context.Context, s *Session) (*Fig6Result, error) {
 	names := WorkloadNames()
 	kinds := core.AllIndexKinds()
+	grid, err := s.Execute(ctx, Fig6Plan(s.Options()))
+	if err != nil {
+		return nil, err
+	}
 
 	// covs[name][kind]
 	covs := make(map[string][]sim.Coverage, len(names))
-	for _, n := range names {
-		covs[n] = make([]sim.Coverage, len(kinds))
-	}
-	err := parallelOver(names, func(_ int, name string) error {
-		base, err := s.Baseline(name)
-		if err != nil {
-			return err
-		}
+	for _, name := range names {
+		base := grid.Baseline(name)
+		cs := make([]sim.Coverage, len(kinds))
 		for ki, kind := range kinds {
-			res, err := s.Run(name, sim.Config{
-				Coherence:      s.opts.MemorySystem(64),
-				PrefetcherName: "sms",
-				SMS:            core.Config{Index: kind, PHTEntries: -1},
-			})
-			if err != nil {
-				return err
-			}
-			covs[name][ki] = res.L1Coverage(base)
+			cs[ki] = grid.Result(name, fig6Key(kind)).L1Coverage(base)
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		covs[name] = cs
 	}
 
 	res := &Fig6Result{}

@@ -1,14 +1,19 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
 // Fig7Sizes are the PHT entry counts swept by Figure 7 (0 = unbounded).
 var Fig7Sizes = []int{256, 1024, 4096, 16384, 0}
+
+// fig7Kinds are the two indexing schemes the figure contrasts.
+var fig7Kinds = []core.IndexKind{core.IndexPCAddress, core.IndexPCOffset}
 
 // Fig7Row is one (group, index, PHT size) coverage point.
 type Fig7Row struct {
@@ -23,52 +28,62 @@ type Fig7Result struct {
 	Rows []Fig7Row
 }
 
+func fig7Key(kind core.IndexKind, entries int) string {
+	return fmt.Sprintf("%s/%s", kind, PHTSizeLabel(entries))
+}
+
+// fig7Config is the swept SMS configuration (0 entries = unbounded PHT).
+func fig7Config(o Options, kind core.IndexKind, entries int) sim.Config {
+	phtEntries := entries
+	if entries == 0 {
+		phtEntries = -1 // unbounded
+	}
+	return sim.Config{
+		Coherence:      o.MemorySystem(64),
+		PrefetcherName: "sms",
+		SMS:            core.Config{Index: kind, PHTEntries: phtEntries, PHTAssoc: 16},
+	}
+}
+
+// Fig7Plan declares the Figure 7 grid: the PHT size sweep for PC+address
+// and PC+offset indexing, plus the shared baseline.
+func Fig7Plan(o Options) engine.Plan {
+	p := basePlan("fig7", o)
+	for _, kind := range fig7Kinds {
+		for _, entries := range Fig7Sizes {
+			p = p.WithVariant(fig7Key(kind, entries), fig7Config(o, kind, entries))
+		}
+	}
+	return p
+}
+
 // Fig7 reproduces Figure 7: PHT storage sensitivity for PC+address versus
 // PC+offset indexing. PC+offset approaches peak coverage by 16k entries;
 // PC+address needs storage proportional to the data set and falls far
 // short at practical sizes (except OLTP's hot structures).
-func Fig7(s *Session) (*Fig7Result, error) {
+func Fig7(ctx context.Context, s *Session) (*Fig7Result, error) {
 	names := WorkloadNames()
-	kinds := []core.IndexKind{core.IndexPCAddress, core.IndexPCOffset}
-
-	covs := make(map[string][][]float64, len(names)) // [name][kind][size]
-	for _, n := range names {
-		covs[n] = make([][]float64, len(kinds))
-		for k := range kinds {
-			covs[n][k] = make([]float64, len(Fig7Sizes))
-		}
-	}
-	err := parallelOver(names, func(_ int, name string) error {
-		base, err := s.Baseline(name)
-		if err != nil {
-			return err
-		}
-		for ki, kind := range kinds {
-			for zi, entries := range Fig7Sizes {
-				phtEntries := entries
-				if entries == 0 {
-					phtEntries = -1 // unbounded
-				}
-				res, err := s.Run(name, sim.Config{
-					Coherence:      s.opts.MemorySystem(64),
-					PrefetcherName: "sms",
-					SMS:            core.Config{Index: kind, PHTEntries: phtEntries, PHTAssoc: 16},
-				})
-				if err != nil {
-					return err
-				}
-				covs[name][ki][zi] = res.L1Coverage(base).Covered
-			}
-		}
-		return nil
-	})
+	grid, err := s.Execute(ctx, Fig7Plan(s.Options()))
 	if err != nil {
 		return nil, err
 	}
 
+	covs := make(map[string][][]float64, len(names)) // [name][kind][size]
+	for _, name := range names {
+		base := grid.Baseline(name)
+		cs := make([][]float64, len(fig7Kinds))
+		for ki, kind := range fig7Kinds {
+			cs[ki] = make([]float64, len(Fig7Sizes))
+			for zi, entries := range Fig7Sizes {
+				cs[ki][zi] = grid.Result(name, fig7Key(kind, entries)).L1Coverage(base).Covered
+			}
+		}
+		covs[name] = cs
+	}
+
 	res := &Fig7Result{}
 	for _, g := range GroupNames() {
-		for ki, kind := range kinds {
+		for ki, kind := range fig7Kinds {
 			for zi, entries := range Fig7Sizes {
 				res.Rows = append(res.Rows, Fig7Row{
 					Group:   g,

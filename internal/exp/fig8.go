@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"context"
+
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/nextline"
 	"repro/internal/sectored"
 	"repro/internal/sim"
@@ -33,64 +36,68 @@ type Fig8Result struct {
 	Rows []Fig8Row
 }
 
+// Fig8Plan declares the Figure 8 grid: AGT (standard SMS), LS, and
+// next-line variants as standard runs, and the decoupled-sectored study
+// as a custom cell per workload — the DS structure *is* the L1, so it
+// cannot reuse the coherent-hierarchy runner (and is memoized only at
+// the figure level, not the run store).
+func Fig8Plan(o Options) engine.Plan {
+	p := basePlan("fig8", o)
+	p = p.WithVariant(string(TrainAGT), sim.Config{
+		Coherence:      o.MemorySystem(64),
+		PrefetcherName: "sms",
+		SMS:            core.Config{PHTEntries: -1},
+	})
+	p = p.WithVariant(string(TrainLS), sim.Config{
+		Coherence:      o.MemorySystem(64),
+		PrefetcherName: "ls",
+		LS:             sectored.Config{PHTEntries: -1},
+	})
+	p = p.WithVariant(string(TrainNL), sim.Config{
+		Coherence:      o.MemorySystem(64),
+		PrefetcherName: nextline.Name,
+	})
+	dsCfg := sectored.Config{
+		CacheSize:  o.MemorySystem(64).L1.Size,
+		PHTEntries: -1,
+	}
+	for _, name := range p.Workloads {
+		name := name
+		p.Customs = append(p.Customs, engine.Custom{
+			Workload: name,
+			Key:      string(TrainDS),
+			Run: func(ctx context.Context) (any, error) {
+				return runDS(ctx, o, name, dsCfg)
+			},
+		})
+	}
+	return p
+}
+
 // Fig8 reproduces Figure 8: training-structure comparison (decoupled
 // sectored cache, logical sectored tags, AGT) with an unbounded PHT.
 // Coverage is measured against the traditional-cache baseline, so the DS
 // cache's extra conflict misses appear as uncovered misses beyond 100%.
 // A fourth series extends the figure with the next-line floor baseline,
 // selected purely by its registry name.
-func Fig8(s *Session) (*Fig8Result, error) {
+func Fig8(ctx context.Context, s *Session) (*Fig8Result, error) {
 	names := WorkloadNames()
 	structures := []TrainingStructure{TrainDS, TrainLS, TrainAGT, TrainNL}
-
-	covs := make(map[string]map[TrainingStructure]sim.Coverage, len(names))
-	for _, n := range names {
-		covs[n] = make(map[TrainingStructure]sim.Coverage, len(structures))
-	}
-	err := parallelOver(names, func(_ int, name string) error {
-		base, err := s.Baseline(name)
-		if err != nil {
-			return err
-		}
-		// AGT: the standard SMS engine.
-		agt, err := s.Run(name, sim.Config{
-			Coherence:      s.opts.MemorySystem(64),
-			PrefetcherName: "sms",
-			SMS:            core.Config{PHTEntries: -1},
-		})
-		if err != nil {
-			return err
-		}
-		covs[name][TrainAGT] = agt.L1Coverage(base)
-		// LS: logical sectored tags beside the real cache.
-		ls, err := s.Run(name, sim.Config{
-			Coherence:      s.opts.MemorySystem(64),
-			PrefetcherName: "ls",
-			LS:             sectored.Config{PHTEntries: -1},
-		})
-		if err != nil {
-			return err
-		}
-		covs[name][TrainLS] = ls.L1Coverage(base)
-		// NL: the next-line floor baseline, by registry name.
-		nl, err := s.Run(name, sim.Config{
-			Coherence:      s.opts.MemorySystem(64),
-			PrefetcherName: nextline.Name,
-		})
-		if err != nil {
-			return err
-		}
-		covs[name][TrainNL] = nl.L1Coverage(base)
-		// DS: the sectored cache replaces the L1 entirely.
-		ds := s.runDS(name, sectored.Config{
-			CacheSize:  s.opts.MemorySystem(64).L1.Size,
-			PHTEntries: -1,
-		})
-		covs[name][TrainDS] = sim.CoverageFrom(ds.readMisses, ds.overpredictions, base.L1ReadMisses)
-		return nil
-	})
+	grid, err := s.Execute(ctx, Fig8Plan(s.Options()))
 	if err != nil {
 		return nil, err
+	}
+
+	covs := make(map[string]map[TrainingStructure]sim.Coverage, len(names))
+	for _, name := range names {
+		base := grid.Baseline(name)
+		cs := make(map[TrainingStructure]sim.Coverage, len(structures))
+		for _, st := range []TrainingStructure{TrainAGT, TrainLS, TrainNL} {
+			cs[st] = grid.Result(name, string(st)).L1Coverage(base)
+		}
+		ds := grid.Custom(name, string(TrainDS)).(dsOutcome)
+		cs[TrainDS] = sim.CoverageFrom(ds.readMisses, ds.overpredictions, base.L1ReadMisses)
+		covs[name] = cs
 	}
 
 	res := &Fig8Result{}
@@ -117,26 +124,26 @@ type dsOutcome struct {
 	overpredictions uint64
 }
 
-// runDS drives the decoupled sectored cache study: the DS structure *is*
-// the L1, so it cannot reuse the coherent-hierarchy runner.
-func (s *Session) runDS(name string, cfg sectored.Config) dsOutcome {
+// runDS drives the decoupled sectored cache study. Cancellation is
+// checked once per progress interval, mirroring sim.Runner.RunContext.
+func runDS(ctx context.Context, o Options, name string, cfg sectored.Config) (dsOutcome, error) {
 	w, err := workload.ByName(name)
 	if err != nil {
-		return dsOutcome{}
+		return dsOutcome{}, err
 	}
-	s.sims.Add(1)
-	src := w.Make(workload.Config{CPUs: s.opts.CPUs, Seed: s.opts.Seed, Length: s.opts.Length})
-	warmup := s.opts.Length / 2
+	src := w.Make(workload.Config{CPUs: o.CPUs, Seed: o.Seed, Length: o.Length})
+	warmup := o.Length / 2
 
-	ds := make([]*sectored.DecoupledSectored, s.opts.CPUs)
+	ds := make([]*sectored.DecoupledSectored, o.CPUs)
 	for i := range ds {
 		ds[i] = sectored.MustNewDecoupledSectored(cfg)
 	}
 	var out dsOutcome
 	var processed uint64
+	next := uint64(sim.DefaultProgressInterval)
 	// Overpredictions are accumulated inside the DS structures, so
 	// snapshot them at the warm-up boundary and subtract.
-	warmOver := make([]uint64, s.opts.CPUs)
+	warmOver := make([]uint64, o.CPUs)
 	snapshotted := false
 
 	for {
@@ -145,6 +152,12 @@ func (s *Session) runDS(name string, cfg sectored.Config) dsOutcome {
 			break
 		}
 		processed++
+		if processed >= next {
+			next = processed + sim.DefaultProgressInterval
+			if err := ctx.Err(); err != nil {
+				return dsOutcome{}, err
+			}
+		}
 		if !snapshotted && processed > warmup {
 			for i, d := range ds {
 				warmOver[i] = d.Overpredictions()
@@ -170,7 +183,7 @@ func (s *Session) runDS(name string, cfg sectored.Config) dsOutcome {
 	for i, d := range ds {
 		out.overpredictions += d.Overpredictions() - warmOver[i]
 	}
-	return out
+	return out, nil
 }
 
 // Render formats the dataset as the Figure 8 bars.

@@ -1,13 +1,20 @@
 package exp
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sectored"
 	"repro/internal/sim"
 )
 
 // Fig9Sizes are the PHT entry counts swept by Figure 9 (0 = unbounded).
 var Fig9Sizes = []int{256, 512, 1024, 2048, 4096, 8192, 16384, 0}
+
+// fig9Structures are the two training structures the figure contrasts.
+var fig9Structures = []TrainingStructure{TrainLS, TrainAGT}
 
 // Fig9Row is one (group, training structure, PHT size) coverage point.
 type Fig9Row struct {
@@ -22,59 +29,68 @@ type Fig9Result struct {
 	Rows []Fig9Row
 }
 
+func fig9Key(st TrainingStructure, entries int) string {
+	return fmt.Sprintf("%s/%s", st, PHTSizeLabel(entries))
+}
+
+func fig9Config(o Options, st TrainingStructure, entries int) sim.Config {
+	phtEntries := entries
+	if entries == 0 {
+		phtEntries = -1
+	}
+	if st == TrainLS {
+		return sim.Config{
+			Coherence:      o.MemorySystem(64),
+			PrefetcherName: "ls",
+			LS:             sectored.Config{PHTEntries: phtEntries, PHTAssoc: 16},
+		}
+	}
+	return sim.Config{
+		Coherence:      o.MemorySystem(64),
+		PrefetcherName: "sms",
+		SMS:            core.Config{PHTEntries: phtEntries, PHTAssoc: 16},
+	}
+}
+
+// Fig9Plan declares the Figure 9 grid: the PHT size sweep under LS and
+// AGT training, plus the shared baseline.
+func Fig9Plan(o Options) engine.Plan {
+	p := basePlan("fig9", o)
+	for _, st := range fig9Structures {
+		for _, entries := range Fig9Sizes {
+			p = p.WithVariant(fig9Key(st, entries), fig9Config(o, st, entries))
+		}
+	}
+	return p
+}
+
 // Fig9 reproduces Figure 9: PHT storage sensitivity of LS versus AGT
 // training. Fragmented LS generations create more (sparser) patterns, so
 // LS needs roughly twice the PHT storage for the coverage AGT achieves —
 // most visibly for OLTP, which interleaves the most.
-func Fig9(s *Session) (*Fig9Result, error) {
+func Fig9(ctx context.Context, s *Session) (*Fig9Result, error) {
 	names := WorkloadNames()
-	structures := []TrainingStructure{TrainLS, TrainAGT}
-
-	covs := make(map[string]map[TrainingStructure][]float64, len(names))
-	for _, n := range names {
-		covs[n] = map[TrainingStructure][]float64{
-			TrainLS:  make([]float64, len(Fig9Sizes)),
-			TrainAGT: make([]float64, len(Fig9Sizes)),
-		}
-	}
-	err := parallelOver(names, func(_ int, name string) error {
-		base, err := s.Baseline(name)
-		if err != nil {
-			return err
-		}
-		for zi, entries := range Fig9Sizes {
-			phtEntries := entries
-			if entries == 0 {
-				phtEntries = -1
-			}
-			agt, err := s.Run(name, sim.Config{
-				Coherence:      s.opts.MemorySystem(64),
-				PrefetcherName: "sms",
-				SMS:            core.Config{PHTEntries: phtEntries, PHTAssoc: 16},
-			})
-			if err != nil {
-				return err
-			}
-			covs[name][TrainAGT][zi] = agt.L1Coverage(base).Covered
-			ls, err := s.Run(name, sim.Config{
-				Coherence:      s.opts.MemorySystem(64),
-				PrefetcherName: "ls",
-				LS:             sectored.Config{PHTEntries: phtEntries, PHTAssoc: 16},
-			})
-			if err != nil {
-				return err
-			}
-			covs[name][TrainLS][zi] = ls.L1Coverage(base).Covered
-		}
-		return nil
-	})
+	grid, err := s.Execute(ctx, Fig9Plan(s.Options()))
 	if err != nil {
 		return nil, err
 	}
 
+	covs := make(map[string]map[TrainingStructure][]float64, len(names))
+	for _, name := range names {
+		base := grid.Baseline(name)
+		cs := map[TrainingStructure][]float64{}
+		for _, st := range fig9Structures {
+			cs[st] = make([]float64, len(Fig9Sizes))
+			for zi, entries := range Fig9Sizes {
+				cs[st][zi] = grid.Result(name, fig9Key(st, entries)).L1Coverage(base).Covered
+			}
+		}
+		covs[name] = cs
+	}
+
 	res := &Fig9Result{}
 	for _, g := range GroupNames() {
-		for _, st := range structures {
+		for _, st := range fig9Structures {
 			for zi, entries := range Fig9Sizes {
 				res.Rows = append(res.Rows, Fig9Row{
 					Group:   g,

@@ -1,9 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/timing"
 )
@@ -27,10 +28,24 @@ type HeadlineResult struct {
 	BestName       string
 }
 
+// HeadlinePlan declares the headline grid. It is the Figure 12 plan under
+// its own name: the paired windowed runs carry both the coverage and the
+// speedup numbers, and the engine dedups them against an earlier fig12
+// execution anyway.
+func HeadlinePlan(o Options) engine.Plan {
+	p := Fig12Plan(o)
+	p.Name = "headline"
+	return p
+}
+
 // Headline computes the abstract's numbers from the practical SMS
 // configuration.
-func Headline(s *Session) (*HeadlineResult, error) {
+func Headline(ctx context.Context, s *Session) (*HeadlineResult, error) {
 	names := WorkloadNames()
+	grid, err := s.Execute(ctx, HeadlinePlan(s.Options()))
+	if err != nil {
+		return nil, err
+	}
 	type row struct {
 		l1, off  float64
 		speedup  float64
@@ -38,28 +53,16 @@ func Headline(s *Session) (*HeadlineResult, error) {
 		workload string
 	}
 	rows := make([]row, len(names))
-	err := parallelOver(names, func(i int, name string) error {
-		baseCfg := sim.Config{
-			Coherence:          s.opts.MemorySystem(64),
-			WindowInstructions: WindowInstructions,
-		}
-		smsCfg := baseCfg
-		smsCfg.PrefetcherName = "sms"
-		base, err := s.Run(name, baseCfg)
-		if err != nil {
-			return err
-		}
-		smsRes, err := s.Run(name, smsCfg)
-		if err != nil {
-			return err
-		}
+	for i, name := range names {
+		base := grid.Result(name, timedBaseKey)
+		smsRes := grid.Result(name, timedSMSKey)
 		model, err := timing.NewModel(TimingParamsFor(groupOf(name)))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		cmp, err := model.Compare(base.Windows, smsRes.Windows)
 		if err != nil {
-			return err
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		rows[i] = row{
 			l1:       smsRes.L1Coverage(base).Covered,
@@ -68,10 +71,6 @@ func Headline(s *Session) (*HeadlineResult, error) {
 			group:    groupOf(name),
 			workload: name,
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 
 	res := &HeadlineResult{}

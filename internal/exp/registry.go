@@ -1,16 +1,20 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/store"
 )
 
 // Runner regenerates one experiment (a figure or table of the paper) as
 // rendered text. The smsexp CLI and the smsd daemon both dispatch through
-// this registry.
-type Runner func(*Session) (string, error)
+// this registry. Cancellation and engine events flow through ctx: a
+// cancelled context stops the experiment's simulations within one
+// progress interval.
+type Runner func(context.Context, *Session) (string, error)
 
 type renderable interface{ Render() string }
 
@@ -25,63 +29,122 @@ func rendered(r renderable, err error) (string, error) {
 // figure and table reproduced from the paper.
 func Experiments() map[string]Runner {
 	return map[string]Runner{
-		"table1": func(s *Session) (string, error) { return Table1(s), nil },
-		"fig4": func(s *Session) (string, error) {
-			r, err := Fig4(s)
+		"table1": func(_ context.Context, s *Session) (string, error) { return Table1(s), nil },
+		"fig4": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig4(ctx, s)
 			return rendered(r, err)
 		},
-		"fig5": func(s *Session) (string, error) {
-			r, err := Fig5(s)
+		"fig5": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig5(ctx, s)
 			return rendered(r, err)
 		},
-		"fig6": func(s *Session) (string, error) {
-			r, err := Fig6(s)
+		"fig6": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig6(ctx, s)
 			return rendered(r, err)
 		},
-		"fig7": func(s *Session) (string, error) {
-			r, err := Fig7(s)
+		"fig7": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig7(ctx, s)
 			return rendered(r, err)
 		},
-		"fig8": func(s *Session) (string, error) {
-			r, err := Fig8(s)
+		"fig8": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig8(ctx, s)
 			return rendered(r, err)
 		},
-		"fig9": func(s *Session) (string, error) {
-			r, err := Fig9(s)
+		"fig9": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig9(ctx, s)
 			return rendered(r, err)
 		},
-		"fig10": func(s *Session) (string, error) {
-			r, err := Fig10(s)
+		"fig10": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig10(ctx, s)
 			return rendered(r, err)
 		},
-		"agt": func(s *Session) (string, error) {
-			r, err := AGTSizing(s)
+		"agt": func(ctx context.Context, s *Session) (string, error) {
+			r, err := AGTSizing(ctx, s)
 			return rendered(r, err)
 		},
-		"fig11": func(s *Session) (string, error) {
-			r, err := Fig11(s)
+		"fig11": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig11(ctx, s)
 			return rendered(r, err)
 		},
-		"fig12": func(s *Session) (string, error) {
-			r, err := Fig12(s)
+		"fig12": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig12(ctx, s)
 			return rendered(r, err)
 		},
-		"fig13": func(s *Session) (string, error) {
-			r, err := Fig12(s)
+		"fig13": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Fig12(ctx, s)
 			if err != nil {
 				return "", err
 			}
 			return r.RenderBreakdown(), nil
 		},
-		"ablate": func(s *Session) (string, error) {
-			r, err := Ablate(s)
+		"ablate": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Ablate(ctx, s)
 			return rendered(r, err)
 		},
-		"headline": func(s *Session) (string, error) {
-			r, err := Headline(s)
+		"headline": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Headline(ctx, s)
 			return rendered(r, err)
 		},
 	}
+}
+
+// planBuilders maps experiment names to their declarative plans. table1
+// is absent: it runs no simulations. fig13 renders from the fig12 grid.
+func planBuilders() map[string]func(Options) engine.Plan {
+	return map[string]func(Options) engine.Plan{
+		"fig4":     Fig4Plan,
+		"fig5":     Fig5Plan,
+		"fig6":     Fig6Plan,
+		"fig7":     Fig7Plan,
+		"fig8":     Fig8Plan,
+		"fig9":     Fig9Plan,
+		"fig10":    Fig10Plan,
+		"agt":      AGTSizingPlan,
+		"fig11":    Fig11Plan,
+		"fig12":    Fig12Plan,
+		"fig13":    Fig12Plan,
+		"ablate":   AblatePlan,
+		"headline": HeadlinePlan,
+	}
+}
+
+// PlanFor returns the engine plan a registered experiment executes under
+// the given options. The second return is false for experiments that run
+// no simulations (table1) and unknown names.
+func PlanFor(name string, o Options) (engine.Plan, bool) {
+	b, ok := planBuilders()[name]
+	if !ok {
+		return engine.Plan{}, false
+	}
+	return b(o.normalized()), true
+}
+
+// MergedPlan builds one deduplicated grid covering several experiments —
+// the prewarm form smsexp executes before rendering a multi-figure
+// request, so every unique run across the figures simulates exactly once
+// with full cross-figure parallelism. Custom cells are dropped: they are
+// not run-memoized, so prewarming them would double their work instead
+// of saving any. Unknown or simulation-free names are skipped; the bool
+// reports whether anything remained.
+func MergedPlan(name string, o Options, experiments ...string) (engine.Plan, bool) {
+	var plans []engine.Plan
+	seen := make(map[string]bool, len(experiments))
+	for _, exp := range experiments {
+		p, ok := PlanFor(exp, o)
+		if !ok || seen[p.Name] {
+			// Duplicate requests and aliases sharing one plan (fig13
+			// renders from the fig12 grid) contribute the grid once;
+			// merging them again would collide on the namespaced keys.
+			continue
+		}
+		seen[p.Name] = true
+		p.Customs = nil
+		plans = append(plans, p)
+	}
+	if len(plans) == 0 {
+		return engine.Plan{}, false
+	}
+	return engine.Merge(name, plans...), true
 }
 
 // ExperimentNames returns the registry's names in the paper's order.
@@ -103,12 +166,12 @@ func ExperimentNames() []string {
 
 // Figure runs the named experiment through the figure-level store cache.
 // Unknown names report the known set.
-func (s *Session) Figure(name string) (string, error) {
+func (s *Session) Figure(ctx context.Context, name string) (string, error) {
 	run, ok := Experiments()[name]
 	if !ok {
 		return "", fmt.Errorf("exp: unknown experiment %q (have: %v)", name, ExperimentNames())
 	}
-	return s.RunFigure(name, run)
+	return s.RunFigure(ctx, name, run)
 }
 
 // CachedFigure reports the named figure if it is already persisted in
@@ -117,29 +180,29 @@ func (s *Session) Figure(name string) (string, error) {
 // miss is not counted in the store stats (RunFigure's own lookup will
 // count the logical miss exactly once).
 func (s *Session) CachedFigure(name string) (string, bool) {
-	if s.store == nil {
+	if s.Store() == nil {
 		return "", false
 	}
-	return s.store.ProbeFigure(store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length))
+	return s.Store().ProbeFigure(store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length))
 }
 
 // RunFigure executes run under the figure-level store cache: with a store
 // attached, a rendered figure is keyed by (experiment name, session
 // options) and a hit skips every simulation behind it — including ones,
-// like the Fig. 8 decoupled-sectored study, that bypass Session.Run.
-func (s *Session) RunFigure(name string, run Runner) (string, error) {
-	if s.store == nil {
-		return run(s)
+// like the Fig. 8 decoupled-sectored study, that bypass the run store.
+func (s *Session) RunFigure(ctx context.Context, name string, run Runner) (string, error) {
+	if s.Store() == nil {
+		return run(ctx, s)
 	}
 	key := store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length)
-	if text, ok := s.store.GetFigure(key); ok {
+	if text, ok := s.Store().GetFigure(key); ok {
 		return text, nil
 	}
-	text, err := run(s)
+	text, err := run(ctx, s)
 	if err != nil {
 		return "", err
 	}
 	// The store is a cache: a failed write must not lose the figure.
-	_ = s.store.PutFigure(key, text)
+	_ = s.Store().PutFigure(key, text)
 	return text, nil
 }

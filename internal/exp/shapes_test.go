@@ -6,6 +6,7 @@ package exp
 // paper's argument depends on.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 )
 
 func TestFig4Shape(t *testing.T) {
-	res, err := Fig4(quickSession(t))
+	res, err := Fig4(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	res, err := Fig5(quickSession(t))
+	res, err := Fig5(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	res, err := Fig7(quickSession(t))
+	res, err := Fig7(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	res, err := Fig8(quickSession(t))
+	res, err := Fig8(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestFig8Shape(t *testing.T) {
 // check still executes in -short (CI) mode.
 func TestFig8NextLineSeries(t *testing.T) {
 	s := NewSession(Options{CPUs: 2, Length: 30_000})
-	res, err := Fig8(s)
+	res, err := Fig8(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFig8NextLineSeries(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	res, err := Fig9(quickSession(t))
+	res, err := Fig9(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	res, err := Fig10(quickSession(t))
+	res, err := Fig10(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestAGTSizingShape(t *testing.T) {
-	res, err := AGTSizing(quickSession(t))
+	res, err := AGTSizing(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestAGTSizingShape(t *testing.T) {
 }
 
 func TestAblateShape(t *testing.T) {
-	res, err := Ablate(quickSession(t))
+	res, err := Ablate(context.Background(), quickSession(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,7 @@
 package exp
 
 import (
-	"fmt"
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -31,7 +31,7 @@ func TestRunStorePersistsAcrossSessions(t *testing.T) {
 	s1 := NewSession(tinyOpts())
 	s1.SetStore(openStore(t, dir))
 	cfg := sim.Config{Coherence: s1.Options().MemorySystem(64), PrefetcherName: "sms"}
-	a, err := s1.Run("sparse", cfg)
+	a, err := s1.Run(context.Background(), "sparse", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestRunStorePersistsAcrossSessions(t *testing.T) {
 
 	s2 := NewSession(tinyOpts())
 	s2.SetStore(openStore(t, dir))
-	b, err := s2.Run("sparse", cfg)
+	b, err := s2.Run(context.Background(), "sparse", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestFigureStoreSkipsAllSimulations(t *testing.T) {
 
 	s1 := NewSession(tinyOpts())
 	s1.SetStore(openStore(t, dir))
-	out1, err := s1.Figure("fig8")
+	out1, err := s1.Figure(context.Background(), "fig8")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestFigureStoreSkipsAllSimulations(t *testing.T) {
 
 	s2 := NewSession(tinyOpts())
 	s2.SetStore(openStore(t, dir))
-	out2, err := s2.Figure("fig8")
+	out2, err := s2.Figure(context.Background(), "fig8")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,30 +125,12 @@ func TestRunKeyCrossToolEquivalence(t *testing.T) {
 	}
 }
 
-// TestResultCacheBounded: the in-memory result cache evicts past its
-// bound (a long-running smsd must not grow without limit), oldest first.
-func TestResultCacheBounded(t *testing.T) {
-	s := NewSession(tinyOpts())
-	res := &sim.Result{}
-	for i := 0; i < maxCachedResults+10; i++ {
-		s.cachePut(fmt.Sprintf("key-%d", i), res)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.cache) != maxCachedResults {
-		t.Fatalf("cache holds %d entries, want %d", len(s.cache), maxCachedResults)
-	}
-	if _, ok := s.cache["key-0"]; ok {
-		t.Error("oldest entry not evicted")
-	}
-	if _, ok := s.cache[fmt.Sprintf("key-%d", maxCachedResults+9)]; !ok {
-		t.Error("newest entry missing")
-	}
-}
+// (Result-cache eviction now lives in the engine; see the engine
+// package's TestMemoBounded.)
 
 func TestFigureUnknownName(t *testing.T) {
 	s := NewSession(tinyOpts())
-	if _, err := s.Figure("fig99"); err == nil {
+	if _, err := s.Figure(context.Background(), "fig99"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

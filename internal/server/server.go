@@ -1,25 +1,34 @@
 // Package server implements the smsd experiment daemon: an HTTP front end
-// over the experiment harness that serves the paper's figures and ad-hoc
-// simulation runs, backed by the persistent result store.
+// over the grid-native execution engine that serves the paper's figures
+// and ad-hoc simulation runs, backed by the persistent result store.
 //
 // Endpoints:
 //
-//	GET  /v1/figures/{name}  rendered figure text (table1, fig4..fig13, agt, ablate, ...)
-//	POST /v1/runs            one workload/prefetcher simulation → sim.Result JSON
-//	GET  /v1/prefetchers     registered prefetcher names
-//	GET  /v1/workloads       registered workloads (name, group, description)
-//	GET  /healthz            liveness probe
-//	GET  /metrics            plain-text metrics (Prometheus exposition style)
+//	GET    /v1/figures/{name}  rendered figure text (synchronous; cached figures bypass the pool)
+//	POST   /v1/figures/{name}  async figure job → 202 + job id
+//	POST   /v1/runs            async simulation job → 202 + job id
+//	GET    /v1/jobs            all jobs, newest first
+//	GET    /v1/jobs/{id}       job status, progress, and (when done) result
+//	DELETE /v1/jobs/{id}       cancel the job's in-flight simulations
+//	GET    /v1/prefetchers     registered prefetcher names
+//	GET    /v1/workloads       registered workloads (name, group, description)
+//	GET    /healthz            liveness probe
+//	GET    /metrics            plain-text metrics (Prometheus exposition style)
 //
 // All simulation work funnels through a bounded worker pool with a job
-// queue, and identical requests are deduplicated singleflight-style: N
-// concurrent requests for the same uncached figure trigger exactly one
-// underlying computation, with every caller receiving its output. When
-// the queue is full the server sheds load with 503 instead of queueing
-// unbounded work.
+// queue; when the queue is full the server sheds load with 503 instead of
+// queueing unbounded work. Below the pool, the engine deduplicates
+// identical runs singleflight-style and memoizes them (backed by the
+// store), so N jobs for one uncached simulation trigger exactly one
+// underlying computation. Every job carries a context: DELETE cancels it,
+// and Shutdown cancels all of them, stopping in-flight simulations within
+// one progress interval instead of draining arbitrarily long runs.
 package server
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,7 +38,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -58,35 +69,165 @@ type Config struct {
 // DefaultQueue is the default job-queue bound.
 const DefaultQueue = 64
 
+// maxFinishedJobs bounds how many settled jobs are kept for polling; the
+// oldest settled jobs are evicted first. Active jobs are never evicted.
+const maxFinishedJobs = 256
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobProgress reports how much of a job's simulation grid has settled.
+type JobProgress struct {
+	// TotalRuns and DoneRuns count the job's deduplicated runs; for a
+	// /v1/runs job TotalRuns is 1.
+	TotalRuns int `json:"total_runs"`
+	DoneRuns  int `json:"done_runs"`
+	// CachedRuns of the done runs were served without simulating.
+	CachedRuns int `json:"cached_runs"`
+	// Records is the total simulated trace records processed so far,
+	// including runs still in flight.
+	Records uint64 `json:"records"`
+}
+
+// job is the server-side job state.
+type job struct {
+	id      string
+	kind    string // "run" | "figure"
+	target  string // human-readable subject
+	dedupe  string // active-job dedup key ("" = never deduped)
+	created time.Time
+	cancel  context.CancelFunc
+	// done closes when the job settles; synchronous waiters (the GET
+	// figure path) block on it.
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     JobState
+	progress  JobProgress
+	inflight  map[string]uint64 // run key → records, for runs in flight
+	completed uint64            // records folded in from settled runs
+	result    *RunResponse      // run jobs
+	figure    string            // figure jobs
+	errText   string
+	finished  time.Time
+}
+
+// sink folds one engine event into the job's progress. It is the event
+// sink attached to the job's context, called from worker goroutines.
+func (j *job) sink(ev engine.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ev.Total > 0 {
+		j.progress.TotalRuns = ev.Total
+	}
+	switch ev.Kind {
+	case engine.RunProgress:
+		j.inflight[ev.Key] = ev.Records
+	case engine.RunCached:
+		j.progress.CachedRuns++
+		j.progress.DoneRuns++
+	case engine.RunFinished, engine.RunFailed, engine.RunSkipped:
+		j.progress.DoneRuns++
+		j.completed += j.inflight[ev.Key]
+		delete(j.inflight, ev.Key)
+	}
+}
+
+// doc renders the job for the HTTP API.
+func (j *job) doc() JobDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	d := JobDoc{
+		ID:       j.id,
+		Kind:     j.kind,
+		Target:   j.target,
+		State:    j.state,
+		Created:  j.created,
+		Progress: j.progress,
+		Error:    j.errText,
+		Result:   j.result,
+		Figure:   j.figure,
+	}
+	d.Progress.Records = j.completed
+	for _, rec := range j.inflight {
+		d.Progress.Records += rec
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		d.Finished = &t
+	}
+	return d
+}
+
+// JobDoc is the job representation served by the /v1/jobs endpoints.
+type JobDoc struct {
+	ID      string    `json:"id"`
+	Kind    string    `json:"kind"`
+	Target  string    `json:"target"`
+	State   JobState  `json:"state"`
+	Created time.Time `json:"created"`
+	// Finished is set once the job reaches a terminal state.
+	Finished *time.Time  `json:"finished,omitempty"`
+	Progress JobProgress `json:"progress"`
+	Error    string      `json:"error,omitempty"`
+	// Result carries a run job's outcome once done.
+	Result *RunResponse `json:"result,omitempty"`
+	// Figure carries a figure job's rendered text once done.
+	Figure string `json:"figure,omitempty"`
+}
+
 // Server is the smsd HTTP daemon state.
 type Server struct {
 	session     *exp.Session
 	experiments map[string]exp.Runner
 	names       []string
 
-	jobs    chan func()
+	// baseCtx parents every job context; baseCancel is the shutdown
+	// switch that stops in-flight simulations.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	jobsCh  chan func()
+	closing sync.Once
 	done    chan struct{}
 	wg      sync.WaitGroup
 	workers int
 
-	mu     sync.Mutex
-	flight map[string]*call
+	mu          sync.Mutex
+	jobs        map[string]*job
+	activeByKey map[string]*job // dedup key → unsettled job
+	settled     []string        // settled job ids in completion order, for eviction
+	active      int             // jobs in state running
+	pending     int             // jobs in state queued
+	jobsSeq     uint64
+	requests    atomic.Uint64
 
-	requests     atomic.Uint64
-	jobsExecuted atomic.Uint64
-	deduped      atomic.Uint64
-	rejected     atomic.Uint64
-	failures     atomic.Uint64
+	poolExecuted  atomic.Uint64
+	deduped       atomic.Uint64
+	rejected      atomic.Uint64
+	failures      atomic.Uint64
+	jobsCreated   atomic.Uint64
+	jobsDone      atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCancelled atomic.Uint64
 }
 
-// call is one in-flight computation; followers block on done.
-type call struct {
-	done chan struct{}
-	val  any
-	err  error
-}
-
-// New builds a Server and starts its worker pool. Call Close to stop it.
+// New builds a Server and starts its worker pool. Call Close (or
+// Shutdown) to stop it.
 func New(cfg Config) (*Server, error) {
 	if cfg.Session == nil {
 		return nil, fmt.Errorf("server: Config.Session is required")
@@ -114,14 +255,18 @@ func New(cfg Config) (*Server, error) {
 		sort.Strings(names)
 	}
 
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
 		session:     cfg.Session,
 		experiments: experiments,
 		names:       names,
-		jobs:        make(chan func(), queue),
+		baseCtx:     baseCtx,
+		baseCancel:  baseCancel,
+		jobsCh:      make(chan func(), queue),
 		done:        make(chan struct{}),
 		workers:     workers,
-		flight:      make(map[string]*call),
+		jobs:        make(map[string]*job),
+		activeByKey: make(map[string]*job),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -130,10 +275,22 @@ func New(cfg Config) (*Server, error) {
 			for {
 				select {
 				case <-s.done:
-					return
-				case job := <-s.jobs:
-					s.jobsExecuted.Add(1)
-					job()
+					// Drain tasks queued at the instant of shutdown so no
+					// caller blocks forever on an abandoned task; their
+					// contexts are already cancelled, so each settles
+					// immediately.
+					for {
+						select {
+						case task := <-s.jobsCh:
+							s.poolExecuted.Add(1)
+							task()
+						default:
+							return
+						}
+					}
+				case task := <-s.jobsCh:
+					s.poolExecuted.Add(1)
+					task()
 				}
 			}
 		}()
@@ -141,17 +298,42 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the worker pool. Queued-but-unstarted jobs are abandoned,
-// so Close belongs after the HTTP listener has drained.
-func (s *Server) Close() {
-	close(s.done)
-	s.wg.Wait()
+// Close stops the server, cancelling every in-flight simulation through
+// the engine's context path, and waits for the workers to drain.
+func (s *Server) Close() { _ = s.Shutdown(context.Background()) }
+
+// CancelJobs cancels every job context — in-flight simulations stop
+// within one progress interval — without stopping the worker pool, so
+// requests still in the HTTP pipeline settle fast instead of hanging.
+// It is the first step of a graceful daemon exit: CancelJobs, drain the
+// HTTP listener, then Shutdown.
+func (s *Server) CancelJobs() { s.baseCancel() }
+
+// Shutdown cancels all jobs (in-flight simulations stop within one
+// progress interval) and waits for the worker pool to drain, bounded by
+// ctx. It returns ctx's error if the workers did not drain in time.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Do(func() {
+		s.baseCancel()
+		close(s.done)
+	})
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
-// submit hands a job to the pool without blocking.
-func (s *Server) submit(job func()) bool {
+// submit hands a task to the pool without blocking.
+func (s *Server) submit(task func()) bool {
 	select {
-	case s.jobs <- job:
+	case s.jobsCh <- task:
 		return true
 	default:
 		s.rejected.Add(1)
@@ -159,36 +341,181 @@ func (s *Server) submit(job func()) bool {
 	}
 }
 
-// do runs fn through the worker pool, deduplicating concurrent calls with
-// the same key: exactly one execution happens and every caller gets its
-// outcome.
-func (s *Server) do(key string, fn func() (any, error)) (any, error) {
-	s.mu.Lock()
-	if c, ok := s.flight[key]; ok {
-		s.mu.Unlock()
-		s.deduped.Add(1)
-		<-c.done
-		return c.val, c.err
+// isCtxErr reports whether err is a cancellation/deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// newJobID returns a fresh random job identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for a daemon; fall back to
+		// a counter-free constant-prefix that still cannot collide within
+		// a process thanks to the sequence check in startJob.
+		return "job-entropy-failure"
 	}
-	c := &call{done: make(chan struct{})}
-	s.flight[key] = c
+	return hex.EncodeToString(b[:])
+}
+
+// registerJob assigns the job a collision-free id and records it. The
+// caller must hold s.mu.
+func (s *Server) registerJobLocked(j *job) {
+	for s.jobs[j.id] != nil { // vanishing collision odds, but never clobber
+		j.id = newJobID() + fmt.Sprintf("-%d", s.jobsSeq)
+	}
+	s.jobsSeq++
+	s.jobs[j.id] = j
+	if j.dedupe != "" {
+		s.activeByKey[j.dedupe] = j
+	}
+}
+
+// startJob registers a job and submits its body to the pool. The body
+// runs under a per-job context (cancelled by DELETE and by Shutdown)
+// carrying the job's event sink; run reports the outcome.
+//
+// A non-empty dedupe key single-flights the job: if an unsettled job
+// with the same key exists, it is returned (joined=true) instead of a
+// new one — figure jobs use this so N concurrent requests for one
+// figure execute one computation, including the custom plan cells the
+// engine's run-level memoization cannot dedupe.
+func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(ctx context.Context, j *job) error) (j *job, joined bool, err error) {
+	j = &job{
+		id:       newJobID(),
+		kind:     kind,
+		target:   target,
+		dedupe:   dedupe,
+		created:  time.Now(),
+		state:    JobQueued,
+		inflight: make(map[string]uint64),
+		done:     make(chan struct{}),
+	}
+	j.progress.TotalRuns = totalRuns
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	ctx = engine.WithEventSink(ctx, j.sink)
+	j.cancel = cancel
+
+	s.mu.Lock()
+	if dedupe != "" {
+		if existing, ok := s.activeByKey[dedupe]; ok {
+			s.mu.Unlock()
+			cancel()
+			s.deduped.Add(1)
+			return existing, true, nil
+		}
+	}
+	s.registerJobLocked(j)
+	s.pending++
 	s.mu.Unlock()
 
-	finish := func() {
+	body := func() {
+		j.mu.Lock()
+		cancelled := j.state == JobCancelled
+		if !cancelled {
+			j.state = JobRunning
+		}
+		j.mu.Unlock()
 		s.mu.Lock()
-		delete(s.flight, key)
+		s.pending--
+		if !cancelled {
+			s.active++
+		}
 		s.mu.Unlock()
-		close(c.done)
+		if cancelled {
+			s.settleJob(j)
+			return
+		}
+		err := run(ctx, j)
+		cancel()
+
+		j.mu.Lock()
+		switch {
+		case err == nil:
+			j.state = JobDone
+			s.jobsDone.Add(1)
+		case isCtxErr(err):
+			j.state = JobCancelled
+			s.jobsCancelled.Add(1)
+		default:
+			j.state = JobFailed
+			j.errText = err.Error()
+			s.jobsFailed.Add(1)
+		}
+		j.finished = time.Now()
+		j.mu.Unlock()
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+		s.settleJob(j)
 	}
-	if !s.submit(func() {
-		c.val, c.err = fn()
-		finish()
-	}) {
-		c.err = ErrBusy
-		finish()
+	if !s.submit(body) {
+		cancel()
+		s.mu.Lock()
+		s.pending--
+		s.mu.Unlock()
+		// Settle (rather than delete) the stillborn job: a concurrent
+		// caller may already have joined it through the dedup key and
+		// must unblock with its outcome.
+		j.mu.Lock()
+		j.state = JobFailed
+		j.errText = ErrBusy.Error()
+		j.mu.Unlock()
+		s.jobsFailed.Add(1)
+		s.settleJob(j)
+		return nil, false, ErrBusy
 	}
-	<-c.done
-	return c.val, c.err
+	s.jobsCreated.Add(1)
+	return j, false, nil
+}
+
+// settledJob registers a job that is already done — the cached fast
+// path: a result one memo/store probe away needs no worker slot, so it
+// stays served even when the pool is saturated with simulations.
+func (s *Server) settledJob(kind, target string, fill func(j *job)) *job {
+	now := time.Now()
+	j := &job{
+		id:       newJobID(),
+		kind:     kind,
+		target:   target,
+		created:  now,
+		finished: now,
+		state:    JobDone,
+		cancel:   func() {},
+		inflight: make(map[string]uint64),
+		done:     make(chan struct{}),
+	}
+	fill(j)
+	s.mu.Lock()
+	s.registerJobLocked(j)
+	s.mu.Unlock()
+	s.jobsCreated.Add(1)
+	s.jobsDone.Add(1)
+	s.settleJob(j)
+	return j
+}
+
+// settleJob records a terminal job for bounded retention, releases its
+// dedup key, and wakes synchronous waiters.
+func (s *Server) settleJob(j *job) {
+	j.mu.Lock()
+	if j.finished.IsZero() {
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	s.mu.Lock()
+	if j.dedupe != "" && s.activeByKey[j.dedupe] == j {
+		delete(s.activeByKey, j.dedupe)
+	}
+	s.settled = append(s.settled, j.id)
+	for len(s.settled) > maxFinishedJobs {
+		oldest := s.settled[0]
+		s.settled = s.settled[1:]
+		delete(s.jobs, oldest)
+	}
+	s.mu.Unlock()
+	close(j.done)
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -199,7 +526,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/prefetchers", s.handlePrefetchers)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
-	mux.HandleFunc("POST /v1/runs", s.handleRun)
+	mux.HandleFunc("POST /v1/figures/{name}", s.handleFigureJob)
+	mux.HandleFunc("POST /v1/runs", s.handleRunJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -225,6 +556,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// figureJob creates — or joins, via the dedup key — the job computing
+// the named figure. Both the synchronous GET and the async POST funnel
+// through it, so at most one computation per figure is ever in flight,
+// including the custom plan cells run-level memoization cannot dedupe.
+func (s *Server) figureJob(name string, run exp.Runner) (*job, error) {
+	totalRuns := 0
+	if plan, ok := exp.PlanFor(name, s.session.Options()); ok {
+		totalRuns = len(plan.Workloads)*len(plan.Variants) + len(plan.Customs)
+	}
+	j, _, err := s.startJob("figure", name, "figure/"+name, totalRuns, func(ctx context.Context, j *job) error {
+		text, err := s.session.RunFigure(ctx, name, run)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.figure = text
+		j.mu.Unlock()
+		return nil
+	})
+	return j, err
+}
+
+// handleFigure is the synchronous figure form: it waits on the (shared)
+// figure job and serves its text. The leader's body always runs on a
+// worker it already holds, so waiting here — on the handler goroutine —
+// can never deadlock the pool.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	run, ok := s.experiments[name]
@@ -235,28 +592,85 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	// Fast path: a figure already persisted in the store is one disk
-	// read — serve it without burning a worker slot, so cached figures
-	// stay available even when the pool is saturated with simulations.
-	if text, ok := s.session.CachedFigure(name); ok {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, text)
+	for {
+		// Fast path: a figure already persisted in the store is one disk
+		// read — serve it without burning a worker slot, so cached
+		// figures stay available even when the pool is saturated.
+		if text, ok := s.session.CachedFigure(name); ok {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, text)
+			return
+		}
+		j, err := s.figureJob(name, run)
+		if err != nil {
+			s.failures.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
+			return
+		}
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			// The client went away; the job keeps computing for other
+			// consumers and stays pollable at /v1/jobs.
+			return
+		}
+		d := j.doc()
+		switch {
+		case d.State == JobDone:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, d.Figure)
+			return
+		case d.State == JobCancelled:
+			if s.baseCtx.Err() != nil {
+				// Server-wide cancellation (shutdown), not a DELETE on
+				// the shared job: a fresh job would settle cancelled
+				// instantly, so bail out instead of spinning.
+				s.failures.Add(1)
+				writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server shutting down"})
+				return
+			}
+			// Someone cancelled the shared job — not this request. Retry
+			// with a fresh job while the client is still here.
+			continue
+		case d.Error == ErrBusy.Error():
+			s.failures.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: d.Error})
+			return
+		default:
+			s.failures.Add(1)
+			writeJSON(w, http.StatusInternalServerError, errorDoc{Error: d.Error})
+			return
+		}
+	}
+}
+
+// handleFigureJob is the async figure form: 202 + a pollable, cancellable
+// job that regenerates the figure through its declarative plan.
+// Duplicate requests join the in-flight job and receive the same id.
+func (s *Server) handleFigureJob(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	run, ok := s.experiments[name]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{
+			Error: fmt.Sprintf("unknown figure %q", name),
+			Known: s.names,
+		})
 		return
 	}
-	val, err := s.do("figure/"+name, func() (any, error) {
-		return s.session.RunFigure(name, run)
-	})
-	switch {
-	case errors.Is(err, ErrBusy):
+	if text, ok := s.session.CachedFigure(name); ok {
+		j := s.settledJob("figure", name, func(j *job) { j.figure = text })
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, j.doc())
+		return
+	}
+	j, err := s.figureJob(name, run)
+	if err != nil {
 		s.failures.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
-	case err != nil:
-		s.failures.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
-	default:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, val.(string))
+		return
 	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.doc())
 }
 
 // RunRequest asks for one simulation under the daemon's session options.
@@ -281,7 +695,7 @@ type RunResponse struct {
 
 // runConfig translates a request into the simulator config the session
 // will execute, mirroring the experiment harness conventions (standard
-// memory system, half-trace warm-up applied by Session.Run).
+// memory system, half-trace warm-up applied by the engine).
 func (s *Server) runConfig(req RunRequest) (sim.Config, error) {
 	cfg := sim.Config{
 		Coherence:      s.session.Options().MemorySystem(64),
@@ -316,7 +730,11 @@ func nameRegistered(name string) bool {
 // few short fields, so anything larger is abuse of an open endpoint.
 const maxRunRequestBytes = 64 << 10
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+// handleRunJob accepts a simulation request and returns 202 with a
+// pollable, cancellable job. Cached results settle the job on its first
+// poll (the engine serves them without simulating); fresh ones report
+// record-level progress while they run.
+func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRunRequestBytes)).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("decoding request: %v", err)})
@@ -337,38 +755,98 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := s.session.RunKey(req.Workload, cfg)
-
-	// Fast path mirroring handleFigure: a result already in the session
-	// cache or the store needs no worker slot, so it stays served even
-	// when the pool is saturated.
+	target := fmt.Sprintf("%s/%s", req.Workload, cfg.Canonical().PrefetcherName)
 	if res, ok := s.session.CachedRun(req.Workload, cfg); ok {
-		writeJSON(w, http.StatusOK, RunResponse{
+		j := s.settledJob("run", target, func(j *job) {
+			j.progress = JobProgress{TotalRuns: 1, DoneRuns: 1, CachedRuns: 1}
+			j.result = &RunResponse{
+				Workload:   req.Workload,
+				Prefetcher: cfg.Canonical().PrefetcherName,
+				Key:        key,
+				Result:     res,
+			}
+		})
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, j.doc())
+		return
+	}
+	j, _, err := s.startJob("run", target, "", 1, func(ctx context.Context, j *job) error {
+		res, err := s.session.Run(ctx, req.Workload, cfg)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.result = &RunResponse{
 			Workload:   req.Workload,
 			Prefetcher: cfg.Canonical().PrefetcherName,
 			Key:        key,
 			Result:     res,
-		})
-		return
-	}
-
-	val, err := s.do("run/"+key, func() (any, error) {
-		return s.session.Run(req.Workload, cfg)
+		}
+		j.mu.Unlock()
+		return nil
 	})
-	switch {
-	case errors.Is(err, ErrBusy):
+	if err != nil {
 		s.failures.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
-	case err != nil:
-		s.failures.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
-	default:
-		writeJSON(w, http.StatusOK, RunResponse{
-			Workload:   req.Workload,
-			Prefetcher: cfg.Canonical().PrefetcherName,
-			Key:        key,
-			Result:     val.(*sim.Result),
-		})
+		return
 	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.doc())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	docs := make([]JobDoc, 0, len(jobs))
+	for _, j := range jobs {
+		docs = append(docs, j.doc())
+	}
+	sort.Slice(docs, func(i, k int) bool { return docs[i].Created.After(docs[k].Created) })
+	writeJSON(w, http.StatusOK, docs)
+}
+
+// lookupJob resolves a job id or writes a 404.
+func (s *Server) lookupJob(w http.ResponseWriter, id string) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: fmt.Sprintf("unknown job %q", id)})
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.doc())
+}
+
+// handleJobCancel cancels a job: queued jobs settle as cancelled without
+// running; running jobs stop within one progress interval. Cancelling a
+// settled job is a no-op that reports its final state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	if j.state == JobQueued {
+		// The pool has not picked the body up yet; mark it so the body
+		// settles immediately when it runs.
+		j.state = JobCancelled
+		s.jobsCancelled.Add(1)
+	}
+	j.mu.Unlock()
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.doc())
 }
 
 func (s *Server) handlePrefetchers(w http.ResponseWriter, _ *http.Request) {
@@ -392,16 +870,29 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.mu.Lock()
+	active, pending := s.active, s.pending
+	s.mu.Unlock()
+	eng := s.session.Engine()
 	var b strings.Builder
 	fmt.Fprintf(&b, "smsd_up 1\n")
 	fmt.Fprintf(&b, "smsd_workers %d\n", s.workers)
-	fmt.Fprintf(&b, "smsd_queue_depth %d\n", len(s.jobs))
+	fmt.Fprintf(&b, "smsd_queue_depth %d\n", len(s.jobsCh))
+	fmt.Fprintf(&b, "smsd_jobs_active %d\n", active)
+	fmt.Fprintf(&b, "smsd_jobs_pending %d\n", pending)
 	fmt.Fprintf(&b, "smsd_requests_total %d\n", s.requests.Load())
-	fmt.Fprintf(&b, "smsd_jobs_executed_total %d\n", s.jobsExecuted.Load())
+	fmt.Fprintf(&b, "smsd_pool_tasks_executed_total %d\n", s.poolExecuted.Load())
+	fmt.Fprintf(&b, "smsd_jobs_created_total %d\n", s.jobsCreated.Load())
+	fmt.Fprintf(&b, "smsd_jobs_completed_total %d\n", s.jobsDone.Load())
+	fmt.Fprintf(&b, "smsd_jobs_failed_total %d\n", s.jobsFailed.Load())
+	fmt.Fprintf(&b, "smsd_jobs_cancelled_total %d\n", s.jobsCancelled.Load())
 	fmt.Fprintf(&b, "smsd_jobs_deduplicated_total %d\n", s.deduped.Load())
 	fmt.Fprintf(&b, "smsd_jobs_rejected_total %d\n", s.rejected.Load())
 	fmt.Fprintf(&b, "smsd_request_failures_total %d\n", s.failures.Load())
 	fmt.Fprintf(&b, "smsd_simulations_total %d\n", s.session.Simulations())
+	fmt.Fprintf(&b, "smsd_engine_store_hits_total %d\n", eng.StoreHits())
+	fmt.Fprintf(&b, "smsd_engine_memo_hits_total %d\n", eng.MemoHits())
+	fmt.Fprintf(&b, "smsd_engine_cancelled_runs_total %d\n", eng.CancelledRuns())
 	if st := s.session.Store(); st != nil {
 		stats := st.Stats()
 		fmt.Fprintf(&b, "smsd_store_hits_total %d\n", stats.Hits)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -17,7 +18,12 @@ import (
 
 func tinySession(t *testing.T, dir string) *exp.Session {
 	t.Helper()
-	s := exp.NewSession(exp.Options{CPUs: 1, Seed: 1, Length: 10_000})
+	return sessionWith(t, dir, exp.Options{CPUs: 1, Seed: 1, Length: 10_000})
+}
+
+func sessionWith(t *testing.T, dir string, opts exp.Options) *exp.Session {
+	t.Helper()
+	s := exp.NewSession(opts)
 	if dir != "" {
 		st, err := store.Open(dir)
 		if err != nil {
@@ -56,14 +62,75 @@ func get(t *testing.T, url string) (int, string) {
 	return resp.StatusCode, string(body)
 }
 
-// TestSingleflightDeduplicatesConcurrentFigureRequests is the acceptance
-// criterion for the daemon: 50 concurrent requests for the same uncached
-// figure execute exactly one underlying computation.
+func postJSON(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func del(t *testing.T, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func decodeJob(t *testing.T, body string) JobDoc {
+	t.Helper()
+	var doc JobDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("decoding job doc %q: %v", body, err)
+	}
+	return doc
+}
+
+// pollJob polls the job until it reaches a terminal state.
+func pollJob(t *testing.T, baseURL, id string) JobDoc {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, body := get(t, baseURL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("polling job %s: status %d body %q", id, code, body)
+		}
+		doc := decodeJob(t, body)
+		if doc.State.terminal() {
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, doc.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSingleflightDeduplicatesConcurrentFigureRequests: 50 concurrent
+// synchronous requests for the same uncached figure execute exactly one
+// underlying computation.
 func TestSingleflightDeduplicatesConcurrentFigureRequests(t *testing.T) {
 	var computations atomic.Uint64
 	gate := make(chan struct{})
 	experiments := map[string]exp.Runner{
-		"slowfig": func(*exp.Session) (string, error) {
+		"slowfig": func(context.Context, *exp.Session) (string, error) {
 			computations.Add(1)
 			<-gate // stall until every request has arrived
 			return "the figure body", nil
@@ -126,12 +193,12 @@ func TestQueueFullShedsLoad(t *testing.T) {
 	started := make(chan struct{}, 2)
 	gate := make(chan struct{})
 	experiments := map[string]exp.Runner{
-		"block": func(*exp.Session) (string, error) {
+		"block": func(context.Context, *exp.Session) (string, error) {
 			started <- struct{}{}
 			<-gate
 			return "blocked", nil
 		},
-		"other": func(*exp.Session) (string, error) { return "other", nil },
+		"other": func(context.Context, *exp.Session) (string, error) { return "other", nil },
 	}
 	// One worker and no queue: whatever the worker is chewing on is the
 	// only admitted job.
@@ -160,6 +227,12 @@ func TestQueueFullShedsLoad(t *testing.T) {
 		t.Error("rejection not counted")
 	}
 
+	// An async run job is shed the same way: 503, no dangling job.
+	code, body = postJSON(t, ts.URL+"/v1/runs", `{"workload":"sparse"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("run job with full queue: %d %q, want 503", code, body)
+	}
+
 	close(gate)
 	if err := <-errc; err != nil {
 		t.Fatal("blocked request failed")
@@ -168,11 +241,12 @@ func TestQueueFullShedsLoad(t *testing.T) {
 
 // TestWarmStoreFigureBypassesBusyPool: a figure already persisted in the
 // store must be served even when every worker is occupied — cached
-// serving is the daemon's primary job and needs no worker slot.
+// serving is the daemon's primary job and needs no worker slot. The
+// async form settles instantly as a done job.
 func TestWarmStoreFigureBypassesBusyPool(t *testing.T) {
 	sess := tinySession(t, t.TempDir())
-	warm := func(*exp.Session) (string, error) { return "warm body", nil }
-	if _, err := sess.RunFigure("warmfig", warm); err != nil { // persists to the store
+	warm := func(context.Context, *exp.Session) (string, error) { return "warm body", nil }
+	if _, err := sess.RunFigure(context.Background(), "warmfig", warm); err != nil { // persists to the store
 		t.Fatal(err)
 	}
 
@@ -185,7 +259,7 @@ func TestWarmStoreFigureBypassesBusyPool(t *testing.T) {
 		Queue:   -1,
 		Experiments: map[string]exp.Runner{
 			"warmfig": warm,
-			"block": func(*exp.Session) (string, error) {
+			"block": func(context.Context, *exp.Session) (string, error) {
 				started <- struct{}{}
 				<-gate
 				return "blocked", nil
@@ -204,55 +278,221 @@ func TestWarmStoreFigureBypassesBusyPool(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, "warm body") {
 		t.Fatalf("warm figure under load: %d %q, want 200", code, body)
 	}
+
+	code, body = postJSON(t, ts.URL+"/v1/figures/warmfig", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("warm figure job under load: %d %q, want 202", code, body)
+	}
+	doc := decodeJob(t, body)
+	if doc.State != JobDone || !strings.Contains(doc.Figure, "warm body") {
+		t.Fatalf("warm figure job did not settle instantly: %+v", doc)
+	}
 }
 
-// TestCachedRunBypassesBusyPool: like the warm-figure fast path, a run
-// already computed must be served even when every worker is occupied.
-func TestCachedRunBypassesBusyPool(t *testing.T) {
+// TestRunJobLifecycle drives the async job API end to end: 202 +
+// pollable job, result on completion, and instant settlement for a
+// repeated (cached) request.
+func TestRunJobLifecycle(t *testing.T) {
 	sess := tinySession(t, t.TempDir())
-	started := make(chan struct{}, 1)
-	gate := make(chan struct{})
-	defer close(gate)
+	_, ts := newTestServer(t, Config{Session: sess})
+
+	code, body := postJSON(t, ts.URL+"/v1/runs", `{"workload":"sparse","prefetcher":"sms"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d body %q, want 202", code, body)
+	}
+	doc := decodeJob(t, body)
+	if doc.ID == "" || doc.Kind != "run" || doc.State.terminal() && doc.State != JobDone {
+		t.Fatalf("job doc %+v", doc)
+	}
+
+	final := pollJob(t, ts.URL, doc.ID)
+	if final.State != JobDone {
+		t.Fatalf("job settled as %s (%s)", final.State, final.Error)
+	}
+	rr := final.Result
+	if rr == nil || rr.Result == nil || rr.Result.Accesses == 0 || rr.Key == "" || rr.Prefetcher != "sms" {
+		t.Fatalf("result %+v", rr)
+	}
+	if final.Progress.TotalRuns != 1 || final.Progress.DoneRuns != 1 {
+		t.Errorf("progress %+v", final.Progress)
+	}
+	if sess.Simulations() != 1 {
+		t.Fatalf("simulations = %d", sess.Simulations())
+	}
+
+	// The same run again settles instantly from the cache — no new
+	// simulation, job already done in the 202 response.
+	code, body = postJSON(t, ts.URL+"/v1/runs", `{"workload":"sparse","prefetcher":"sms"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("repeat status %d", code)
+	}
+	repeat := decodeJob(t, body)
+	if repeat.State != JobDone || repeat.Result == nil || repeat.Progress.CachedRuns != 1 {
+		t.Fatalf("repeat job %+v", repeat)
+	}
+	if sess.Simulations() != 1 {
+		t.Errorf("repeat run resimulated: %d", sess.Simulations())
+	}
+	if repeat.Result.Key != rr.Key {
+		t.Error("repeat run key differs")
+	}
+
+	// Region-size override changes the key.
+	code, body = postJSON(t, ts.URL+"/v1/runs", `{"workload":"sparse","prefetcher":"sms","region_size":4096}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("region run status %d body %q", code, body)
+	}
+	region := pollJob(t, ts.URL, decodeJob(t, body).ID)
+	if region.State != JobDone || region.Result.Key == rr.Key {
+		t.Error("region override did not change the run key")
+	}
+
+	for _, bad := range []string{
+		`{"workload":"nope"}`,
+		`{"workload":"sparse","prefetcher":"nope"}`,
+		`{"workload":"sparse","region_size":7}`,
+		`not json`,
+	} {
+		if code, _ := postJSON(t, ts.URL+"/v1/runs", bad); code != http.StatusBadRequest {
+			t.Errorf("bad request %q: status %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestJobCancellation: DELETE stops an in-flight simulation within a
+// progress interval and the job settles as cancelled, leaving the store
+// untouched.
+func TestJobCancellation(t *testing.T) {
+	dir := t.TempDir()
+	// A long trace so the run is still in flight when we cancel.
+	sess := sessionWith(t, dir, exp.Options{CPUs: 1, Seed: 1, Length: 50_000_000})
+	_, ts := newTestServer(t, Config{Session: sess, Workers: 2})
+
+	code, body := postJSON(t, ts.URL+"/v1/runs", `{"workload":"sparse","prefetcher":"sms"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d body %q", code, body)
+	}
+	id := decodeJob(t, body).ID
+
+	// Wait until the job is actually simulating (progress moves).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := get(t, ts.URL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		doc := decodeJob(t, body)
+		if doc.State == JobRunning && doc.Progress.Records > 0 {
+			break
+		}
+		if doc.State.terminal() {
+			t.Fatalf("job settled before cancellation: %+v", doc)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started making progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	code, body = del(t, ts.URL+"/v1/jobs/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("cancel status %d body %q", code, body)
+	}
+	final := pollJob(t, ts.URL, id)
+	if final.State != JobCancelled {
+		t.Fatalf("state %s after cancel, want cancelled", final.State)
+	}
+	if st := sess.Store().Stats(); st.Writes != 0 {
+		t.Errorf("cancelled run wrote %d store objects", st.Writes)
+	}
+	if sess.Engine().CancelledRuns() == 0 {
+		t.Error("engine did not count the cancelled run")
+	}
+
+	// Cancelling a settled job is a no-op reporting the final state.
+	code, body = del(t, ts.URL+"/v1/jobs/"+id)
+	if code != http.StatusOK || decodeJob(t, body).State != JobCancelled {
+		t.Fatalf("re-cancel: %d %q", code, body)
+	}
+
+	// Metrics expose the cancellation gauges.
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"smsd_jobs_cancelled_total 1",
+		"smsd_engine_cancelled_runs_total 1",
+		"smsd_jobs_active 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestJobEndpointsErrors: unknown jobs 404 on GET and DELETE; unknown
+// figures 404 on the async form too.
+func TestJobEndpointsErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Session: tinySession(t, "")})
+	if code, _ := get(t, ts.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Errorf("GET unknown job: %d", code)
+	}
+	if code, _ := del(t, ts.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Errorf("DELETE unknown job: %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/figures/fig99", ""); code != http.StatusNotFound {
+		t.Errorf("POST unknown figure: %d", code)
+	}
+}
+
+// TestJobListing: /v1/jobs returns the registered jobs newest-first.
+func TestJobListing(t *testing.T) {
+	sess := tinySession(t, "")
+	_, ts := newTestServer(t, Config{Session: sess})
+	for _, req := range []string{`{"workload":"sparse"}`, `{"workload":"ocean"}`} {
+		code, body := postJSON(t, ts.URL+"/v1/runs", req)
+		if code != http.StatusAccepted {
+			t.Fatalf("status %d", code)
+		}
+		pollJob(t, ts.URL, decodeJob(t, body).ID)
+	}
+	code, body := get(t, ts.URL+"/v1/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var docs []JobDoc
+	if err := json.Unmarshal([]byte(body), &docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("listed %d jobs, want 2", len(docs))
+	}
+}
+
+// TestFigureJobLifecycle: the async figure form runs a (stubbed) figure
+// to completion with the rendered text in the job doc.
+func TestFigureJobLifecycle(t *testing.T) {
+	sess := tinySession(t, "")
 	_, ts := newTestServer(t, Config{
 		Session: sess,
-		Workers: 1,
-		Queue:   -1,
 		Experiments: map[string]exp.Runner{
-			"block": func(*exp.Session) (string, error) {
-				started <- struct{}{}
-				<-gate
-				return "blocked", nil
+			"stubfig": func(ctx context.Context, s *exp.Session) (string, error) {
+				// Exercise the engine path so the job sees run events.
+				if _, err := s.Run(ctx, "sparse", s.Options().BaselineConfig()); err != nil {
+					return "", err
+				}
+				return "stub figure text", nil
 			},
 		},
 	})
-
-	post := func() int {
-		t.Helper()
-		resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
-			strings.NewReader(`{"workload":"sparse","prefetcher":"sms"}`))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		_, _ = io.ReadAll(resp.Body)
-		return resp.StatusCode
+	code, body := postJSON(t, ts.URL+"/v1/figures/stubfig", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d body %q", code, body)
 	}
-	if code := post(); code != http.StatusOK { // warm the caches
-		t.Fatalf("warming run: %d", code)
+	final := pollJob(t, ts.URL, decodeJob(t, body).ID)
+	if final.State != JobDone || !strings.Contains(final.Figure, "stub figure text") {
+		t.Fatalf("figure job %+v", final)
 	}
-
-	go func() {
-		if resp, err := http.Get(ts.URL + "/v1/figures/block"); err == nil {
-			resp.Body.Close()
-		}
-	}()
-	<-started // the only worker is now occupied
-
-	if code := post(); code != http.StatusOK {
-		t.Fatalf("cached run under load: %d, want 200", code)
-	}
-	if sess.Simulations() != 1 {
-		t.Errorf("cached run resimulated: %d", sess.Simulations())
+	if final.Progress.DoneRuns != 1 {
+		t.Errorf("figure job progress %+v, want 1 settled run", final.Progress)
 	}
 }
 
@@ -282,131 +522,223 @@ func TestFigureEndpointServesRealFigure(t *testing.T) {
 	}
 }
 
-func TestRunEndpoint(t *testing.T) {
-	dir := t.TempDir()
-	sess := tinySession(t, dir)
-	_, ts := newTestServer(t, Config{Session: sess})
-
-	post := func(body string) (int, string) {
-		t.Helper()
-		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		data, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return resp.StatusCode, string(data)
-	}
-
-	code, body := post(`{"workload":"sparse","prefetcher":"sms"}`)
-	if code != http.StatusOK {
-		t.Fatalf("status %d body %q", code, body)
-	}
-	var rr RunResponse
-	if err := json.Unmarshal([]byte(body), &rr); err != nil {
-		t.Fatal(err)
-	}
-	if rr.Result == nil || rr.Result.Accesses == 0 || rr.Key == "" || rr.Prefetcher != "sms" {
-		t.Errorf("response %+v", rr)
-	}
-	if sess.Simulations() != 1 {
-		t.Fatalf("simulations = %d", sess.Simulations())
-	}
-
-	// The same run again is served from cache — no new simulation.
-	if code, _ := post(`{"workload":"sparse","prefetcher":"sms"}`); code != http.StatusOK {
-		t.Fatal("repeat run failed")
-	}
-	if sess.Simulations() != 1 {
-		t.Errorf("repeat run resimulated: %d", sess.Simulations())
-	}
-
-	// Region-size override changes the key.
-	code, body = post(`{"workload":"sparse","prefetcher":"sms","region_size":4096}`)
-	if code != http.StatusOK {
-		t.Fatalf("region run status %d body %q", code, body)
-	}
-	var rr2 RunResponse
-	if err := json.Unmarshal([]byte(body), &rr2); err != nil {
-		t.Fatal(err)
-	}
-	if rr2.Key == rr.Key {
-		t.Error("region override did not change the run key")
-	}
-
-	for _, bad := range []string{
-		`{"workload":"nope","prefetcher":"sms"}`,
-		`{"workload":"sparse","prefetcher":"warp-drive"}`,
-		`{"workload":"sparse","prefetcher":"sms","region_size":100}`,
-		`{not json`,
-	} {
-		if code, _ := post(bad); code != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400", bad, code)
-		}
-	}
-}
-
-func TestListingAndHealthEndpoints(t *testing.T) {
+func TestDiscoveryAndHealthEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Config{Session: tinySession(t, "")})
 
 	code, body := get(t, ts.URL+"/healthz")
 	if code != http.StatusOK || !strings.Contains(body, "ok") {
-		t.Errorf("healthz: %d %q", code, body)
+		t.Fatalf("healthz: %d %q", code, body)
 	}
-
 	code, body = get(t, ts.URL+"/v1/prefetchers")
-	if code != http.StatusOK || !strings.Contains(body, `"sms"`) || !strings.Contains(body, `"ghb"`) {
-		t.Errorf("prefetchers: %d %q", code, body)
+	if code != http.StatusOK || !strings.Contains(body, "sms") {
+		t.Fatalf("prefetchers: %d %q", code, body)
 	}
-
 	code, body = get(t, ts.URL+"/v1/workloads")
-	if code != http.StatusOK {
-		t.Fatalf("workloads: %d", code)
+	if code != http.StatusOK || !strings.Contains(body, "oltp-db2") {
+		t.Fatalf("workloads: %d %q", code, body)
 	}
-	var wls []struct {
-		Name  string `json:"name"`
-		Group string `json:"group"`
-	}
-	if err := json.Unmarshal([]byte(body), &wls); err != nil {
-		t.Fatal(err)
-	}
-	if len(wls) != 11 {
-		t.Errorf("%d workloads, want 11", len(wls))
-	}
-}
-
-func TestMetricsEndpoint(t *testing.T) {
-	dir := t.TempDir()
-	sess := tinySession(t, dir)
-	_, ts := newTestServer(t, Config{Session: sess})
-
-	// Generate some activity first.
-	if code, _ := get(t, ts.URL+"/v1/figures/table1"); code != http.StatusOK {
-		t.Fatal("figure request failed")
-	}
-
-	code, body := get(t, ts.URL+"/metrics")
+	code, body = get(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("metrics: %d", code)
 	}
 	for _, want := range []string{
-		"smsd_up 1",
-		"smsd_workers ",
-		"smsd_requests_total ",
-		"smsd_jobs_executed_total 1",
-		"smsd_store_writes_total 1", // the figure landed in the store
+		"smsd_up 1", "smsd_workers", "smsd_queue_depth",
+		"smsd_jobs_active", "smsd_jobs_pending", "smsd_jobs_cancelled_total",
+		"smsd_simulations_total",
 	} {
 		if !strings.Contains(body, want) {
-			t.Errorf("metrics missing %q:\n%s", want, body)
+			t.Errorf("metrics missing %q", want)
 		}
 	}
 }
 
-func TestNewRequiresSession(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
-		t.Fatal("nil session accepted")
+// TestShutdownCancelsInFlightWork: Shutdown stops a long-running
+// simulation through the context path instead of draining it, within the
+// configured bound.
+func TestShutdownCancelsInFlightWork(t *testing.T) {
+	sess := sessionWith(t, "", exp.Options{CPUs: 1, Seed: 1, Length: 100_000_000})
+	s, err := New(Config{Session: sess, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := postJSON(t, ts.URL+"/v1/runs", `{"workload":"sparse","prefetcher":"sms"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	id := decodeJob(t, body).ID
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, body := get(t, ts.URL+"/v1/jobs/"+id)
+		if doc := decodeJob(t, body); doc.State == JobRunning && doc.Progress.Records > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	begin := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 15*time.Second {
+		t.Errorf("shutdown took %v", elapsed)
+	}
+	// The ~100M-record simulation cannot have completed; it must have
+	// been cancelled mid-run.
+	if sess.Engine().CancelledRuns() == 0 {
+		t.Error("shutdown did not cancel the in-flight run")
+	}
+}
+
+// TestDuplicateFigureJobsSingleflight: N concurrent figure jobs for one
+// uncached figure execute exactly one underlying computation — including
+// the plan cells run-level memoization cannot dedupe.
+func TestDuplicateFigureJobsSingleflight(t *testing.T) {
+	var computations atomic.Uint64
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Session: tinySession(t, ""),
+		Workers: 4,
+		Experiments: map[string]exp.Runner{
+			"slowfig": func(context.Context, *exp.Session) (string, error) {
+				computations.Add(1)
+				<-gate
+				return "shared figure body", nil
+			},
+		},
+	})
+
+	const n = 3
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		code, body := postJSON(t, ts.URL+"/v1/figures/slowfig", "")
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d", i, code)
+		}
+		ids[i] = decodeJob(t, body).ID
+	}
+	// Wait until the leader is computing and both followers joined the
+	// flight before releasing it.
+	deadline := time.Now().Add(10 * time.Second)
+	for computations.Load() < 1 || s.deduped.Load() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers joined: %d, computations: %d", s.deduped.Load(), computations.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	for _, id := range ids {
+		doc := pollJob(t, ts.URL, id)
+		if doc.State != JobDone || !strings.Contains(doc.Figure, "shared figure body") {
+			t.Fatalf("job %s settled as %+v", id, doc)
+		}
+	}
+	if got := computations.Load(); got != 1 {
+		t.Fatalf("%d computations for %d duplicate figure jobs, want 1", got, n)
+	}
+}
+
+// TestSyncGetJoinsAsyncFigureJobWithoutDeadlock: with a single worker
+// occupied by the figure job's body, a synchronous GET for the same
+// figure joins that job (no second pool slot needed) and serves its
+// outcome — the queued-leader deadlock the job-level singleflight
+// design rules out.
+func TestSyncGetJoinsAsyncFigureJobWithoutDeadlock(t *testing.T) {
+	var computations atomic.Uint64
+	started := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Session: tinySession(t, ""),
+		Workers: 1,
+		Queue:   -1,
+		Experiments: map[string]exp.Runner{
+			"fig": func(context.Context, *exp.Session) (string, error) {
+				computations.Add(1)
+				started <- struct{}{}
+				<-gate
+				return "joined body", nil
+			},
+		},
+	})
+
+	code, body := postJSON(t, ts.URL+"/v1/figures/fig", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	id := decodeJob(t, body).ID
+	<-started // the only worker now runs the figure body
+
+	got := make(chan string, 1)
+	go func() {
+		_, b := get(t, ts.URL+"/v1/figures/fig")
+		got <- b
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.deduped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("GET never joined the in-flight figure job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	select {
+	case b := <-got:
+		if !strings.Contains(b, "joined body") {
+			t.Fatalf("GET served %q", b)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("joined GET never returned — pool deadlock")
+	}
+	if computations.Load() != 1 {
+		t.Fatalf("%d computations, want 1", computations.Load())
+	}
+	if doc := pollJob(t, ts.URL, id); doc.State != JobDone {
+		t.Fatalf("job state %s", doc.State)
+	}
+}
+
+// TestSyncFigureGetDuringShutdownFailsFast: once the server's jobs are
+// cancelled (shutdown), a synchronous figure GET must 503 instead of
+// spinning up an endless stream of instantly-cancelled jobs.
+func TestSyncFigureGetDuringShutdownFailsFast(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Session: tinySession(t, ""),
+		Workers: 2,
+		Experiments: map[string]exp.Runner{
+			"fig": func(ctx context.Context, sess *exp.Session) (string, error) {
+				if err := ctx.Err(); err != nil {
+					return "", err
+				}
+				return "body", nil
+			},
+		},
+	})
+	s.CancelJobs()
+
+	before := s.jobsCreated.Load()
+	done := make(chan int, 1)
+	go func() {
+		code, _ := get(t, ts.URL+"/v1/figures/fig")
+		done <- code
+	}()
+	select {
+	case code := <-done:
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("GET during shutdown never returned")
+	}
+	if created := s.jobsCreated.Load() - before; created > 2 {
+		t.Errorf("shutdown GET churned %d jobs", created)
 	}
 }

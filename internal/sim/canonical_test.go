@@ -14,7 +14,7 @@ func TestCanonicalIdempotent(t *testing.T) {
 	cfgs := []Config{
 		{},
 		{PrefetcherName: "sms"},
-		{Prefetcher: PrefetchGHB},
+		{PrefetcherName: "ghb"},
 		{PrefetcherName: "sms", SMS: core.Config{PHTEntries: -1, AccumEntries: -1, PredictionRegisters: -7}},
 		{PrefetcherName: "ghb", GHB: ghb.Config{HistoryEntries: 16384}},
 		{PrefetcherName: "ls", StreamRate: 9, WarmupAccesses: 123},
@@ -27,16 +27,11 @@ func TestCanonicalIdempotent(t *testing.T) {
 	}
 }
 
-// TestCanonicalFoldsEnum: the deprecated enum and the registry name
-// canonicalize identically.
-func TestCanonicalFoldsEnum(t *testing.T) {
-	byEnum := Config{Prefetcher: PrefetchSMS}.Canonical()
-	byName := Config{PrefetcherName: "sms"}.Canonical()
-	if byEnum != byName {
-		t.Errorf("enum and name differ:\n%+v\n%+v", byEnum, byName)
-	}
-	if byEnum.PrefetcherName != "sms" || byEnum.Prefetcher != PrefetchNone {
-		t.Errorf("enum not folded: %+v", byEnum)
+// TestCanonicalResolvesEmptyName: an empty PrefetcherName canonicalizes
+// to the baseline scheme.
+func TestCanonicalResolvesEmptyName(t *testing.T) {
+	if got := (Config{}).Canonical().PrefetcherName; got != "none" {
+		t.Errorf("empty name canonicalized to %q, want \"none\"", got)
 	}
 }
 

@@ -104,7 +104,7 @@ func lookup(name string) (Constructor, error) {
 
 // New builds a runner for cfg with the named prefetcher attached. It is
 // the registry-first spelling of NewRunner: the name overrides whatever
-// cfg.PrefetcherName or the deprecated cfg.Prefetcher selected.
+// cfg.PrefetcherName selected.
 func New(name string, cfg Config) (*Runner, error) {
 	cfg.PrefetcherName = name
 	return NewRunner(cfg)

@@ -89,26 +89,18 @@ func TestRegistryRoundTrip(t *testing.T) {
 	}
 }
 
-// TestKindShimMatchesName checks the deprecated enum selects exactly the
-// same engine as its registry name.
-func TestKindShimMatchesName(t *testing.T) {
+// TestEmptyNameSelectsBaseline checks the zero Config still selects the
+// baseline system now that the selection is name-only.
+func TestEmptyNameSelectsBaseline(t *testing.T) {
 	w, _ := workload.ByName("oltp-db2")
 	const n = 50_000
-	run := func(cfg sim.Config) *sim.Result {
-		cfg.Coherence = smallCoherence(2)
-		cfg.WarmupAccesses = n / 2
-		r, err := sim.NewRunner(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return r.Run(w.Make(workload.Config{CPUs: 2, Seed: 3, Length: n}))
+	r, err := sim.NewRunner(sim.Config{Coherence: smallCoherence(2), WarmupAccesses: n / 2})
+	if err != nil {
+		t.Fatal(err)
 	}
-	byKind := run(sim.Config{Prefetcher: sim.PrefetchSMS})
-	byName := run(sim.Config{PrefetcherName: "sms"})
-	if byKind.L1ReadMisses != byName.L1ReadMisses ||
-		byKind.StreamRequests != byName.StreamRequests ||
-		byKind.L1CoveredMisses != byName.L1CoveredMisses {
-		t.Fatalf("kind shim diverged from name: %+v vs %+v", byKind, byName)
+	res := r.Run(w.Make(workload.Config{CPUs: 2, Seed: 3, Length: n}))
+	if res.StreamRequests != 0 || res.L1CoveredMisses != 0 {
+		t.Fatalf("zero config attached a prefetcher: %+v", res)
 	}
 }
 

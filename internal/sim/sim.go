@@ -21,7 +21,7 @@
 package sim
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
@@ -32,69 +32,6 @@ import (
 	"repro/internal/trace"
 )
 
-// PrefetcherKind selects the prefetcher attached to the hierarchy.
-//
-// Deprecated: prefetchers are selected by registry name (see Register and
-// Config.PrefetcherName). The enum remains as a shim for existing callers
-// and maps onto the built-in names via Name.
-type PrefetcherKind int
-
-// Available prefetchers.
-const (
-	// PrefetchNone is the baseline system.
-	PrefetchNone PrefetcherKind = iota
-	// PrefetchSMS attaches one SMS engine per CPU, trained on all L1
-	// accesses and streaming into L1.
-	PrefetchSMS
-	// PrefetchLS uses the logical-sectored training structure in place
-	// of the AGT (Fig. 8/9 comparison), streaming into L1.
-	PrefetchLS
-	// PrefetchGHB attaches a PC/DC global history buffer per CPU,
-	// trained on L1 misses and prefetching into L2 (§4.6).
-	PrefetchGHB
-	// PrefetchStride attaches a per-PC stride prefetcher per CPU at L2
-	// (extension baseline).
-	PrefetchStride
-)
-
-// String implements fmt.Stringer.
-func (k PrefetcherKind) String() string {
-	switch k {
-	case PrefetchNone:
-		return "base"
-	case PrefetchSMS:
-		return "SMS"
-	case PrefetchLS:
-		return "LS"
-	case PrefetchGHB:
-		return "GHB"
-	case PrefetchStride:
-		return "stride"
-	default:
-		return fmt.Sprintf("PrefetcherKind(%d)", int(k))
-	}
-}
-
-// Name maps the deprecated enum onto the registry name of the built-in
-// scheme it selected. Unknown kinds map to an unregistered name, so
-// NewRunner reports them as unknown prefetchers.
-func (k PrefetcherKind) Name() string {
-	switch k {
-	case PrefetchNone:
-		return "none"
-	case PrefetchSMS:
-		return "sms"
-	case PrefetchLS:
-		return "ls"
-	case PrefetchGHB:
-		return "ghb"
-	case PrefetchStride:
-		return "stride"
-	default:
-		return fmt.Sprintf("PrefetcherKind(%d)", int(k))
-	}
-}
-
 // Config parameterizes a simulation run.
 type Config struct {
 	// Coherence describes the memory system (CPUs, L1, L2).
@@ -104,14 +41,8 @@ type Config struct {
 	Geometry mem.Geometry
 	// PrefetcherName selects the attached prefetcher by registry name
 	// (see Register; built-ins: "none", "sms", "ls", "ghb", "stride").
-	// Empty falls back to the deprecated Prefetcher enum, whose zero
-	// value is the baseline system.
+	// Empty selects the baseline system ("none").
 	PrefetcherName string
-	// Prefetcher selects the attached prefetcher.
-	//
-	// Deprecated: set PrefetcherName instead. Ignored when
-	// PrefetcherName is non-empty.
-	Prefetcher PrefetcherKind
 	// SMS configures per-CPU SMS engines (Geometry is overridden by the
 	// run's Geometry).
 	SMS core.Config
@@ -163,7 +94,7 @@ const DefaultMaxMLP = 16
 
 func (c Config) withDefaults() Config {
 	if c.PrefetcherName == "" {
-		c.PrefetcherName = c.Prefetcher.Name()
+		c.PrefetcherName = "none"
 	}
 	if c.Coherence.CPUs == 0 {
 		c.Coherence = coherence.DefaultConfig()
@@ -183,10 +114,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Canonical returns the configuration with every default resolved and the
-// deprecated Prefetcher enum folded into PrefetcherName, so two configs
-// that select the same simulation serialize identically. It is the stable
-// form hashed by the result store and exchanged over the smsd HTTP API.
+// Canonical returns the configuration with every default resolved, so two
+// configs that select the same simulation serialize identically. It is the
+// stable form hashed by the result store and exchanged over the smsd HTTP
+// API.
 //
 // Sub-configs are canonicalized too, mirroring how the built-in
 // constructors derive them from the run (geometry and block size come
@@ -194,7 +125,6 @@ func (c Config) withDefaults() Config {
 // defaults left implicit hash to the same key.
 func (c Config) Canonical() Config {
 	c = c.withDefaults()
-	c.Prefetcher = PrefetchNone
 
 	c.SMS.Geometry = c.Geometry
 	c.SMS = c.SMS.Canonical()
@@ -225,12 +155,14 @@ type Runner struct {
 	warm    bool
 	counted uint64 // accesses processed
 
+	progressEvery uint64
+	onProgress    func(records uint64)
+
 	win winState
 }
 
 // NewRunner builds a runner for cfg, attaching the prefetcher selected by
-// cfg.PrefetcherName (or the deprecated cfg.Prefetcher enum) from the
-// registry.
+// cfg.PrefetcherName from the registry.
 func NewRunner(cfg Config) (*Runner, error) {
 	cfg = cfg.withDefaults()
 	sys, err := coherence.New(cfg.Coherence)
@@ -283,20 +215,69 @@ func MustNewRunner(cfg Config) *Runner {
 // Config returns the resolved configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
-// Run drives the whole trace and returns the accumulated result. The
-// returned Result is detached from the Runner, so callers that retain
-// results (e.g. the experiment session cache) do not pin the runner's
-// simulation state (caches, directory, predictor tables) in memory.
+// DefaultProgressInterval is the record count between cancellation checks
+// and progress callbacks in RunContext. At simulation rates of millions
+// of records per second it bounds cancellation latency to milliseconds.
+const DefaultProgressInterval = 16384
+
+// OnProgress registers fn to observe the running record count every
+// `every` processed records during RunContext (0 selects
+// DefaultProgressInterval). The same interval paces cancellation checks,
+// so a cancelled run returns within one progress interval. It must be
+// set before the run starts.
+func (r *Runner) OnProgress(every uint64, fn func(records uint64)) {
+	if every == 0 {
+		every = DefaultProgressInterval
+	}
+	r.progressEvery = every
+	r.onProgress = fn
+}
+
+// Run drives the whole trace and returns the accumulated result. It is a
+// thin uncancellable wrapper over RunContext. The returned Result is
+// detached from the Runner, so callers that retain results (e.g. the
+// engine's memoization cache) do not pin the runner's simulation state
+// (caches, directory, predictor tables) in memory.
 func (r *Runner) Run(src trace.Source) *Result {
+	res, _ := r.RunContext(context.Background(), src)
+	return res
+}
+
+// RunContext drives src until exhaustion or cancellation, checking ctx
+// and invoking any OnProgress callback once per progress interval. On
+// cancellation it returns ctx's error and a nil Result: a partial run is
+// never returned, so callers cannot mistake it for a completed one (or
+// persist it).
+func (r *Runner) RunContext(ctx context.Context, src trace.Source) (*Result, error) {
+	every := r.progressEvery
+	if every == 0 {
+		every = DefaultProgressInterval
+	}
+	next := r.counted + every
 	for {
 		rec, ok := src.Next()
 		if !ok {
 			break
 		}
 		r.Step(rec)
+		if r.counted >= next {
+			next = r.counted + every
+			if r.onProgress != nil {
+				r.onProgress(r.counted)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	r.finish()
-	return r.Result()
+	if r.onProgress != nil {
+		r.onProgress(r.counted)
+	}
+	return r.Result(), nil
 }
 
 // Result returns a detached copy of the accumulated statistics (for

@@ -1,7 +1,11 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
@@ -59,8 +63,8 @@ func TestBaselineCountsConsistent(t *testing.T) {
 func TestSMSCoversMissesEndToEnd(t *testing.T) {
 	base := runWorkload(t, "oltp-db2", Config{Coherence: tinyCoherence(2)}, 400_000)
 	sms := runWorkload(t, "oltp-db2", Config{
-		Coherence:  tinyCoherence(2),
-		Prefetcher: PrefetchSMS,
+		Coherence:      tinyCoherence(2),
+		PrefetcherName: "sms",
 	}, 400_000)
 	cov := sms.L1Coverage(base)
 	if cov.Covered < 0.15 {
@@ -84,8 +88,8 @@ func TestSMSBeatsGHBOnOLTP(t *testing.T) {
 	const n = 400_000
 	cc := tinyCoherence(2)
 	base := runWorkload(t, "oltp-db2", Config{Coherence: cc}, n)
-	sms := runWorkload(t, "oltp-db2", Config{Coherence: cc, Prefetcher: PrefetchSMS}, n)
-	ghbRes := runWorkload(t, "oltp-db2", Config{Coherence: cc, Prefetcher: PrefetchGHB}, n)
+	sms := runWorkload(t, "oltp-db2", Config{Coherence: cc, PrefetcherName: "sms"}, n)
+	ghbRes := runWorkload(t, "oltp-db2", Config{Coherence: cc, PrefetcherName: "ghb"}, n)
 	smsCov := sms.OffChipCoverage(base).Covered
 	ghbCov := ghbRes.OffChipCoverage(base).Covered
 	if smsCov <= ghbCov {
@@ -99,7 +103,7 @@ func TestScientificHighCoverage(t *testing.T) {
 	const n = 400_000
 	cc := tinyCoherence(2)
 	base := runWorkload(t, "sparse", Config{Coherence: cc}, n)
-	sms := runWorkload(t, "sparse", Config{Coherence: cc, Prefetcher: PrefetchSMS}, n)
+	sms := runWorkload(t, "sparse", Config{Coherence: cc, PrefetcherName: "sms"}, n)
 	cov := sms.OffChipCoverage(base)
 	if cov.Covered < 0.5 {
 		t.Fatalf("sparse off-chip coverage %.3f, want >= 0.5", cov.Covered)
@@ -177,7 +181,7 @@ func TestLSRunnerWorks(t *testing.T) {
 	const n = 200_000
 	cc := tinyCoherence(2)
 	base := runWorkload(t, "web-apache", Config{Coherence: cc}, n)
-	ls := runWorkload(t, "web-apache", Config{Coherence: cc, Prefetcher: PrefetchLS}, n)
+	ls := runWorkload(t, "web-apache", Config{Coherence: cc, PrefetcherName: "ls"}, n)
 	if ls.L1Coverage(base).Covered <= 0 {
 		t.Fatal("LS produced no coverage")
 	}
@@ -187,22 +191,14 @@ func TestStrideRunnerWorks(t *testing.T) {
 	const n = 200_000
 	cc := tinyCoherence(2)
 	base := runWorkload(t, "ocean", Config{Coherence: cc}, n)
-	st := runWorkload(t, "ocean", Config{Coherence: cc, Prefetcher: PrefetchStride}, n)
+	st := runWorkload(t, "ocean", Config{Coherence: cc, PrefetcherName: "stride"}, n)
 	if st.OffChipCoverage(base).Covered <= 0 {
 		t.Fatal("stride produced no coverage on a dense sequential workload")
 	}
 }
 
-func TestPrefetcherKindString(t *testing.T) {
-	for _, k := range []PrefetcherKind{PrefetchNone, PrefetchSMS, PrefetchLS, PrefetchGHB, PrefetchStride, PrefetcherKind(42)} {
-		if k.String() == "" {
-			t.Errorf("kind %d renders empty", k)
-		}
-	}
-}
-
 func TestUnknownPrefetcherRejected(t *testing.T) {
-	_, err := NewRunner(Config{Coherence: tinyCoherence(1), Prefetcher: PrefetcherKind(42)})
+	_, err := NewRunner(Config{Coherence: tinyCoherence(1), PrefetcherName: "no-such-scheme"})
 	if err == nil {
 		t.Fatal("unknown prefetcher accepted")
 	}
@@ -211,7 +207,7 @@ func TestUnknownPrefetcherRejected(t *testing.T) {
 func TestStepDeterminism(t *testing.T) {
 	w, _ := workload.ByName("em3d")
 	mk := func() *Result {
-		r := MustNewRunner(Config{Coherence: tinyCoherence(2), Prefetcher: PrefetchSMS})
+		r := MustNewRunner(Config{Coherence: tinyCoherence(2), PrefetcherName: "sms"})
 		return r.Run(trace.Limit(w.Make(workload.Config{CPUs: 2, Seed: 5, Length: 100_000}), 100_000))
 	}
 	a, b := mk(), mk()
@@ -265,5 +261,72 @@ func TestRunReturnsDetachedResult(t *testing.T) {
 	}
 	if r.Result().Accesses <= before {
 		t.Fatal("runner's own result did not advance")
+	}
+}
+
+func TestRunContextCancelsPromptly(t *testing.T) {
+	// An unbounded synthetic trace: only cancellation can end this run.
+	var seq uint64
+	endless := trace.Func(func() (trace.Record, bool) {
+		seq++
+		return trace.Record{Seq: seq, PC: 0x400, Addr: mem.Addr(seq*64) & 0xFFFFFF}, true
+	})
+	r := MustNewRunner(Config{Coherence: tinyCoherence(1), PrefetcherName: "sms"})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Uint64
+	r.OnProgress(1024, func(records uint64) {
+		if calls.Add(1) == 3 {
+			cancel()
+		}
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		res, err := r.RunContext(ctx, endless)
+		if res != nil {
+			t.Error("cancelled run returned a partial Result")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+	// Cancellation is checked once per progress interval: the run must
+	// have stopped within one interval of the cancelling callback.
+	if got := calls.Load(); got > 4 {
+		t.Errorf("run kept going for %d progress intervals after cancel", got-3)
+	}
+}
+
+func TestRunContextCompletesLikeRun(t *testing.T) {
+	w, _ := workload.ByName("sparse")
+	mk := func() *Runner { return MustNewRunner(Config{Coherence: tinyCoherence(1)}) }
+	n := uint64(30_000)
+	wcfg := workload.Config{CPUs: 1, Seed: 9, Length: n}
+
+	viaRun := mk().Run(w.Make(wcfg))
+	rc := mk()
+	var last uint64
+	rc.OnProgress(0, func(records uint64) {
+		if records < last {
+			t.Errorf("progress went backwards: %d after %d", records, last)
+		}
+		last = records
+	})
+	viaCtx, err := rc.RunContext(context.Background(), w.Make(wcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCtx.Accesses != viaRun.Accesses || viaCtx.L1ReadMisses != viaRun.L1ReadMisses {
+		t.Fatalf("RunContext diverged from Run: %+v vs %+v", viaCtx, viaRun)
+	}
+	if last != n {
+		t.Errorf("final progress callback saw %d records, want %d", last, n)
 	}
 }

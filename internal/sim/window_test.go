@@ -117,7 +117,7 @@ func TestWindowUpgradeAccounting(t *testing.T) {
 			L1:   cache.Config{Size: 1 << 10, Assoc: 2, BlockSize: 64},
 			L2:   cache.Config{Size: 8 << 10, Assoc: 4, BlockSize: 64},
 		},
-		Prefetcher:         PrefetchSMS,
+		PrefetcherName:     "sms",
 		WindowInstructions: 1000,
 	})
 	if err != nil {

@@ -36,8 +36,13 @@ import (
 )
 
 // VersionSalt is folded into every content address. Bump it when the
-// simulator's semantics change so stale results stop matching.
-const VersionSalt = "sms-repro/1"
+// simulator's semantics — or the serialized form of the hashed identity —
+// change, so stale results stop matching.
+//
+// /2: sim.Config lost the deprecated Prefetcher enum field, changing the
+// canonical JSON that run identities hash. Results are unchanged, but
+// pre-/2 store objects are unreachable under the new addresses.
+const VersionSalt = "sms-repro/2"
 
 // DefaultMemoryBytes bounds the in-memory LRU layer by default.
 const DefaultMemoryBytes = 64 << 20

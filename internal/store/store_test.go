@@ -26,9 +26,8 @@ func tinyResult(t testing.TB) *sim.Result {
 
 func TestForRunCanonicalizes(t *testing.T) {
 	wcfg := workload.Config{CPUs: 4, Seed: 1}
-	// The deprecated enum and the registry name must address the same
-	// object, as must implicit and explicit defaults.
-	a := ForRun("sparse", wcfg, sim.Config{Prefetcher: sim.PrefetchSMS})
+	// Implicit and explicit defaults must address the same object.
+	a := ForRun("sparse", wcfg, sim.Config{PrefetcherName: "sms", StreamRate: sim.DefaultStreamRate, OverlapGap: sim.DefaultOverlapGap})
 	b := ForRun("sparse", wcfg, sim.Config{PrefetcherName: "sms"})
 	c := ForRun("sparse", wcfg, sim.Config{PrefetcherName: "sms", StreamRate: sim.DefaultStreamRate})
 	d := ForRun("sparse", wcfg.Canonical(), sim.Config{PrefetcherName: "sms"})

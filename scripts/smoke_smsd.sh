@@ -1,0 +1,97 @@
+#!/usr/bin/env sh
+# Smoke test for the smsd async job API: start the daemon, submit a job
+# and poll it to completion, then cancel a second (long) one and check it
+# settles as cancelled. Run from the repository root; needs curl.
+set -eu
+
+BIN=${BIN:-./smsd-smoke-bin}
+PORT_FAST=${PORT_FAST:-18344}
+PORT_SLOW=${PORT_SLOW:-18345}
+
+say() { echo "smoke: $*"; }
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o "$BIN" ./cmd/smsd
+
+FAST_PID=""
+SLOW_PID=""
+TMP=""
+cleanup() {
+    [ -n "$FAST_PID" ] && kill "$FAST_PID" 2>/dev/null || true
+    [ -n "$SLOW_PID" ] && kill "$SLOW_PID" 2>/dev/null || true
+    rm -f "$BIN"
+    [ -n "$TMP" ] && rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+# json_field FILE KEY → the first "KEY": "value" in the (indented) JSON.
+json_field() {
+    sed -n "s/^.*\"$2\": \"\([^\"]*\)\".*$/\1/p" "$1" | head -n 1
+}
+
+wait_healthy() {
+    i=0
+    while ! curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "daemon on :$1 never became healthy"
+        sleep 0.1
+    done
+}
+
+TMP=$(mktemp -d)
+
+# --- Job to completion, against a fast daemon ------------------------------
+"$BIN" -addr "127.0.0.1:$PORT_FAST" -cpus 1 -length 120000 >"$TMP/fast.log" 2>&1 &
+FAST_PID=$!
+wait_healthy "$PORT_FAST"
+
+curl -fsS -X POST "http://127.0.0.1:$PORT_FAST/v1/runs" \
+    -d '{"workload":"sparse","prefetcher":"sms"}' >"$TMP/submit.json"
+JOB=$(json_field "$TMP/submit.json" id)
+[ -n "$JOB" ] || fail "no job id in submit response: $(cat "$TMP/submit.json")"
+say "submitted job $JOB"
+
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_FAST/v1/jobs/$JOB" >"$TMP/poll.json"
+    STATE=$(json_field "$TMP/poll.json" state)
+    case "$STATE" in
+    done) break ;;
+    failed | cancelled) fail "job settled as $STATE: $(cat "$TMP/poll.json")" ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && fail "job stuck in state $STATE"
+    sleep 0.2
+done
+grep -q '"workload": "sparse"' "$TMP/poll.json" || fail "done job carries no result"
+say "job $JOB completed with a result"
+
+# --- Cancellation, against a daemon with a very long trace -----------------
+"$BIN" -addr "127.0.0.1:$PORT_SLOW" -cpus 1 -length 200000000 >"$TMP/slow.log" 2>&1 &
+SLOW_PID=$!
+wait_healthy "$PORT_SLOW"
+
+curl -fsS -X POST "http://127.0.0.1:$PORT_SLOW/v1/runs" \
+    -d '{"workload":"ocean","prefetcher":"sms"}' >"$TMP/submit2.json"
+JOB2=$(json_field "$TMP/submit2.json" id)
+[ -n "$JOB2" ] || fail "no job id in second submit"
+say "submitted long job $JOB2, cancelling it"
+
+curl -fsS -X DELETE "http://127.0.0.1:$PORT_SLOW/v1/jobs/$JOB2" >/dev/null
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_SLOW/v1/jobs/$JOB2" >"$TMP/poll2.json"
+    STATE=$(json_field "$TMP/poll2.json" state)
+    [ "$STATE" = "cancelled" ] && break
+    [ "$STATE" = "done" ] || [ "$STATE" = "failed" ] && fail "long job settled as $STATE instead of cancelled"
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "cancelled job stuck in state $STATE"
+    sleep 0.1
+done
+say "job $JOB2 settled as cancelled"
+
+curl -fsS "http://127.0.0.1:$PORT_SLOW/metrics" >"$TMP/metrics.txt"
+grep -q '^smsd_jobs_cancelled_total 1$' "$TMP/metrics.txt" ||
+    fail "metrics do not count the cancellation"
+
+say "PASS"
