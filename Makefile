@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test test-full bench bench-smoke smoke
+.PHONY: ci fmt vet staticcheck build test test-full bench bench-smoke bench-allocs bench-record smoke
 
-ci: fmt vet staticcheck build test bench-smoke smoke
+ci: fmt vet staticcheck build test bench-smoke bench-allocs smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -48,6 +48,16 @@ bench:
 # paths without measuring anything.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -short ./...
+
+# Zero-allocation gate: the hot-path benchmarks (record pipeline and
+# trace generation) must report 0 B/op and 0 allocs/op at steady state.
+bench-allocs:
+	./scripts/bench.sh --check
+
+# Record the headline perf numbers (ns/record, MB/s, allocs) as JSON;
+# compare against BENCH_baseline.json.
+bench-record:
+	./scripts/bench.sh BENCH_after.json
 
 # End-to-end daemon smoke: start smsd, submit a job, poll it to
 # completion, cancel a second one.

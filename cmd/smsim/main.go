@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -44,8 +46,40 @@ func main() {
 		pht        = flag.Int("pht", core.DefaultPHTEntries, "PHT entries (0 = unbounded)")
 		ghbEntries = flag.Int("ghb-entries", 256, "GHB history buffer entries")
 		storeDir   = flag.String("store", "", "persistent result store directory (shared with smsexp/smsd)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	flag.Parse()
+
+	// Profiling hooks: perf work on the simulator starts from a profile,
+	// not a guess (see README "Performance"). The CPU profile covers the
+	// whole run including trace generation; the heap profile is taken
+	// after the run with an explicit GC so it shows retained structures,
+	// not transient garbage.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "smsim: writing heap profile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, w := range workload.All() {

@@ -8,6 +8,15 @@
 // prefetched/used pair of flags so the simulator can account coverage
 // (prefetched lines that are hit before leaving the cache) and
 // overpredictions (prefetched lines evicted or invalidated unused).
+//
+// Lines are stored struct-of-arrays: a packed tag word per way (tag+1,
+// with 0 meaning invalid) and one packed metadata word per way holding
+// the LRU stamp in the high bits and the line flags in the low byte. The
+// hit scan — the single hottest loop in the simulator — therefore walks
+// eight bytes per way, and a fill writes exactly two words. Because the
+// stamp is taken from a counter pre-incremented on every install, a live
+// way's metadata is never zero, and comparing whole metadata words orders
+// ways by recency (stamps dominate the flag byte).
 package cache
 
 import (
@@ -48,23 +57,29 @@ func (c Config) Validate() error {
 // Sets returns the number of sets implied by the configuration.
 func (c Config) Sets() int { return c.Size / (c.BlockSize * c.Assoc) }
 
-type line struct {
-	tag        uint64
-	valid      bool
-	dirty      bool
-	prefetched bool // brought in by a stream request
-	used       bool // demand-hit at least once since fill
-	offChip    bool // prefetch fill was sourced from off-chip memory
-	lru        uint64
-}
+// Per-line flag bits (parallel to the tag array).
+const (
+	fDirty      uint8 = 1 << iota // modified data
+	fPrefetched                   // brought in by a stream request
+	fUsed                         // demand-hit at least once since fill
+	fOffChip                      // prefetch fill was sourced from off-chip
+)
 
 // Cache is a set-associative, LRU-replacement cache.
 type Cache struct {
 	cfg       Config
 	blockBits uint
+	setBits   uint // log2(set count), precomputed for index/addrOf
 	setMask   uint64
-	sets      [][]line
-	clock     uint64
+	assoc     int
+
+	// Way state, indexed by set*assoc+way. tags holds tag+1 (0 =
+	// invalid), so the hit scan needs no separate valid flag; meta holds
+	// clock<<8 | flags (0 = invalid way).
+	tags []uint64
+	meta []uint64
+
+	clock uint64
 }
 
 // New builds a cache from cfg.
@@ -73,17 +88,16 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	nsets := cfg.Sets()
-	c := &Cache{
+	n := nsets * cfg.Assoc
+	return &Cache{
 		cfg:       cfg,
 		blockBits: uint(bits.TrailingZeros64(uint64(cfg.BlockSize))),
+		setBits:   uint(bits.TrailingZeros64(uint64(nsets))),
 		setMask:   uint64(nsets - 1),
-		sets:      make([][]line, nsets),
-	}
-	backing := make([]line, nsets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
-	return c, nil
+		assoc:     cfg.Assoc,
+		tags:      make([]uint64, n),
+		meta:      make([]uint64, n),
+	}, nil
 }
 
 // MustNew is New that panics on error.
@@ -105,7 +119,7 @@ func (c *Cache) BlockAddr(a mem.Addr) mem.Addr {
 
 func (c *Cache) index(a mem.Addr) (set uint64, tag uint64) {
 	bn := uint64(a) >> c.blockBits
-	return bn & c.setMask, bn >> uint(bits.TrailingZeros64(uint64(len(c.sets))))
+	return bn & c.setMask, bn >> c.setBits
 }
 
 // Eviction describes a line displaced by a fill or removed by an
@@ -141,118 +155,200 @@ type Result struct {
 
 // Access performs a demand access (read or write). On a miss the block is
 // filled, possibly displacing a victim.
+//
+// The hit scan and the victim search share one pass over the set: the
+// victim is the first invalid way, else the lowest-LRU way (ties to the
+// lowest index).
 func (c *Cache) Access(a mem.Addr, write bool) Result {
 	set, tag := c.index(a)
 	c.clock++
-	lines := c.sets[set]
-	for i := range lines {
-		ln := &lines[i]
-		if ln.valid && ln.tag == tag {
-			res := Result{Hit: true}
-			if ln.prefetched && !ln.used {
-				res.PrefetchHit = true
-				res.PrefetchOffChip = ln.offChip
+	base := int(set) * c.assoc
+	k := tag + 1
+	if c.assoc == 2 {
+		// Two-way fast path (the paper's L1): both ways in registers,
+		// same victim policy as the general loop below.
+		t0, t1 := c.tags[base], c.tags[base+1]
+		if t0 == k {
+			return c.accessHit(base, write)
+		}
+		if t1 == k {
+			return c.accessHit(base+1, write)
+		}
+		victim := base
+		if t0 != 0 && (t1 == 0 || c.meta[base+1] < c.meta[base]) {
+			victim = base + 1
+		}
+		var newFlags uint8
+		if write {
+			newFlags = fDirty
+		}
+		return c.fillAt(victim, set, k, newFlags)
+	}
+	tags := c.tags[base : base+c.assoc]
+	firstInvalid := -1
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i, t := range tags {
+		if t == 0 {
+			if firstInvalid < 0 {
+				firstInvalid = i
 			}
-			ln.used = true
-			ln.lru = c.clock
-			if write {
-				ln.dirty = true
-			}
-			return res
+			continue
+		}
+		if t == k {
+			return c.accessHit(base+i, write)
+		}
+		if m := c.meta[base+i]; m < oldest {
+			oldest = m
+			victim = i
 		}
 	}
-	res := c.fill(set, tag, false)
-	if write {
-		// The newly filled line is MRU: find it and dirty it.
-		c.markDirty(set, tag)
+	if firstInvalid >= 0 {
+		victim = firstInvalid
 	}
-	res.Hit = false
+	var newFlags uint8
+	if write {
+		newFlags = fDirty
+	}
+	return c.fillAt(base+victim, set, k, newFlags)
+}
+
+// accessHit applies a demand hit to way slot j: first-use prefetch
+// accounting, used/dirty flags, LRU touch.
+func (c *Cache) accessHit(j int, write bool) Result {
+	f := uint8(c.meta[j])
+	res := Result{Hit: true}
+	if f&(fPrefetched|fUsed) == fPrefetched {
+		res.PrefetchHit = true
+		res.PrefetchOffChip = f&fOffChip != 0
+	}
+	f |= fUsed
+	if write {
+		f |= fDirty
+	}
+	c.meta[j] = c.clock<<8 | uint64(f)
 	return res
 }
 
 // Probe reports whether the block is present without updating LRU or flags.
 func (c *Cache) Probe(a mem.Addr) bool {
 	set, tag := c.index(a)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
+	base := int(set) * c.assoc
+	k := tag + 1
+	for _, t := range c.tags[base : base+c.assoc] {
+		if t == k {
 			return true
 		}
 	}
 	return false
 }
 
+// ProbeVictim is Probe that also reports the way a subsequent fill of a
+// would use (first invalid way, else lowest LRU), so a stream fill whose
+// parameters depend on intermediate work (the L2 outcome) needs only one
+// scan. Like Probe it leaves LRU state and the clock untouched; pass the
+// way to FillAtWay only if no other operation touched this cache in
+// between.
+func (c *Cache) ProbeVictim(a mem.Addr) (hit bool, way int) {
+	set, tag := c.index(a)
+	base := int(set) * c.assoc
+	k := tag + 1
+	firstInvalid := -1
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i, t := range c.tags[base : base+c.assoc] {
+		if t == 0 {
+			if firstInvalid < 0 {
+				firstInvalid = i
+			}
+			continue
+		}
+		if t == k {
+			return true, 0
+		}
+		if m := c.meta[base+i]; m < oldest {
+			oldest = m
+			victim = i
+		}
+	}
+	if firstInvalid >= 0 {
+		victim = firstInvalid
+	}
+	return false, victim
+}
+
+// FillAtWay installs a as a stream fill into the way chosen by a
+// preceding ProbeVictim, completing the split fill without rescanning.
+func (c *Cache) FillAtWay(a mem.Addr, way int, offChip bool) Result {
+	set, tag := c.index(a)
+	c.clock++
+	newFlags := fPrefetched
+	if offChip {
+		newFlags |= fOffChip
+	}
+	return c.fillAt(int(set)*c.assoc+way, set, tag+1, newFlags)
+}
+
 // Fill inserts a block as a stream/prefetch fill; offChip records whether
 // the fill data came from off-chip memory (used for off-chip coverage
 // accounting). If the block is already present the call is a no-op
-// (Hit=true) and the line keeps its flags.
+// (Hit=true) and the line keeps its flags — callers can therefore use
+// Fill's Hit result instead of a separate Probe, saving a set scan.
 func (c *Cache) Fill(a mem.Addr, offChip bool) Result {
 	set, tag := c.index(a)
 	c.clock++
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
+	base := int(set) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	k := tag + 1
+	firstInvalid := -1
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i, t := range tags {
+		if t == 0 {
+			if firstInvalid < 0 {
+				firstInvalid = i
+			}
+			continue
+		}
+		if t == k {
 			return Result{Hit: true}
 		}
-	}
-	res := c.fill(set, tag, true)
-	c.markOffChip(set, tag, offChip)
-	return res
-}
-
-func (c *Cache) markOffChip(set, tag uint64, offChip bool) {
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
-			ln.offChip = offChip
-			return
-		}
-	}
-}
-
-// fill allocates (set, tag), evicting the LRU line if needed.
-func (c *Cache) fill(set, tag uint64, prefetched bool) Result {
-	lines := c.sets[set]
-	victim := -1
-	var oldest uint64 = ^uint64(0)
-	for i := range lines {
-		ln := &lines[i]
-		if !ln.valid {
-			victim = i
-			break
-		}
-		if ln.lru < oldest {
-			oldest = ln.lru
+		if m := c.meta[base+i]; m < oldest {
+			oldest = m
 			victim = i
 		}
 	}
+	if firstInvalid >= 0 {
+		victim = firstInvalid
+	}
+	newFlags := fPrefetched
+	if offChip {
+		newFlags |= fOffChip
+	}
+	return c.fillAt(base+victim, set, k, newFlags)
+}
+
+// fillAt installs packed tag k into way slot j (= set*assoc+way),
+// reporting the displaced line if it was valid. Callers pick the victim
+// during their hit scan (first invalid way, else lowest LRU).
+func (c *Cache) fillAt(j int, set, k uint64, newFlags uint8) Result {
 	res := Result{}
-	v := &lines[victim]
-	if v.valid {
+	if old := c.tags[j]; old != 0 {
+		f := uint8(c.meta[j])
 		res.Evicted = true
 		res.Victim = Eviction{
-			Addr:             c.addrOf(set, v.tag),
-			Dirty:            v.dirty,
-			PrefetchedUnused: v.prefetched && !v.used,
+			Addr:             c.addrOf(set, old-1),
+			Dirty:            f&fDirty != 0,
+			PrefetchedUnused: f&(fPrefetched|fUsed) == fPrefetched,
 		}
 	}
-	*v = line{tag: tag, valid: true, prefetched: prefetched, lru: c.clock}
+	c.tags[j] = k
+	c.meta[j] = c.clock<<8 | uint64(newFlags)
 	return res
-}
-
-func (c *Cache) markDirty(set, tag uint64) {
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
-			ln.dirty = true
-			return
-		}
-	}
 }
 
 func (c *Cache) addrOf(set, tag uint64) mem.Addr {
-	setBits := uint(bits.TrailingZeros64(uint64(len(c.sets))))
-	return mem.Addr((tag<<setBits | set) << c.blockBits)
+	return mem.Addr((tag<<c.setBits | set) << c.blockBits)
 }
 
 // MarkUsed marks the block containing a as demand-used if present. The
@@ -261,10 +357,11 @@ func (c *Cache) addrOf(set, tag uint64) mem.Addr {
 // stream fill must not later be scored as an overprediction.
 func (c *Cache) MarkUsed(a mem.Addr) {
 	set, tag := c.index(a)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
-			ln.used = true
+	base := int(set) * c.assoc
+	k := tag + 1
+	for i, t := range c.tags[base : base+c.assoc] {
+		if t == k {
+			c.meta[base+i] |= uint64(fUsed)
 			return
 		}
 	}
@@ -284,15 +381,19 @@ type InvalidateResult struct {
 // Invalidate removes the block containing a, if present.
 func (c *Cache) Invalidate(a mem.Addr) InvalidateResult {
 	set, tag := c.index(a)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
+	base := int(set) * c.assoc
+	k := tag + 1
+	for i, t := range c.tags[base : base+c.assoc] {
+		if t == k {
+			j := base + i
+			f := uint8(c.meta[j])
 			res := InvalidateResult{
 				Present:          true,
-				WasDirty:         ln.dirty,
-				PrefetchedUnused: ln.prefetched && !ln.used,
+				WasDirty:         f&fDirty != 0,
+				PrefetchedUnused: f&(fPrefetched|fUsed) == fPrefetched,
 			}
-			*ln = line{}
+			c.tags[j] = 0
+			c.meta[j] = 0
 			return res
 		}
 	}
@@ -302,12 +403,11 @@ func (c *Cache) Invalidate(a mem.Addr) InvalidateResult {
 // Flush empties the cache, returning the number of lines dropped.
 func (c *Cache) Flush() int {
 	n := 0
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid {
-				n++
-				c.sets[s][i] = line{}
-			}
+	for j := range c.tags {
+		if c.tags[j] != 0 {
+			n++
+			c.tags[j] = 0
+			c.meta[j] = 0
 		}
 	}
 	return n
@@ -316,11 +416,9 @@ func (c *Cache) Flush() int {
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid {
-				n++
-			}
+	for _, t := range c.tags {
+		if t != 0 {
+			n++
 		}
 	}
 	return n

@@ -109,6 +109,12 @@ type Invalidation struct {
 }
 
 // AccessResult describes one demand access through a CPU's hierarchy.
+//
+// The eviction and invalidation slices alias per-System scratch buffers:
+// they are valid until the next Access/Stream/L2Stream call on the same
+// System. Consumers must iterate (or copy) before driving the system
+// again; retaining them across calls observes later results. This is what
+// keeps the per-record hot path allocation-free.
 type AccessResult struct {
 	// L1Hit, L2Hit report where the access hit. If both are false, the
 	// access went off-chip.
@@ -138,8 +144,10 @@ type AccessResult struct {
 	Invalidations []Invalidation
 }
 
-// Missed reports whether the access missed at the given level.
-func (r AccessResult) Missed(l Level) bool {
+// Missed reports whether the access missed at the given level. The
+// pointer receiver matters: the result is ~100 bytes, and the hot
+// accounting path calls Missed several times per record.
+func (r *AccessResult) Missed(l Level) bool {
 	switch l {
 	case LevelL1:
 		return !r.L1Hit
@@ -166,9 +174,19 @@ type dirEntry struct {
 type System struct {
 	cfg       Config
 	l1s, l2s  []*cache.Cache
-	dir       map[uint64]*dirEntry
+	dir       dirTable
 	blockBits uint
+	subBits   uint
+	subMask   uint64
 	subsPer   int // sub-units per coherence unit
+
+	// Scratch buffers backing the result slices (see AccessResult):
+	// demand accesses and stream fills use separate sets because the
+	// runner issues streams while it is still consuming the demand
+	// access's result.
+	accEvL1, accEvL2 []cache.Eviction
+	strEvL1, strEvL2 []cache.Eviction
+	invScratch       []Invalidation
 }
 
 // New builds a coherent system from cfg.
@@ -178,13 +196,15 @@ func New(cfg Config) (*System, error) {
 	}
 	s := &System{
 		cfg:       cfg,
-		dir:       make(map[uint64]*dirEntry),
+		dir:       newDirTable(),
 		blockBits: uint(bits.TrailingZeros64(uint64(cfg.L1.BlockSize))),
+		subBits:   uint(bits.TrailingZeros64(subUnit)),
 		subsPer:   cfg.L1.BlockSize / subUnit,
 	}
 	if s.subsPer < 1 {
 		s.subsPer = 1
 	}
+	s.subMask = uint64(s.subsPer - 1)
 	for i := 0; i < cfg.CPUs; i++ {
 		s.l1s = append(s.l1s, cache.MustNew(cfg.L1))
 		s.l2s = append(s.l2s, cache.MustNew(cfg.L2))
@@ -215,19 +235,66 @@ func (s *System) BlockAddr(a mem.Addr) mem.Addr {
 func (s *System) blockNum(a mem.Addr) uint64 { return uint64(a) >> s.blockBits }
 
 func (s *System) subOf(a mem.Addr) uint {
-	if s.subsPer == 1 {
-		return 0
-	}
-	return uint(uint64(a)>>uint(bits.TrailingZeros64(subUnit))) & uint(s.subsPer-1)
+	return uint(uint64(a)>>s.subBits) & uint(s.subMask)
 }
 
-// Access performs a demand access by cpu.
+// Access performs a demand access by cpu. The result's slices are valid
+// until the next call on this System (see AccessResult).
 func (s *System) Access(cpu int, a mem.Addr, write bool) AccessResult {
 	var res AccessResult
-	bn := s.blockNum(a)
-	e := s.dir[bn]
+	s.AccessInto(&res, cpu, a, write)
+	return res
+}
 
-	// Classify coherence/false-sharing state before the caches update.
+// AccessInto is Access writing into a caller-owned result, so the
+// per-record loop moves no ~100-byte result struct per call (the
+// simulator passes one scratch result through the whole accounting
+// chain).
+func (s *System) AccessInto(res *AccessResult, cpu int, a mem.Addr, write bool) {
+	*res = AccessResult{}
+	l1 := s.l1s[cpu]
+	l2 := s.l2s[cpu]
+
+	// Fast path: a read that hits this CPU's L1 needs no directory work
+	// at all. The invariant making that sound: an invalidation always
+	// destroys the L1 copy when it sets the CPU's invalidated bit, and
+	// every path that (re)fills the L1 both sets the sharer bit and
+	// clears the pending-invalidation bit — so an L1-resident block has
+	// its sharer bit set and its invalidated bit clear, and the
+	// classification and bookkeeping below would be no-ops. This removes
+	// a directory probe (a likely cache miss on large footprints) from
+	// the dominant access outcome.
+	if !write {
+		r1 := l1.Access(a, false)
+		if r1.Hit {
+			res.L1Hit = true
+			res.L1PrefetchHit = r1.PrefetchHit
+			res.L1PrefetchOffChip = r1.PrefetchOffChip
+			if r1.PrefetchHit {
+				// First use of a streamed block: its L2 copy is used too.
+				l2.MarkUsed(a)
+			}
+			return
+		}
+		s.accessSlow(res, cpu, a, false, r1, l1, l2)
+		return
+	}
+	r1 := l1.Access(a, true)
+	s.accessSlow(res, cpu, a, true, r1, l1, l2)
+}
+
+// accessSlow finishes an access that needs directory interaction: every
+// write (invalidations, written-sub tracking) and every read that missed
+// in L1 (coherence/false-sharing classification, sharer registration).
+// r1 is the already-performed L1 access outcome.
+func (s *System) accessSlow(res *AccessResult, cpu int, a mem.Addr, write bool, r1 cache.Result, l1, l2 *cache.Cache) {
+	bn := s.blockNum(a)
+	e := s.dir.get(bn)
+
+	// Classify coherence/false-sharing state. The original ordering ran
+	// this before the L1 access; the two touch disjoint state (the
+	// directory entry vs. the cache arrays), so classifying after the
+	// cache update observes identical values.
 	if e != nil && e.invalidated&(1<<uint(cpu)) != 0 {
 		res.CoherenceMiss = true
 		if e.writtenSubs&(1<<s.subOf(a)) == 0 {
@@ -239,9 +306,6 @@ func (s *System) Access(cpu int, a mem.Addr, write bool) AccessResult {
 		}
 	}
 
-	l1 := s.l1s[cpu]
-	l2 := s.l2s[cpu]
-	r1 := l1.Access(a, write)
 	res.L1Hit = r1.Hit
 	res.L1PrefetchHit = r1.PrefetchHit
 	res.L1PrefetchOffChip = r1.PrefetchOffChip
@@ -250,33 +314,34 @@ func (s *System) Access(cpu int, a mem.Addr, write bool) AccessResult {
 		l2.MarkUsed(a)
 	}
 	if r1.Evicted {
-		res.L1Evictions = append(res.L1Evictions, r1.Victim)
+		s.accEvL1 = append(s.accEvL1[:0], r1.Victim)
+		res.L1Evictions = s.accEvL1
 	}
 	if !r1.Hit {
 		r2 := l2.Access(a, write)
 		res.L2Hit = r2.Hit
 		res.L2PrefetchHit = r2.PrefetchHit
 		if r2.Evicted {
-			res.L2Evictions = append(res.L2Evictions, r2.Victim)
+			s.accEvL2 = append(s.accEvL2[:0], r2.Victim)
+			res.L2Evictions = s.accEvL2
 		}
 	}
 
 	// Directory bookkeeping.
 	if e == nil {
-		e = &dirEntry{}
-		s.dir[bn] = e
+		e = s.dir.getOrInsert(bn)
 	}
 	e.sharers |= 1 << uint(cpu)
 	if write {
 		res.Invalidations = s.invalidateRemote(cpu, a, e)
 		e.writtenSubs |= 1 << s.subOf(a)
 	}
-	return res
 }
 
 // invalidateRemote destroys all remote copies of the unit containing a.
+// The returned slice aliases the System's scratch buffer.
 func (s *System) invalidateRemote(writer int, a mem.Addr, e *dirEntry) []Invalidation {
-	var out []Invalidation
+	out := s.invScratch[:0]
 	base := s.BlockAddr(a)
 	remote := e.sharers &^ (1 << uint(writer))
 	for remote != 0 {
@@ -302,10 +367,18 @@ func (s *System) invalidateRemote(writer int, a mem.Addr, e *dirEntry) []Invalid
 		e.sharers &^= 1 << uint(cpu)
 		e.invalidated |= 1 << uint(cpu)
 	}
+	s.invScratch = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
 // StreamResult describes a prefetch fill.
+//
+// The eviction slices alias per-System scratch buffers (distinct from
+// the demand-access ones, so a pending AccessResult stays readable while
+// its streams issue): they are valid until the next Stream/L2Stream call.
 type StreamResult struct {
 	// AlreadyPresent reports that the target was in L1 already (the
 	// stream request is dropped).
@@ -323,27 +396,38 @@ type StreamResult struct {
 // behave like read requests in the cache coherence protocol", §3.2).
 func (s *System) Stream(cpu int, a mem.Addr) StreamResult {
 	var res StreamResult
+	s.StreamInto(&res, cpu, a)
+	return res
+}
+
+// StreamInto is Stream writing into a caller-owned result (see
+// AccessInto).
+func (s *System) StreamInto(res *StreamResult, cpu int, a mem.Addr) {
+	*res = StreamResult{}
 	l1 := s.l1s[cpu]
-	if l1.Probe(a) {
+	// One L1 scan answers both "already present?" and "which way will
+	// the fill use?" — the L2 work between never touches this L1.
+	hit, way := l1.ProbeVictim(a)
+	if hit {
 		res.AlreadyPresent = true
-		return res
+		return
 	}
-	res.L2Hit = s.l2s[cpu].Probe(a)
-	if !res.L2Hit {
-		if r2 := s.l2s[cpu].Fill(a, true); r2.Evicted {
-			res.L2Evictions = append(res.L2Evictions, r2.Victim)
-		}
+	// Fill doubles as the presence probe: it is a flag-preserving no-op
+	// on a resident block, so one scan answers "was it an L2 hit" and
+	// performs the fill when it was not.
+	r2 := s.l2s[cpu].Fill(a, true)
+	res.L2Hit = r2.Hit
+	if r2.Evicted {
+		s.strEvL2 = append(s.strEvL2[:0], r2.Victim)
+		res.L2Evictions = s.strEvL2
 	}
-	r := l1.Fill(a, !res.L2Hit)
+	r := l1.FillAtWay(a, way, !res.L2Hit)
 	if r.Evicted {
-		res.L1Evictions = append(res.L1Evictions, r.Victim)
+		s.strEvL1 = append(s.strEvL1[:0], r.Victim)
+		res.L1Evictions = s.strEvL1
 	}
 	bn := s.blockNum(a)
-	e := s.dir[bn]
-	if e == nil {
-		e = &dirEntry{}
-		s.dir[bn] = e
-	}
+	e := s.dir.getOrInsert(bn)
 	// A streamed read copy clears any pending invalidation state for
 	// this CPU: the prefetch re-acquired the block.
 	e.sharers |= 1 << uint(cpu)
@@ -353,28 +437,32 @@ func (s *System) Stream(cpu int, a mem.Addr) StreamResult {
 			e.writtenSubs = 0
 		}
 	}
-	return res
 }
 
 // L2Stream fills a block into cpu's L2 only (used by L2-targeted
 // prefetchers such as GHB, which the paper applies at L2; §4.6).
 func (s *System) L2Stream(cpu int, a mem.Addr) StreamResult {
 	var res StreamResult
-	if s.l2s[cpu].Probe(a) {
+	s.L2StreamInto(&res, cpu, a)
+	return res
+}
+
+// L2StreamInto is L2Stream writing into a caller-owned result (see
+// AccessInto).
+func (s *System) L2StreamInto(res *StreamResult, cpu int, a mem.Addr) {
+	*res = StreamResult{}
+	r2 := s.l2s[cpu].Fill(a, true)
+	if r2.Hit {
 		res.AlreadyPresent = true
-		return res
+		return
 	}
-	if r2 := s.l2s[cpu].Fill(a, true); r2.Evicted {
-		res.L2Evictions = append(res.L2Evictions, r2.Victim)
+	if r2.Evicted {
+		s.strEvL2 = append(s.strEvL2[:0], r2.Victim)
+		res.L2Evictions = s.strEvL2
 	}
 	bn := s.blockNum(a)
-	e := s.dir[bn]
-	if e == nil {
-		e = &dirEntry{}
-		s.dir[bn] = e
-	}
+	e := s.dir.getOrInsert(bn)
 	e.sharers |= 1 << uint(cpu)
-	return res
 }
 
 // L1 exposes a CPU's L1 cache (read-mostly; used by training-structure

@@ -1,0 +1,115 @@
+package coherence
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// dirTable is the coherence directory: an open-addressed, linear-probing
+// hash table from coherence-unit block numbers to directory entries,
+// stored inline. It replaces the previous map[uint64]*dirEntry, which
+// cost a pointer-chasing map lookup plus one heap-allocated entry per
+// live coherence unit on the per-record hot path. Entries are never
+// retired (a unit's sharer history stays relevant for false-sharing
+// classification), so the table only ever grows; steady state performs
+// zero allocations.
+//
+// Keys and entries live in parallel arrays: probing walks the dense key
+// array (eight keys per cache line) and touches an entry only on a match,
+// which matters once scan-dominated workloads (DSS touches every page
+// once) push the table past the LLC. Keys are stored as key+1 with 0
+// meaning empty — block numbers are addresses shifted right by the block
+// bits, so key+1 cannot wrap.
+//
+// Entry pointers returned by get/getOrInsert are valid until the next
+// insert (a growth rehash moves entries).
+type dirTable struct {
+	keys []uint64 // key+1; 0 = empty slot
+	ents []dirEntry
+	mask uint64
+	n    int // used slots
+	grow int // insert threshold (load factor 0.7)
+}
+
+// dirInitialSlots sizes the empty table; it must be a power of two. 4096
+// slots cover a ~1 MB working set of 64 B units before the first rehash;
+// growth is 4x per rehash, keeping total rehash work near 1.33n for
+// insert-heavy scan workloads.
+const dirInitialSlots = 4096
+
+func newDirTable() dirTable {
+	return dirTable{
+		keys: make([]uint64, dirInitialSlots),
+		ents: make([]dirEntry, dirInitialSlots),
+		mask: dirInitialSlots - 1,
+		grow: dirInitialSlots * 7 / 10,
+	}
+}
+
+// dirHash mixes the block number so that dense block sequences spread
+// over the table (block numbers are sequential for streaming workloads).
+func dirHash(key uint64) uint64 { return mem.HashKey(key) }
+
+// get returns the entry for key, or nil if absent.
+func (t *dirTable) get(key uint64) *dirEntry {
+	i := dirHash(key) & t.mask
+	k := key + 1
+	for {
+		c := t.keys[i]
+		if c == 0 {
+			return nil
+		}
+		if c == k {
+			return &t.ents[i]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// getOrInsert returns the entry for key, inserting a zero entry if
+// absent. The pointer is valid until the next insert.
+func (t *dirTable) getOrInsert(key uint64) *dirEntry {
+	if t.n >= t.grow {
+		t.rehash(len(t.keys) * 4)
+	}
+	i := dirHash(key) & t.mask
+	k := key + 1
+	for {
+		c := t.keys[i]
+		if c == 0 {
+			t.keys[i] = k
+			t.n++
+			return &t.ents[i]
+		}
+		if c == k {
+			return &t.ents[i]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// len returns the number of live entries.
+func (t *dirTable) len() int { return t.n }
+
+func (t *dirTable) rehash(newSize int) {
+	if newSize&(newSize-1) != 0 {
+		newSize = 1 << bits.Len(uint(newSize))
+	}
+	oldKeys, oldEnts := t.keys, t.ents
+	t.keys = make([]uint64, newSize)
+	t.ents = make([]dirEntry, newSize)
+	t.mask = uint64(newSize - 1)
+	t.grow = newSize * 7 / 10
+	for oi, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := dirHash(k-1) & t.mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.keys[i] = k
+		t.ents[i] = oldEnts[oi]
+	}
+}

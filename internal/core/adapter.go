@@ -29,7 +29,7 @@ func (p *SimPrefetcher) Engine() *SMS { return p.eng }
 
 // Train records the access in the AGT/PHT and ends the generations of
 // blocks the demand fill evicted from L1.
-func (p *SimPrefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr {
+func (p *SimPrefetcher) Train(rec trace.Record, acc *coherence.AccessResult) []mem.Addr {
 	p.eng.Access(rec.PC, rec.Addr)
 	for _, ev := range acc.L1Evictions {
 		p.eng.BlockRemoved(ev.Addr)

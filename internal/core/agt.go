@@ -15,6 +15,123 @@ import (
 // *accumulation table* holds regions with at least two distinct blocks
 // accessed, recording the pattern bit vector.
 
+// tagIndex accelerates the CAM lookups: an open-addressed, linear-probing
+// map from region tag to entry position. A hardware CAM matches every
+// entry in parallel; the software model was scanning linearly on every
+// access, which dominated SMS training time. The index is pure lookup
+// acceleration — insertion, LRU and eviction decisions still happen on
+// the entry arrays, so the model's behaviour is bit-identical.
+type tagIndex struct {
+	slots []tagIdxSlot
+	mask  uint64
+	n     int
+	grow  int
+}
+
+type tagIdxSlot struct {
+	key  uint64
+	pos  int32
+	used bool
+}
+
+func newTagIndex() tagIndex {
+	const initial = 128 // power of two; grows for unbounded limit studies
+	return tagIndex{
+		slots: make([]tagIdxSlot, initial),
+		mask:  initial - 1,
+		grow:  initial * 3 / 4,
+	}
+}
+
+func tagHash(key uint64) uint64 { return mem.HashKey(key) }
+
+// get returns the entry position for key, or -1.
+func (t *tagIndex) get(key uint64) int32 {
+	i := tagHash(key) & t.mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return -1
+		}
+		if s.key == key {
+			return s.pos
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// put inserts or repositions key.
+func (t *tagIndex) put(key uint64, pos int32) {
+	if t.n >= t.grow {
+		t.rehash(len(t.slots) * 2)
+	}
+	i := tagHash(key) & t.mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			*s = tagIdxSlot{key: key, pos: pos, used: true}
+			t.n++
+			return
+		}
+		if s.key == key {
+			s.pos = pos
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// del removes key with backward-shift deletion (no tombstones).
+func (t *tagIndex) del(key uint64) {
+	i := tagHash(key) & t.mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return
+		}
+		if s.key == key {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	t.n--
+	mask := t.mask
+	for {
+		t.slots[i].used = false
+		j := i
+		for {
+			j = (j + 1) & mask
+			s := &t.slots[j]
+			if !s.used {
+				return
+			}
+			home := tagHash(s.key) & mask
+			if (j-home)&mask >= (j-i)&mask {
+				t.slots[i] = *s
+				i = j
+				break
+			}
+		}
+	}
+}
+
+func (t *tagIndex) rehash(newSize int) {
+	old := t.slots
+	t.slots = make([]tagIdxSlot, newSize)
+	t.mask = uint64(newSize - 1)
+	t.grow = newSize * 3 / 4
+	for oi := range old {
+		if !old[oi].used {
+			continue
+		}
+		i := tagHash(old[oi].key) & t.mask
+		for t.slots[i].used {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = old[oi]
+	}
+}
+
 // trigger identifies the access that began a generation.
 type trigger struct {
 	pc     uint64
@@ -32,6 +149,7 @@ type filterEntry struct {
 // FilterTable is the small CAM holding single-access generations.
 type FilterTable struct {
 	entries  []filterEntry
+	idx      tagIndex
 	capacity int
 	clock    uint64
 }
@@ -40,7 +158,7 @@ type FilterTable struct {
 // (paper: 32 suffices across all applications, §4.5). capacity <= 0 means
 // unbounded (for limit studies).
 func NewFilterTable(capacity int) *FilterTable {
-	return &FilterTable{capacity: capacity}
+	return &FilterTable{capacity: capacity, idx: newTagIndex()}
 }
 
 // Len returns the current number of entries.
@@ -48,10 +166,8 @@ func (f *FilterTable) Len() int { return len(f.entries) }
 
 // Lookup finds the entry for a region tag, or nil.
 func (f *FilterTable) lookup(tag uint64) *filterEntry {
-	for i := range f.entries {
-		if f.entries[i].tag == tag {
-			return &f.entries[i]
-		}
+	if i := f.idx.get(tag); i >= 0 {
+		return &f.entries[i]
 	}
 	return nil
 }
@@ -69,23 +185,30 @@ func (f *FilterTable) insert(tag uint64, trig trigger) (victim filterEntry, evic
 		}
 		victim, evicted = f.entries[vi], true
 		f.entries[vi] = filterEntry{tag: tag, trig: trig, lru: f.clock}
+		f.idx.del(victim.tag)
+		f.idx.put(tag, int32(vi))
 		return victim, evicted
 	}
 	f.entries = append(f.entries, filterEntry{tag: tag, trig: trig, lru: f.clock})
+	f.idx.put(tag, int32(len(f.entries)-1))
 	return filterEntry{}, false
 }
 
 // remove deletes the entry for tag, reporting whether it existed.
 func (f *FilterTable) remove(tag uint64) (filterEntry, bool) {
-	for i := range f.entries {
-		if f.entries[i].tag == tag {
-			e := f.entries[i]
-			f.entries[i] = f.entries[len(f.entries)-1]
-			f.entries = f.entries[:len(f.entries)-1]
-			return e, true
-		}
+	i := f.idx.get(tag)
+	if i < 0 {
+		return filterEntry{}, false
 	}
-	return filterEntry{}, false
+	e := f.entries[i]
+	last := len(f.entries) - 1
+	f.entries[i] = f.entries[last]
+	f.entries = f.entries[:last]
+	f.idx.del(tag)
+	if int(i) != last {
+		f.idx.put(f.entries[i].tag, i)
+	}
+	return e, true
 }
 
 // accumEntry is one accumulation-table CAM entry: an active generation
@@ -100,6 +223,7 @@ type accumEntry struct {
 // AccumulationTable is the CAM recording patterns of active generations.
 type AccumulationTable struct {
 	entries  []accumEntry
+	idx      tagIndex
 	capacity int
 	clock    uint64
 }
@@ -108,17 +232,15 @@ type AccumulationTable struct {
 // count (paper: 64 suffices; only OLTP-Oracle needs more than 32, §4.5).
 // capacity <= 0 means unbounded.
 func NewAccumulationTable(capacity int) *AccumulationTable {
-	return &AccumulationTable{capacity: capacity}
+	return &AccumulationTable{capacity: capacity, idx: newTagIndex()}
 }
 
 // Len returns the current number of entries.
 func (a *AccumulationTable) Len() int { return len(a.entries) }
 
 func (a *AccumulationTable) lookup(tag uint64) *accumEntry {
-	for i := range a.entries {
-		if a.entries[i].tag == tag {
-			return &a.entries[i]
-		}
+	if i := a.idx.get(tag); i >= 0 {
+		return &a.entries[i]
 	}
 	return nil
 }
@@ -140,22 +262,29 @@ func (a *AccumulationTable) insert(e accumEntry) (victim accumEntry, evicted boo
 		}
 		victim, evicted = a.entries[vi], true
 		a.entries[vi] = e
+		a.idx.del(victim.tag)
+		a.idx.put(e.tag, int32(vi))
 		return victim, evicted
 	}
 	a.entries = append(a.entries, e)
+	a.idx.put(e.tag, int32(len(a.entries)-1))
 	return accumEntry{}, false
 }
 
 func (a *AccumulationTable) remove(tag uint64) (accumEntry, bool) {
-	for i := range a.entries {
-		if a.entries[i].tag == tag {
-			e := a.entries[i]
-			a.entries[i] = a.entries[len(a.entries)-1]
-			a.entries = a.entries[:len(a.entries)-1]
-			return e, true
-		}
+	i := a.idx.get(tag)
+	if i < 0 {
+		return accumEntry{}, false
 	}
-	return accumEntry{}, false
+	e := a.entries[i]
+	last := len(a.entries) - 1
+	a.entries[i] = a.entries[last]
+	a.entries = a.entries[:last]
+	a.idx.del(tag)
+	if int(i) != last {
+		a.idx.put(a.entries[i].tag, i)
+	}
+	return e, true
 }
 
 // touch refreshes LRU state for an entry on access.

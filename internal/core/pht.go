@@ -12,24 +12,28 @@ import (
 // with the prediction index built from the trigger access. A zero entry
 // count selects an unbounded table for the paper's infinite-PHT limit
 // studies (Figs. 6, 8, 10).
+//
+// The bounded table stores ways struct-of-arrays (packed tag words,
+// LRU stamps, patterns in parallel slices, indexed set*assoc+way) so the
+// per-trigger set scan walks eight bytes per way instead of a 48-byte
+// entry. A way is valid iff its LRU stamp is nonzero — stamps are taken
+// from a counter that is pre-incremented before every install, so a live
+// way can never hold stamp 0, and keys may span the full 64-bit range.
 type PatternHistoryTable struct {
 	entries int
 	assoc   int
 	setBits uint
 
-	sets [][]phtEntry // bounded mode
-	inf  map[uint64]mem.Pattern
+	// Bounded mode, indexed by set*assoc+way.
+	tags []uint64
+	lrus []uint64 // 0 = invalid way
+	pats []mem.Pattern
+
+	inf map[uint64]mem.Pattern // unbounded mode
 
 	clock uint64
 
 	lookups, hits, inserts, replacements uint64
-}
-
-type phtEntry struct {
-	valid   bool
-	tag     uint64
-	pattern mem.Pattern
-	lru     uint64
 }
 
 // NewPHT builds a pattern history table. entries == 0 selects the
@@ -49,17 +53,14 @@ func NewPHT(entries, assoc int) (*PatternHistoryTable, error) {
 	if nsets&(nsets-1) != 0 {
 		return nil, fmt.Errorf("core: PHT set count %d not a power of two", nsets)
 	}
-	t := &PatternHistoryTable{
+	return &PatternHistoryTable{
 		entries: entries,
 		assoc:   assoc,
 		setBits: uint(bits.TrailingZeros64(uint64(nsets))),
-		sets:    make([][]phtEntry, nsets),
-	}
-	backing := make([]phtEntry, entries)
-	for i := range t.sets {
-		t.sets[i] = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
-	}
-	return t, nil
+		tags:    make([]uint64, entries),
+		lrus:    make([]uint64, entries),
+		pats:    make([]mem.Pattern, entries),
+	}, nil
 }
 
 // MustNewPHT is NewPHT that panics on error.
@@ -78,7 +79,8 @@ func (t *PatternHistoryTable) Infinite() bool { return t.inf != nil }
 func (t *PatternHistoryTable) Entries() int { return t.entries }
 
 func (t *PatternHistoryTable) split(key uint64) (set uint64, tag uint64) {
-	return key & (uint64(len(t.sets)) - 1), key >> t.setBits
+	nsets := uint64(t.entries / t.assoc)
+	return key & (nsets - 1), key >> t.setBits
 }
 
 // Lookup returns the stored pattern for a prediction index key.
@@ -92,20 +94,22 @@ func (t *PatternHistoryTable) Lookup(key uint64) (mem.Pattern, bool) {
 		return p, ok
 	}
 	set, tag := t.split(key)
-	for i := range t.sets[set] {
-		e := &t.sets[set][i]
-		if e.valid && e.tag == tag {
+	base := int(set) * t.assoc
+	for i, tg := range t.tags[base : base+t.assoc] {
+		j := base + i
+		if tg == tag && t.lrus[j] != 0 {
 			t.clock++
-			e.lru = t.clock
+			t.lrus[j] = t.clock
 			t.hits++
-			return e.pattern, true
+			return t.pats[j], true
 		}
 	}
 	return mem.Pattern{}, false
 }
 
 // Insert stores a pattern under a prediction index key, replacing any
-// previous pattern for the key and evicting the set's LRU entry if needed.
+// previous pattern for the key and evicting the set's LRU entry if needed
+// (first invalid way, else lowest stamp — one pass finds both).
 func (t *PatternHistoryTable) Insert(key uint64, p mem.Pattern) {
 	t.inserts++
 	if t.inf != nil {
@@ -114,32 +118,38 @@ func (t *PatternHistoryTable) Insert(key uint64, p mem.Pattern) {
 	}
 	set, tag := t.split(key)
 	t.clock++
-	lines := t.sets[set]
-	for i := range lines {
-		e := &lines[i]
-		if e.valid && e.tag == tag {
-			e.pattern = p
-			e.lru = t.clock
-			return
-		}
-	}
+	base := int(set) * t.assoc
+	firstInvalid := -1
 	victim := 0
 	var oldest uint64 = ^uint64(0)
-	for i := range lines {
-		e := &lines[i]
-		if !e.valid {
-			victim = i
-			break
+	for i, tg := range t.tags[base : base+t.assoc] {
+		j := base + i
+		l := t.lrus[j]
+		if l == 0 {
+			if firstInvalid < 0 {
+				firstInvalid = i
+			}
+			continue
 		}
-		if e.lru < oldest {
-			oldest = e.lru
+		if tg == tag {
+			t.pats[j] = p
+			t.lrus[j] = t.clock
+			return
+		}
+		if l < oldest {
+			oldest = l
 			victim = i
 		}
 	}
-	if lines[victim].valid {
+	if firstInvalid >= 0 {
+		victim = firstInvalid
+	} else {
 		t.replacements++
 	}
-	lines[victim] = phtEntry{valid: true, tag: tag, pattern: p, lru: t.clock}
+	j := base + victim
+	t.tags[j] = tag
+	t.pats[j] = p
+	t.lrus[j] = t.clock
 }
 
 // Size returns the number of stored patterns (meaningful mostly for the
@@ -149,11 +159,9 @@ func (t *PatternHistoryTable) Size() int {
 		return len(t.inf)
 	}
 	n := 0
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for _, l := range t.lrus {
+		if l != 0 {
+			n++
 		}
 	}
 	return n

@@ -20,6 +20,8 @@ type RegisterFile struct {
 	armed       uint64
 	issued      uint64
 	overwritten uint64
+
+	out []mem.Addr // reused Next result buffer
 }
 
 // NewRegisterFile builds a register file with the given capacity
@@ -48,24 +50,23 @@ func (rf *RegisterFile) Arm(base mem.Addr, p mem.Pattern) {
 }
 
 // Next pops up to max predicted block addresses round-robin across the
-// armed registers.
+// armed registers. The returned slice aliases a buffer owned by the
+// register file, valid until the next call — the stream-issue loop
+// consumes it immediately, so steady-state streaming never allocates.
 func (rf *RegisterFile) Next(max int) []mem.Addr {
 	if max <= 0 || len(rf.regs) == 0 {
 		return nil
 	}
-	out := make([]mem.Addr, 0, max)
+	out := rf.out[:0]
 	for len(out) < max && len(rf.regs) > 0 {
 		if rf.next >= len(rf.regs) {
 			rf.next = 0
 		}
 		reg := &rf.regs[rf.next]
-		for i := 0; i < reg.Pattern.Width(); i++ {
-			if reg.Pattern.Test(i) {
-				reg.Pattern.Clear(i)
-				out = append(out, rf.geo.BlockOfRegion(reg.Base, i))
-				rf.issued++
-				break
-			}
+		if i := reg.Pattern.FirstSet(); i >= 0 {
+			reg.Pattern.Clear(i)
+			out = append(out, rf.geo.BlockOfRegion(reg.Base, i))
+			rf.issued++
 		}
 		if reg.Pattern.Empty() {
 			rf.regs[rf.next] = rf.regs[len(rf.regs)-1]
@@ -73,6 +74,10 @@ func (rf *RegisterFile) Next(max int) []mem.Addr {
 		} else {
 			rf.next++
 		}
+	}
+	rf.out = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

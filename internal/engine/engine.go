@@ -46,6 +46,13 @@ type Config struct {
 	// ProgressInterval is the record count between progress events and
 	// cancellation checks inside a run (0 = sim.DefaultProgressInterval).
 	ProgressInterval uint64
+	// TraceCacheBytes bounds the in-memory trace memo: every run in a
+	// grid uses the same workload configuration, so variants of one
+	// workload replay a byte-identical record sequence from memory
+	// instead of re-running the generator. 0 selects
+	// DefaultTraceCacheBytes; negative disables the memo. Traces longer
+	// than the budget always stream from the generator.
+	TraceCacheBytes int64
 }
 
 // Engine executes simulation runs and plans with memoization: any run
@@ -54,18 +61,20 @@ type Config struct {
 // simulating. Concurrent requests for the same run are single-flighted:
 // exactly one simulation happens and every caller receives its result.
 type Engine struct {
-	cfg Config
-	sem chan struct{}
+	cfg    Config
+	sem    chan struct{}
+	traces *traceCache // nil when disabled
 
 	mu    sync.Mutex
 	memo  map[string]*entry
 	order []string // completed memo keys in insertion order, for eviction
 
-	sims      atomic.Uint64
-	customs   atomic.Uint64
-	storeHits atomic.Uint64
-	memoHits  atomic.Uint64
-	cancelled atomic.Uint64
+	sims        atomic.Uint64
+	customs     atomic.Uint64
+	storeHits   atomic.Uint64
+	memoHits    atomic.Uint64
+	cancelled   atomic.Uint64
+	generations atomic.Uint64
 }
 
 // entry is one memoized (possibly in-flight) run; followers block on done.
@@ -91,11 +100,19 @@ func New(cfg Config) *Engine {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:  cfg,
 		sem:  make(chan struct{}, cfg.Parallel),
 		memo: make(map[string]*entry),
 	}
+	if cfg.TraceCacheBytes >= 0 {
+		budget := cfg.TraceCacheBytes
+		if budget == 0 {
+			budget = DefaultTraceCacheBytes
+		}
+		e.traces = newTraceCache(budget)
+	}
+	return e
 }
 
 // Config returns the engine's resolved configuration.
@@ -115,6 +132,11 @@ func (e *Engine) StoreHits() uint64 { return e.storeHits.Load() }
 // MemoHits returns how many runs were served from (or coalesced into)
 // this engine's in-memory memoization layer.
 func (e *Engine) MemoHits() uint64 { return e.memoHits.Load() }
+
+// TraceGenerations returns how many times a workload generator actually
+// ran; runs replayed from the trace memo do not count. With the memo
+// enabled, a grid of N variants over one workload generates once.
+func (e *Engine) TraceGenerations() uint64 { return e.generations.Load() }
 
 // CancelledRuns returns how many started simulations were cancelled
 // mid-run.
@@ -266,7 +288,11 @@ func (e *Engine) simulate(ctx context.Context, workloadName string, cfg sim.Conf
 		emit(Event{Kind: RunProgress, Records: records})
 	})
 	e.sims.Add(1)
-	res, err := runner.RunContext(ctx, w.Make(e.cfg.Workload))
+	src, generated := e.traces.source(w, e.cfg.Workload)
+	if generated {
+		e.generations.Add(1)
+	}
+	res, err := runner.RunContext(ctx, src)
 	if err != nil {
 		if isCtxErr(err) {
 			e.cancelled.Add(1)

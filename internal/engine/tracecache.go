@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"sync"
+	"unsafe"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// traceCache memoizes generated traces by workload name. Every run an
+// engine executes uses the same workload.Config, so all variants of one
+// workload in a grid — a figure typically runs five or more — consume
+// byte-identical record sequences; generating the trace once and
+// replaying it from memory removes the generator (and its random-number
+// stream) from all but the first run.
+//
+// The cache is byte-bounded: traces longer than the budget stream from
+// the generator exactly as before, so production-scale runs (hundreds of
+// millions of records) never bloat the daemon. Entries are single-flight:
+// concurrent workers requesting the same workload block until the first
+// finishes generating. Eviction is FIFO over completed entries; an
+// evicted trace remains alive for any SliceSource already replaying it.
+type traceCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[string]*traceEntry
+	order   []string
+}
+
+type traceEntry struct {
+	done chan struct{}
+	recs []trace.Record
+	size int64
+	ok   bool // false: generation failed to fit or was abandoned
+}
+
+// recordBytes is the in-memory footprint of one trace.Record.
+const recordBytes = int64(unsafe.Sizeof(trace.Record{}))
+
+// DefaultTraceCacheBytes bounds the engine's in-memory trace memo: room
+// for a handful of default-length (2M-record) traces.
+const DefaultTraceCacheBytes = 256 << 20
+
+func newTraceCache(budget int64) *traceCache {
+	return &traceCache{budget: budget, entries: make(map[string]*traceEntry)}
+}
+
+// source returns a trace source for the named workload: a replay of the
+// memoized record slice when the trace fits the budget, else a fresh
+// generator stream. The second result reports whether this call ran the
+// generator itself (for the engine's generation counter).
+func (tc *traceCache) source(w workload.Workload, cfg workload.Config) (trace.Source, bool) {
+	length := cfg.Canonical().Length
+	// Budget check by division: length is caller-controlled and may be
+	// effectively unbounded (1<<62 in benchmarks), so multiplying it by
+	// the record size could wrap and sneak past the budget.
+	if tc == nil || length > uint64(tc.budget/recordBytes) {
+		return w.Make(cfg), true
+	}
+
+	tc.mu.Lock()
+	if ent, ok := tc.entries[w.Name]; ok {
+		tc.mu.Unlock()
+		<-ent.done
+		if ent.ok {
+			return trace.NewSliceSource(ent.recs), false
+		}
+		return w.Make(cfg), true
+	}
+	ent := &traceEntry{done: make(chan struct{})}
+	tc.entries[w.Name] = ent
+	tc.mu.Unlock()
+
+	// If the generator panics, drop the entry and release followers (who
+	// see ok=false and generate for themselves) before propagating.
+	defer func() {
+		if !ent.ok {
+			tc.mu.Lock()
+			delete(tc.entries, w.Name)
+			tc.mu.Unlock()
+		}
+		close(ent.done)
+	}()
+
+	recs := make([]trace.Record, length)
+	src := trace.Batched(w.Make(cfg))
+	total := 0
+	for total < len(recs) {
+		// The BatchSource contract allows short non-zero reads; only a
+		// zero return means exhaustion.
+		n := src.NextBatch(recs[total:])
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	ent.recs = recs[:total]
+	ent.size = int64(total) * recordBytes
+	ent.ok = true
+
+	tc.mu.Lock()
+	tc.used += ent.size
+	tc.order = append(tc.order, w.Name)
+	for tc.used > tc.budget && len(tc.order) > 1 {
+		oldest := tc.order[0]
+		tc.order = tc.order[1:]
+		if old, ok := tc.entries[oldest]; ok && old != ent {
+			tc.used -= old.size
+			delete(tc.entries, oldest)
+		}
+	}
+	tc.mu.Unlock()
+
+	return trace.NewSliceSource(ent.recs), true
+}

@@ -30,7 +30,7 @@ func (p *SimPrefetcher) Predictor() *GHB { return p.g }
 // Train observes the L2 miss stream (Nesbit & Smith train on L2 misses).
 // First-use hits on prefetched lines also train, so a correctly predicted
 // stream keeps running ahead instead of stalling every `degree` blocks.
-func (p *SimPrefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr {
+func (p *SimPrefetcher) Train(rec trace.Record, acc *coherence.AccessResult) []mem.Addr {
 	if acc.Missed(coherence.LevelL2) || acc.L2PrefetchHit {
 		return p.g.Train(rec.PC, rec.Addr)
 	}

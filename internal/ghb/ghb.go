@@ -113,9 +113,11 @@ type GHB struct {
 
 	stats Stats
 
-	// scratch buffers reused across lookups
+	// scratch buffers reused across lookups; out backs Train's returned
+	// prefetch list (valid until the next Train, per sim.Prefetcher).
 	addrs  []uint64
 	deltas []int64
+	out    []mem.Addr
 }
 
 // New builds a GHB prefetcher.
@@ -248,7 +250,7 @@ func (g *GHB) predict(seq int64, blockNum uint64) []mem.Addr {
 	// If the continuation is shorter than the prefetch degree (e.g. a
 	// constant stride matches almost immediately), replay it cyclically
 	// to fill the degree, as a streaming GHB would.
-	out := make([]mem.Addr, 0, g.cfg.Degree)
+	out := g.out[:0]
 	cur := int64(blockNum)
 	k := match - 1
 	for len(out) < g.cfg.Degree {
@@ -263,5 +265,6 @@ func (g *GHB) predict(seq int64, blockNum uint64) []mem.Addr {
 		out = append(out, mem.Addr(uint64(cur)*uint64(g.cfg.BlockSize)))
 		g.stats.Prefetches++
 	}
+	g.out = out
 	return out
 }

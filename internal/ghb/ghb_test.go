@@ -81,11 +81,12 @@ func TestNoMatchNoPrediction(t *testing.T) {
 func TestPCLocalization(t *testing.T) {
 	g := MustNew(Config{})
 	// Interleave two PCs: each has a perfect stride; localization must
-	// keep them separate.
+	// keep them separate. Train's result aliases the engine's reused
+	// buffer, so copy before the next Train call.
 	var lastA, lastB []mem.Addr
 	for i := uint64(0); i < 8; i++ {
-		lastA = g.Train(0x400, mem.Addr(i*2*64))        // stride 2
-		lastB = g.Train(0x500, mem.Addr((1000+i*5)*64)) // stride 5
+		lastA = append(lastA[:0], g.Train(0x400, mem.Addr(i*2*64))...)        // stride 2
+		lastB = append(lastB[:0], g.Train(0x500, mem.Addr((1000+i*5)*64))...) // stride 5
 	}
 	if len(lastA) == 0 || len(lastB) == 0 {
 		t.Fatal("localized streams not predicted")

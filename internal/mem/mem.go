@@ -21,9 +21,17 @@ type Addr uint64
 // Geometry fixes the block and region sizes used throughout a simulation.
 // The paper uses 64-byte blocks everywhere and sweeps region sizes from
 // 128 B to 8 kB (Fig. 10); the chosen configuration is 2 kB regions (§4.4).
+// The mask fields are derived from the bit widths at construction so the
+// per-record address arithmetic (BlockAddr/RegionTag/RegionOffset) is a
+// single shift-and-mask with no recomputation. They are functions of the
+// bit widths, so struct equality still means "same geometry", and the
+// zero Geometry's masks are the zero values the zero bit widths imply.
 type Geometry struct {
-	blockBits  uint // log2(block size in bytes)
-	regionBits uint // log2(region size in bytes)
+	blockBits  uint   // log2(block size in bytes)
+	regionBits uint   // log2(region size in bytes)
+	blockMask  Addr   // block size - 1
+	regionMask Addr   // region size - 1
+	offMask    uint64 // blocks per region - 1
 }
 
 // DefaultBlockSize is the cache block (coherence unit) size used in the
@@ -48,6 +56,9 @@ func NewGeometry(blockSize, regionSize int) (Geometry, error) {
 	return Geometry{
 		blockBits:  uint(bits.TrailingZeros64(uint64(blockSize))),
 		regionBits: uint(bits.TrailingZeros64(uint64(regionSize))),
+		blockMask:  Addr(blockSize - 1),
+		regionMask: Addr(regionSize - 1),
+		offMask:    uint64(regionSize/blockSize - 1),
 	}, nil
 }
 
@@ -78,14 +89,14 @@ func (g Geometry) RegionSize() int { return 1 << g.regionBits }
 func (g Geometry) BlocksPerRegion() int { return 1 << (g.regionBits - g.blockBits) }
 
 // BlockAddr returns the address truncated to its cache-block base.
-func (g Geometry) BlockAddr(a Addr) Addr { return a &^ (Addr(1)<<g.blockBits - 1) }
+func (g Geometry) BlockAddr(a Addr) Addr { return a &^ g.blockMask }
 
 // BlockNumber returns the global block index of the address (address divided
 // by the block size).
 func (g Geometry) BlockNumber(a Addr) uint64 { return uint64(a) >> g.blockBits }
 
 // RegionBase returns the address truncated to its spatial-region base.
-func (g Geometry) RegionBase(a Addr) Addr { return a &^ (Addr(1)<<g.regionBits - 1) }
+func (g Geometry) RegionBase(a Addr) Addr { return a &^ g.regionMask }
 
 // RegionTag returns the high-order bits identifying the spatial region: the
 // address divided by the region size. Entries in the AGT and generation
@@ -96,7 +107,7 @@ func (g Geometry) RegionTag(a Addr) uint64 { return uint64(a) >> g.regionBits }
 // distance, in cache blocks, from the start of its spatial region (§2.2).
 // The result lies in [0, BlocksPerRegion).
 func (g Geometry) RegionOffset(a Addr) int {
-	return int((uint64(a) >> g.blockBits) & uint64(g.BlocksPerRegion()-1))
+	return int((uint64(a) >> g.blockBits) & g.offMask)
 }
 
 // BlockOfRegion reconstructs the base address of block `offset` within the

@@ -85,6 +85,20 @@ func (p Pattern) PopCount() int {
 	return bits.OnesCount64(p.lo) + bits.OnesCount64(p.hi)
 }
 
+// FirstSet returns the index of the lowest set bit, or -1 if the pattern
+// is empty. It is constant-time (two TrailingZeros), which matters to the
+// prediction-register round-robin that pops the lowest pending block per
+// stream request.
+func (p Pattern) FirstSet() int {
+	if p.lo != 0 {
+		return bits.TrailingZeros64(p.lo)
+	}
+	if p.hi != 0 {
+		return 64 + bits.TrailingZeros64(p.hi)
+	}
+	return -1
+}
+
 // Empty reports whether no bits are set.
 func (p Pattern) Empty() bool { return p.lo == 0 && p.hi == 0 }
 
@@ -127,6 +141,28 @@ func (p Pattern) Rotate(k int) Pattern {
 	k = ((k % w) + w) % w
 	if k == 0 {
 		return p
+	}
+	// Word-width fast paths: every paper geometry has a power-of-two
+	// width ≤ 64 or exactly 128, so rotation is two shifts, not a
+	// per-bit loop. (Rotation runs once per PHT store/lookup, which is
+	// once per generation event — squarely on the training hot path.)
+	if w <= 64 {
+		mask := ^uint64(0) >> (64 - uint(w))
+		lo := (p.lo<<uint(k) | p.lo>>uint(w-k)) & mask
+		return Pattern{width: w, lo: lo}
+	}
+	if w == 128 {
+		var lo, hi uint64
+		if k < 64 {
+			lo = p.lo<<uint(k) | p.hi>>uint(64-k)
+			hi = p.hi<<uint(k) | p.lo>>uint(64-k)
+		} else if k == 64 {
+			lo, hi = p.hi, p.lo
+		} else {
+			lo = p.hi<<uint(k-64) | p.lo>>uint(128-k)
+			hi = p.lo<<uint(k-64) | p.hi>>uint(128-k)
+		}
+		return Pattern{width: w, lo: lo, hi: hi}
 	}
 	out := NewPattern(w)
 	for i := 0; i < w; i++ {

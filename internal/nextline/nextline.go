@@ -66,6 +66,7 @@ type Prefetcher struct {
 	cfg   Config
 	queue []mem.Addr
 	stats Stats
+	out   []mem.Addr // reused Drain result buffer (valid until next Drain)
 }
 
 // New builds a next-line prefetcher.
@@ -86,7 +87,7 @@ func (p *Prefetcher) Config() Config { return p.cfg }
 // Train schedules the next Degree blocks after every L1 miss. First-use
 // hits on streamed lines also train, so a sequential walk keeps the
 // stream running ahead instead of stalling every Degree blocks.
-func (p *Prefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr {
+func (p *Prefetcher) Train(rec trace.Record, acc *coherence.AccessResult) []mem.Addr {
 	if acc.L1Hit && !acc.L1PrefetchHit {
 		return nil
 	}
@@ -104,7 +105,9 @@ func (p *Prefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.A
 	return nil
 }
 
-// Drain pops up to max scheduled addresses.
+// Drain pops up to max scheduled addresses. The returned slice aliases a
+// buffer owned by the prefetcher, valid until the next Drain (the
+// sim.Prefetcher contract).
 func (p *Prefetcher) Drain(max int) []mem.Addr {
 	if max > len(p.queue) {
 		max = len(p.queue)
@@ -112,8 +115,8 @@ func (p *Prefetcher) Drain(max int) []mem.Addr {
 	if max <= 0 {
 		return nil
 	}
-	out := make([]mem.Addr, max)
-	copy(out, p.queue)
+	out := append(p.out[:0], p.queue[:max]...)
+	p.out = out
 	n := copy(p.queue, p.queue[max:])
 	p.queue = p.queue[:n]
 	return out

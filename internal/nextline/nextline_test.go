@@ -28,19 +28,19 @@ func TestConfigValidation(t *testing.T) {
 func TestTrainSchedulesNextLines(t *testing.T) {
 	p, _ := New(Config{Degree: 2, BlockSize: 64})
 	miss := coherence.AccessResult{} // L1Hit false: a miss
-	p.Train(trace.Record{Addr: 0x1008}, miss)
+	p.Train(trace.Record{Addr: 0x1008}, &miss)
 	got := p.Drain(10)
 	want := []mem.Addr{0x1040, 0x1080}
 	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
 		t.Fatalf("Drain = %#x, want %#x", got, want)
 	}
 	// Hits on non-prefetched lines must not train.
-	p.Train(trace.Record{Addr: 0x2000}, coherence.AccessResult{L1Hit: true})
+	p.Train(trace.Record{Addr: 0x2000}, &coherence.AccessResult{L1Hit: true})
 	if out := p.Drain(10); len(out) != 0 {
 		t.Fatalf("hit scheduled prefetches: %#x", out)
 	}
 	// First-use hits on streamed lines keep the stream running.
-	p.Train(trace.Record{Addr: 0x2000}, coherence.AccessResult{L1Hit: true, L1PrefetchHit: true})
+	p.Train(trace.Record{Addr: 0x2000}, &coherence.AccessResult{L1Hit: true, L1PrefetchHit: true})
 	if out := p.Drain(10); len(out) != 2 {
 		t.Fatalf("prefetch hit did not train: %#x", out)
 	}
@@ -48,7 +48,7 @@ func TestTrainSchedulesNextLines(t *testing.T) {
 
 func TestDrainRateLimit(t *testing.T) {
 	p, _ := New(Config{Degree: 4, BlockSize: 64})
-	p.Train(trace.Record{Addr: 0}, coherence.AccessResult{})
+	p.Train(trace.Record{Addr: 0}, &coherence.AccessResult{})
 	if got := p.Drain(3); len(got) != 3 || got[0] != 0x40 {
 		t.Fatalf("Drain(3) = %#x", got)
 	}
@@ -63,7 +63,7 @@ func TestDrainRateLimit(t *testing.T) {
 func TestQueueBound(t *testing.T) {
 	p, _ := New(Config{Degree: 4, BlockSize: 64, QueueDepth: 6})
 	for i := 0; i < 4; i++ {
-		p.Train(trace.Record{Addr: mem.Addr(i * 0x1000)}, coherence.AccessResult{})
+		p.Train(trace.Record{Addr: mem.Addr(i * 0x1000)}, &coherence.AccessResult{})
 	}
 	st := p.Stats().(Stats)
 	if st.Trains != 4 || st.Scheduled != 6 || st.Dropped != 10 {

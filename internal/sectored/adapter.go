@@ -31,7 +31,7 @@ func (p *SimPrefetcher) Trainer() *LogicalSectored { return p.ls }
 // Train records the access in the logical sector tags. Real-cache
 // evictions are ignored: the logical tags model their own (sectored)
 // contents and end generations on their own sector replacements.
-func (p *SimPrefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr {
+func (p *SimPrefetcher) Train(rec trace.Record, acc *coherence.AccessResult) []mem.Addr {
 	p.ls.Access(rec.PC, rec.Addr)
 	return nil
 }

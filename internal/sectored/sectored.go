@@ -138,32 +138,40 @@ type sectorTrigger struct {
 	addr mem.Addr
 }
 
-// tagArray is the shared sets×ways sector structure.
+// tagArray is the shared sets×ways sector structure. Sectors live in a
+// flat backing array with a packed key sidecar (tag+1, 0 = invalid), so
+// the per-access find scans eight bytes per way instead of a ~140-byte
+// sector (the same layout trick as package cache).
 type tagArray struct {
 	geo     mem.Geometry
-	sets    [][]sector
+	backing []sector
+	keys    []uint64 // tag+1 per way slot (set*assoc+way); 0 = invalid
+	assoc   int
+	nsets   int
 	setMask uint64
 	clock   uint64
 }
 
 func newTagArray(geo mem.Geometry, sectors, assoc int) *tagArray {
 	nsets := sectors / assoc
-	ta := &tagArray{geo: geo, sets: make([][]sector, nsets), setMask: uint64(nsets - 1)}
-	backing := make([]sector, sectors)
-	for i := range ta.sets {
-		ta.sets[i] = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
+	return &tagArray{
+		geo:     geo,
+		backing: make([]sector, sectors),
+		keys:    make([]uint64, sectors),
+		assoc:   assoc,
+		nsets:   nsets,
+		setMask: uint64(nsets - 1),
 	}
-	return ta
 }
 
-func (ta *tagArray) setBits() uint { return uint(bits.TrailingZeros64(uint64(len(ta.sets)))) }
+func (ta *tagArray) setBits() uint { return uint(bits.TrailingZeros64(uint64(ta.nsets))) }
 
 func (ta *tagArray) find(tag uint64) *sector {
-	set := tag & ta.setMask
-	for i := range ta.sets[set] {
-		s := &ta.sets[set][i]
-		if s.valid && s.tag == tag {
-			return s
+	base := int(tag&ta.setMask) * ta.assoc
+	k := tag + 1
+	for i, c := range ta.keys[base : base+ta.assoc] {
+		if c == k {
+			return &ta.backing[base+i]
 		}
 	}
 	return nil
@@ -172,25 +180,24 @@ func (ta *tagArray) find(tag uint64) *sector {
 // allocate victimizes the LRU way of tag's set and returns (new sector
 // slot, victim copy, had victim).
 func (ta *tagArray) allocate(tag uint64) (*sector, sector, bool) {
-	set := tag & ta.setMask
-	lines := ta.sets[set]
+	base := int(tag&ta.setMask) * ta.assoc
 	victim := 0
 	var oldest uint64 = ^uint64(0)
-	for i := range lines {
-		if !lines[i].valid {
+	for i := 0; i < ta.assoc; i++ {
+		if ta.keys[base+i] == 0 {
 			victim = i
-			oldest = 0
 			break
 		}
-		if lines[i].lru < oldest {
-			oldest = lines[i].lru
+		if l := ta.backing[base+i].lru; l < oldest {
+			oldest = l
 			victim = i
 		}
 	}
-	v := lines[victim]
+	j := base + victim
+	v := ta.backing[j]
 	ta.clock++
 	w := ta.geo.BlocksPerRegion()
-	lines[victim] = sector{
+	ta.backing[j] = sector{
 		valid:      true,
 		tag:        tag,
 		accessed:   mem.NewPattern(w),
@@ -199,7 +206,8 @@ func (ta *tagArray) allocate(tag uint64) (*sector, sector, bool) {
 		usedPref:   mem.NewPattern(w),
 		lru:        ta.clock,
 	}
-	return &lines[victim], v, v.valid
+	ta.keys[j] = tag + 1
+	return &ta.backing[j], v, v.valid
 }
 
 func (ta *tagArray) touch(s *sector) {
@@ -209,12 +217,14 @@ func (ta *tagArray) touch(s *sector) {
 
 // remove invalidates the sector holding tag, returning a copy.
 func (ta *tagArray) remove(tag uint64) (sector, bool) {
-	set := tag & ta.setMask
-	for i := range ta.sets[set] {
-		s := &ta.sets[set][i]
-		if s.valid && s.tag == tag {
-			v := *s
-			*s = sector{}
+	base := int(tag&ta.setMask) * ta.assoc
+	k := tag + 1
+	for i, c := range ta.keys[base : base+ta.assoc] {
+		if c == k {
+			j := base + i
+			v := ta.backing[j]
+			ta.backing[j] = sector{}
+			ta.keys[j] = 0
 			return v, true
 		}
 	}

@@ -1,0 +1,149 @@
+package sim_test
+
+// Batching differential: the batched RunContext drain (including the
+// zero-copy view path) must produce byte-identical Result JSON to
+// record-at-a-time Step driving, for every prefetcher family, on both
+// generated and randomized traces. Together with the table-level
+// reference tests and the golden hashes, this closes the chain: new
+// tables ≡ old maps, batched ≡ scalar, so stored keys and figure numbers
+// are unchanged.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// scalarSource hides batching capability so trace.Batched falls back to
+// the per-record adapter.
+type scalarSource struct{ src trace.Source }
+
+func (s scalarSource) Next() (trace.Record, bool) { return s.src.Next() }
+
+// randomTrace builds a randomized multi-CPU trace with enough write
+// sharing to exercise invalidations and false sharing.
+func randomTrace(seed int64, cpus, n int) []trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]trace.Record, n)
+	var seq uint64
+	for i := range recs {
+		seq += uint64(1 + rng.Intn(5))
+		recs[i] = trace.Record{
+			Seq:  seq,
+			PC:   0x400000 + uint64(rng.Intn(64))*4,
+			Addr: mem.Addr(rng.Intn(1 << 16)),
+			CPU:  uint8(rng.Intn(cpus)),
+			Kind: trace.Kind(btoi(rng.Intn(4) == 0)),
+		}
+	}
+	return recs
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func resultJSON(t *testing.T, res *sim.Result) string {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestBatchedRunMatchesStepLoop(t *testing.T) {
+	cfg := sim.Config{
+		WarmupAccesses:     20_000,
+		TrackGenerations:   true,
+		WindowInstructions: 4096,
+	}
+	for _, pf := range []string{"none", "sms", "ls", "ghb", "stride", "nextline"} {
+		t.Run(pf, func(t *testing.T) {
+			c := cfg
+			c.PrefetcherName = pf
+
+			w, err := workload.ByName("oltp-db2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wcfg := workload.Config{CPUs: 4, Seed: 11, Length: 50_000}
+			recs := trace.Collect(w.Make(wcfg), 0)
+			rand.New(rand.NewSource(3)).Shuffle(len(recs)/10, func(i, j int) {
+				// Perturb a prefix so the stream is not purely
+				// generator-shaped (Seq stays monotonic enough for the
+				// window model because only nearby records swap).
+				recs[i], recs[j] = recs[j], recs[i]
+			})
+			recs = append(recs, randomTrace(5, 4, 30_000)...)
+
+			// Driver A: batched, via the zero-copy view path.
+			ra := sim.MustNewRunner(c)
+			resA, err := ra.RunContext(context.Background(), trace.NewSliceSource(recs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Driver B: batched via the copying adapter (scalar source).
+			rb := sim.MustNewRunner(c)
+			resB, err := rb.RunContext(context.Background(), scalarSource{trace.NewSliceSource(recs)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Driver C: record-at-a-time Step loop (Run drives finish()).
+			rc := sim.MustNewRunner(c)
+			for _, rec := range recs {
+				rc.Step(rec)
+			}
+			resC := rc.Run(trace.NewSliceSource(nil)) // empty source: just finish
+
+			ja, jb, jc := resultJSON(t, resA), resultJSON(t, resB), resultJSON(t, resC)
+			if ja != jb {
+				t.Fatalf("view-batched vs adapter-batched Result JSON differs:\n%s\nvs\n%s", ja, jb)
+			}
+			if ja != jc {
+				t.Fatalf("batched vs Step-loop Result JSON differs:\n%s\nvs\n%s", ja, jc)
+			}
+		})
+	}
+}
+
+// TestWorkloadBatchMatchesNext pins the batch-native generators to their
+// scalar record stream: any interleaving of Next and NextBatch yields the
+// same sequence.
+func TestWorkloadBatchMatchesNext(t *testing.T) {
+	for _, w := range workload.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			cfg := workload.Config{CPUs: 3, Seed: 99, Length: 30_000}
+			scalar := w.Make(cfg)
+			batched := trace.Batched(w.Make(cfg))
+			rng := rand.New(rand.NewSource(1))
+			buf := make([]trace.Record, 257)
+			var got []trace.Record
+			for {
+				n := batched.NextBatch(buf[:1+rng.Intn(len(buf)-1)])
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			want := trace.Collect(scalar, 0)
+			if len(got) != len(want) {
+				t.Fatalf("batched yielded %d records, scalar %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("record %d differs: batched %+v, scalar %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"repro/internal/mem"
 	"repro/internal/stats"
 )
@@ -9,9 +11,29 @@ import (
 // CPU, with unbounded state — it is the measurement instrument behind the
 // Fig. 4 oracle opportunity study and the Fig. 5 density breakdown, not a
 // hardware structure.
+//
+// Live generations are kept in an open-addressed, linear-probing table
+// with inline entries (patterns are two-word values, so an entry is one
+// cache line). The previous map[uint64]*genState heap-allocated a fresh
+// genState for every generation; regions retire and restart constantly,
+// so that was an allocation on the steady-state hot path. Here retirement
+// uses backward-shift deletion: the vacated slot is immediately reusable
+// by the next generation, which is what keeps the table allocation-free
+// once it has grown to the peak live-region count.
 type genTracker struct {
-	geo  mem.Geometry
-	live map[uint64]*genState
+	geo   mem.Geometry
+	width int // blocks per region, fixed pattern width
+
+	slots []genSlot
+	mask  uint64
+	n     int // live generations
+	grow  int // insert threshold (load factor 0.75)
+}
+
+type genSlot struct {
+	tag  uint64
+	used bool
+	g    genState
 }
 
 type genState struct {
@@ -20,8 +42,17 @@ type genState struct {
 	measured bool        // any post-warm-up miss recorded
 }
 
+// genInitialSlots sizes the empty table; it must be a power of two.
+const genInitialSlots = 1024
+
 func newGenTracker(geo mem.Geometry) *genTracker {
-	return &genTracker{geo: geo, live: make(map[uint64]*genState)}
+	return &genTracker{
+		geo:   geo,
+		width: geo.BlocksPerRegion(),
+		slots: make([]genSlot, genInitialSlots),
+		mask:  genInitialSlots - 1,
+		grow:  genInitialSlots * 3 / 4,
+	}
 }
 
 // newDensityHistogram builds the Fig. 5 bucket layout: 1, 2-3, 4-7, 8-15,
@@ -30,23 +61,47 @@ func newDensityHistogram() *stats.Histogram {
 	return stats.MustHistogram(1, 3, 7, 15, 23, 31)
 }
 
+// genHash spreads region tags (sequential for scans) over the table.
+func genHash(tag uint64) uint64 { return mem.HashKey(tag) }
+
+// find returns the slot index holding tag, or the first empty slot in its
+// probe chain if absent.
+func (t *genTracker) find(tag uint64) uint64 {
+	i := genHash(tag) & t.mask
+	for {
+		s := &t.slots[i]
+		if !s.used || s.tag == tag {
+			return i
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
 // access records a reference to the region; miss marks whether it missed
 // at this level.
 func (t *genTracker) access(a mem.Addr, miss, warm bool) {
+	if t.n >= t.grow {
+		t.rehash(len(t.slots) * 2)
+	}
 	tag := t.geo.RegionTag(a)
-	g := t.live[tag]
-	if g == nil {
-		w := t.geo.BlocksPerRegion()
-		g = &genState{accessed: mem.NewPattern(w), missed: mem.NewPattern(w)}
-		t.live[tag] = g
+	i := t.find(tag)
+	s := &t.slots[i]
+	if !s.used {
+		s.tag = tag
+		s.used = true
+		s.g = genState{
+			accessed: mem.NewPattern(t.width),
+			missed:   mem.NewPattern(t.width),
+		}
+		t.n++
 	}
 	off := t.geo.RegionOffset(a)
-	g.accessed.Set(off)
+	s.g.accessed.Set(off)
 	if miss && warm {
 		// Only post-warm-up misses are scored, so a generation spanning
 		// the warm-up boundary contributes only its measured misses.
-		g.missed.Set(off)
-		g.measured = true
+		s.g.missed.Set(off)
+		s.g.measured = true
 	}
 }
 
@@ -54,22 +109,78 @@ func (t *genTracker) access(a mem.Addr, miss, warm bool) {
 // accessed during the live generation, the generation ends and is scored.
 func (t *genTracker) remove(a mem.Addr, warm bool, density *stats.Histogram, oracle *uint64) {
 	tag := t.geo.RegionTag(a)
-	g := t.live[tag]
-	if g == nil {
+	i := t.find(tag)
+	s := &t.slots[i]
+	if !s.used {
 		return
 	}
-	if !g.accessed.Test(t.geo.RegionOffset(a)) {
+	if !s.g.accessed.Test(t.geo.RegionOffset(a)) {
 		return
 	}
-	delete(t.live, tag)
-	t.score(g, warm, density, oracle)
+	g := s.g
+	t.deleteAt(i)
+	t.score(&g, warm, density, oracle)
+}
+
+// deleteAt vacates slot i with backward-shift deletion, keeping every
+// probe chain gap-free so no tombstones accumulate.
+func (t *genTracker) deleteAt(i uint64) {
+	t.n--
+	mask := t.mask
+	for {
+		t.slots[i].used = false
+		j := i
+		for {
+			j = (j + 1) & mask
+			s := &t.slots[j]
+			if !s.used {
+				return
+			}
+			home := genHash(s.tag) & mask
+			// s may move into the vacated slot only if its home position
+			// precedes (or is) the vacancy along the probe chain.
+			if (j-home)&mask >= (j-i)&mask {
+				t.slots[i] = *s
+				i = j
+				break
+			}
+		}
+	}
 }
 
 // flush ends all live generations at trace end.
 func (t *genTracker) flush(density *stats.Histogram, oracle *uint64) {
-	for tag, g := range t.live {
-		delete(t.live, tag)
-		t.score(g, true, density, oracle)
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.used {
+			continue
+		}
+		s.used = false
+		t.score(&s.g, true, density, oracle)
+	}
+	t.n = 0
+}
+
+// live returns the number of open generations (exposed for tests).
+func (t *genTracker) live() int { return t.n }
+
+func (t *genTracker) rehash(newSize int) {
+	if newSize&(newSize-1) != 0 {
+		newSize = 1 << bits.Len(uint(newSize))
+	}
+	old := t.slots
+	t.slots = make([]genSlot, newSize)
+	t.mask = uint64(newSize - 1)
+	t.grow = newSize * 3 / 4
+	for oi := range old {
+		if !old[oi].used {
+			continue
+		}
+		i := genHash(old[oi].tag) & t.mask
+		for t.slots[i].used {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = old[oi]
 	}
 }
 

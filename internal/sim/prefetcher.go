@@ -22,6 +22,11 @@ import (
 // Per demand access the runner calls Train, then Drain; the runner applies
 // every returned address to the memory system at the engine's FillLevel
 // (L1 engines stream into both levels, L2 engines fill only L2).
+//
+// Address slices returned by Train and Drain may alias a buffer owned by
+// the engine, valid until its next Train/Drain call: the runner consumes
+// them immediately, so engines reuse one buffer instead of allocating per
+// access (the built-ins all do).
 type Prefetcher interface {
 	// Train observes one demand access by this CPU together with its
 	// outcome in the hierarchy (hits/misses per level, evictions,
@@ -29,7 +34,7 @@ type Prefetcher interface {
 	// immediately, bypassing the StreamRate budget — the channel used by
 	// miss-triggered L2 prefetchers (GHB, stride) whose bursts the paper
 	// does not rate-limit.
-	Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr
+	Train(rec trace.Record, acc *coherence.AccessResult) []mem.Addr
 	// Drain returns up to max pending stream requests. The runner calls
 	// it once per demand access with the configured StreamRate, modeling
 	// finite stream bandwidth.

@@ -1,0 +1,138 @@
+package sim
+
+// Differential test for the open-addressed generation table against the
+// pre-rewrite map[uint64]*genState tracker, kept verbatim as the
+// executable specification. Random access/remove/flush interleavings must
+// score identical density histograms and oracle counts.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// refGenTracker is the old map-backed tracker.
+type refGenTracker struct {
+	geo  mem.Geometry
+	live map[uint64]*refGenState
+}
+
+type refGenState struct {
+	accessed mem.Pattern
+	missed   mem.Pattern
+	measured bool
+}
+
+func newRefGenTracker(geo mem.Geometry) *refGenTracker {
+	return &refGenTracker{geo: geo, live: make(map[uint64]*refGenState)}
+}
+
+func (t *refGenTracker) access(a mem.Addr, miss, warm bool) {
+	tag := t.geo.RegionTag(a)
+	g := t.live[tag]
+	if g == nil {
+		w := t.geo.BlocksPerRegion()
+		g = &refGenState{accessed: mem.NewPattern(w), missed: mem.NewPattern(w)}
+		t.live[tag] = g
+	}
+	off := t.geo.RegionOffset(a)
+	g.accessed.Set(off)
+	if miss && warm {
+		g.missed.Set(off)
+		g.measured = true
+	}
+}
+
+func (t *refGenTracker) remove(a mem.Addr, warm bool, density *stats.Histogram, oracle *uint64) {
+	tag := t.geo.RegionTag(a)
+	g := t.live[tag]
+	if g == nil {
+		return
+	}
+	if !g.accessed.Test(t.geo.RegionOffset(a)) {
+		return
+	}
+	delete(t.live, tag)
+	t.score(g, warm, density, oracle)
+}
+
+func (t *refGenTracker) flush(density *stats.Histogram, oracle *uint64) {
+	for tag, g := range t.live {
+		delete(t.live, tag)
+		t.score(g, true, density, oracle)
+	}
+}
+
+func (t *refGenTracker) score(g *refGenState, warm bool, density *stats.Histogram, oracle *uint64) {
+	if !warm || !g.measured {
+		return
+	}
+	n := uint64(g.missed.PopCount())
+	if n == 0 {
+		return
+	}
+	density.Observe(n, n)
+	*oracle++
+}
+
+func histEqual(t *testing.T, a, b *stats.Histogram) bool {
+	t.Helper()
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(aj) == string(bj)
+}
+
+func TestGenTrackerMatchesMapReference(t *testing.T) {
+	geos := []mem.Geometry{
+		mem.DefaultGeometry(),
+		mem.MustGeometry(64, 512),
+		mem.MustGeometry(256, 8192),
+	}
+	for gi, geo := range geos {
+		tracker := newGenTracker(geo)
+		ref := newRefGenTracker(geo)
+		gotDensity, wantDensity := newDensityHistogram(), newDensityHistogram()
+		var gotOracle, wantOracle uint64
+		rng := rand.New(rand.NewSource(int64(7 + gi)))
+		// Enough regions to force several table growth/shrink cycles and
+		// constant slot reuse through backward-shift deletion.
+		const regions = 3000
+		for op := 0; op < 200_000; op++ {
+			region := rng.Intn(regions)
+			a := mem.Addr(region)*mem.Addr(geo.RegionSize()) +
+				mem.Addr(rng.Intn(geo.BlocksPerRegion()))*mem.Addr(geo.BlockSize())
+			warm := op > 20_000
+			if rng.Intn(4) == 0 {
+				tracker.remove(a, warm, gotDensity, &gotOracle)
+				ref.remove(a, warm, wantDensity, &wantOracle)
+			} else {
+				miss := rng.Intn(3) == 0
+				tracker.access(a, miss, warm)
+				ref.access(a, miss, warm)
+			}
+			if tracker.live() != len(ref.live) {
+				t.Fatalf("geo %d op %d: live %d, reference %d", gi, op, tracker.live(), len(ref.live))
+			}
+		}
+		tracker.flush(gotDensity, &gotOracle)
+		ref.flush(wantDensity, &wantOracle)
+		if gotOracle != wantOracle {
+			t.Fatalf("geo %d: oracle %d, reference %d", gi, gotOracle, wantOracle)
+		}
+		if !histEqual(t, gotDensity, wantDensity) {
+			t.Fatalf("geo %d: density histograms differ:\n got  %v\n want %v", gi, gotDensity, wantDensity)
+		}
+		if tracker.live() != 0 {
+			t.Fatalf("geo %d: %d generations live after flush", gi, tracker.live())
+		}
+	}
+}

@@ -155,8 +155,20 @@ type Runner struct {
 	warm    bool
 	counted uint64 // accesses processed
 
+	// Per-record branch hoists, fixed at construction.
+	trackGens  bool
+	hasWindows bool
+
 	progressEvery uint64
 	onProgress    func(records uint64)
+
+	batch []trace.Record // RunContext's reusable drain buffer
+
+	// Per-record result scratch (see coherence.AccessResult): one access
+	// result and one stream result live for the whole run, so the hot
+	// path never moves result structs by value.
+	acc  coherence.AccessResult
+	sres coherence.StreamResult
 
 	win winState
 }
@@ -198,6 +210,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 			r.gensL2 = append(r.gensL2, newGenTracker(cfg.Geometry))
 		}
 	}
+	r.trackGens = cfg.TrackGenerations
+	r.hasWindows = cfg.WindowInstructions > 0
+	r.warm = cfg.WarmupAccesses == 0
 	r.res.DensityL1 = newDensityHistogram()
 	r.res.DensityL2 = newDensityHistogram()
 	return r, nil
@@ -243,23 +258,55 @@ func (r *Runner) Run(src trace.Source) *Result {
 	return res
 }
 
+// DefaultBatchRecords is the number of records RunContext drains from the
+// source per batch. Batching amortizes source interface dispatch and the
+// progress/cancellation bookkeeping across the batch; it never exceeds
+// the progress interval, so callbacks stay at least as frequent as the
+// per-record loop delivered them.
+const DefaultBatchRecords = 4096
+
 // RunContext drives src until exhaustion or cancellation, checking ctx
 // and invoking any OnProgress callback once per progress interval. On
 // cancellation it returns ctx's error and a nil Result: a partial run is
 // never returned, so callers cannot mistake it for a completed one (or
 // persist it).
+//
+// The trace is drained in batches through trace.Batched, so sources that
+// batch natively (all workload generators, trace.Reader) feed the
+// simulator with no per-record interface calls.
 func (r *Runner) RunContext(ctx context.Context, src trace.Source) (*Result, error) {
 	every := r.progressEvery
 	if every == 0 {
 		every = DefaultProgressInterval
 	}
+	size := uint64(DefaultBatchRecords)
+	if size > every {
+		size = every
+	}
+	views, isView := src.(trace.ViewSource)
+	var bs trace.BatchSource
+	if !isView {
+		if uint64(len(r.batch)) != size {
+			r.batch = make([]trace.Record, size)
+		}
+		bs = trace.Batched(src)
+	}
 	next := r.counted + every
 	for {
-		rec, ok := src.Next()
-		if !ok {
+		var batch []trace.Record
+		if isView {
+			// In-memory traces (engine trace memo replays) are consumed
+			// in place — no per-batch copy.
+			batch = views.NextView(int(size))
+		} else {
+			batch = r.batch[:bs.NextBatch(r.batch)]
+		}
+		if len(batch) == 0 {
 			break
 		}
-		r.Step(rec)
+		for i := range batch {
+			r.Step(batch[i])
+		}
 		if r.counted >= next {
 			next = r.counted + every
 			if r.onProgress != nil {
@@ -291,19 +338,24 @@ func (r *Runner) Result() *Result {
 // tests).
 func (r *Runner) Step(rec trace.Record) {
 	r.counted++
-	r.warm = r.counted > r.cfg.WarmupAccesses
+	if !r.warm && r.counted > r.cfg.WarmupAccesses {
+		// warm flips exactly once per run; recomputing the comparison on
+		// every record was measurable at simulation rates.
+		r.warm = true
+	}
 	cpu := int(rec.CPU)
 	write := rec.IsWrite()
 
-	acc := r.sys.Access(cpu, rec.Addr, write)
+	acc := &r.acc
+	r.sys.AccessInto(acc, cpu, rec.Addr, write)
 
 	if r.warm {
 		r.account(rec, acc)
+		if r.hasWindows {
+			r.windowAccount(rec, acc)
+		}
 	}
-	if r.cfg.WindowInstructions > 0 && r.warm {
-		r.windowAccount(rec, acc)
-	}
-	if r.cfg.TrackGenerations {
+	if r.trackGens {
 		r.trackGenerations(cpu, rec, acc)
 	}
 	r.notifyPrefetcher(cpu, rec, acc)
@@ -311,7 +363,7 @@ func (r *Runner) Step(rec trace.Record) {
 }
 
 // account updates post-warm-up counters.
-func (r *Runner) account(rec trace.Record, acc coherence.AccessResult) {
+func (r *Runner) account(rec trace.Record, acc *coherence.AccessResult) {
 	res := &r.res
 	res.Accesses++
 	if rec.IsWrite() {
@@ -354,7 +406,7 @@ func (r *Runner) account(rec trace.Record, acc coherence.AccessResult) {
 // fills and dirty L2 writebacks. (Dirty copies destroyed by invalidations
 // also write back in a real protocol; they are a small second-order term
 // and are not counted.)
-func (r *Runner) accountTraffic(acc coherence.AccessResult) {
+func (r *Runner) accountTraffic(acc *coherence.AccessResult) {
 	if acc.Missed(coherence.LevelL2) {
 		r.res.OffChipBlocks++
 	}
@@ -369,7 +421,7 @@ func (r *Runner) accountTraffic(acc coherence.AccessResult) {
 // generation-ending events. Addresses the engine returns from Train are
 // issued immediately (miss-triggered L2 prefetchers); queued streams are
 // rate-limited separately by issueStreams.
-func (r *Runner) notifyPrefetcher(cpu int, rec trace.Record, acc coherence.AccessResult) {
+func (r *Runner) notifyPrefetcher(cpu int, rec trace.Record, acc *coherence.AccessResult) {
 	if r.pf == nil {
 		return
 	}
@@ -385,7 +437,7 @@ func (r *Runner) notifyPrefetcher(cpu int, rec trace.Record, acc coherence.Acces
 // feedInvalidations forwards invalidations to the victims' engines: an
 // invalidation ends the spatial region generation on the CPU that lost
 // the block (§2.1) and destroys streamed-but-unused lines.
-func (r *Runner) feedInvalidations(acc coherence.AccessResult) {
+func (r *Runner) feedInvalidations(acc *coherence.AccessResult) {
 	for _, inv := range acc.Invalidations {
 		if inv.L1 {
 			r.pf[inv.CPU].Invalidated(inv.Addr)
@@ -395,7 +447,7 @@ func (r *Runner) feedInvalidations(acc coherence.AccessResult) {
 
 // countL2Overpredictions accounts overpredictions judged at the L2
 // lifetime: streamed blocks whose L2 copy (or only copy) died unused.
-func (r *Runner) countL2Overpredictions(acc coherence.AccessResult) {
+func (r *Runner) countL2Overpredictions(acc *coherence.AccessResult) {
 	if !r.warm {
 		return
 	}
@@ -428,8 +480,9 @@ func (r *Runner) stream(cpu int, a mem.Addr) {
 	if r.warm {
 		r.res.StreamRequests++
 	}
+	sres := &r.sres
 	if r.fillL1 {
-		sres := r.sys.Stream(cpu, a)
+		r.sys.StreamInto(sres, cpu, a)
 		for _, ev := range sres.L1Evictions {
 			r.pf[cpu].StreamEvicted(ev.Addr)
 		}
@@ -438,7 +491,7 @@ func (r *Runner) stream(cpu int, a mem.Addr) {
 		r.trackStreamEvictions(cpu, sres)
 		return
 	}
-	sres := r.sys.L2Stream(cpu, a)
+	r.sys.L2StreamInto(sres, cpu, a)
 	if r.warm && !sres.AlreadyPresent {
 		r.res.OffChipBlocks++
 	}
@@ -453,7 +506,7 @@ func (r *Runner) stream(cpu int, a mem.Addr) {
 
 // accountStreamTraffic counts the off-chip transfers caused by an
 // L1-targeted stream fill.
-func (r *Runner) accountStreamTraffic(sres coherence.StreamResult) {
+func (r *Runner) accountStreamTraffic(sres *coherence.StreamResult) {
 	if !r.warm || sres.AlreadyPresent {
 		return
 	}
@@ -469,8 +522,8 @@ func (r *Runner) accountStreamTraffic(sres coherence.StreamResult) {
 
 // trackStreamEvictions keeps the generation trackers coherent with lines
 // displaced by stream fills.
-func (r *Runner) trackStreamEvictions(cpu int, sres coherence.StreamResult) {
-	if !r.cfg.TrackGenerations {
+func (r *Runner) trackStreamEvictions(cpu int, sres *coherence.StreamResult) {
+	if !r.trackGens {
 		return
 	}
 	for _, ev := range sres.L1Evictions {
@@ -481,7 +534,7 @@ func (r *Runner) trackStreamEvictions(cpu int, sres coherence.StreamResult) {
 	}
 }
 
-func (r *Runner) countStreamL2Evictions(sres coherence.StreamResult) {
+func (r *Runner) countStreamL2Evictions(sres *coherence.StreamResult) {
 	if !r.warm {
 		return
 	}
@@ -493,7 +546,7 @@ func (r *Runner) countStreamL2Evictions(sres coherence.StreamResult) {
 }
 
 // trackGenerations updates the density/oracle trackers at both levels.
-func (r *Runner) trackGenerations(cpu int, rec trace.Record, acc coherence.AccessResult) {
+func (r *Runner) trackGenerations(cpu int, rec trace.Record, acc *coherence.AccessResult) {
 	g1 := r.gensL1[cpu]
 	g1.access(rec.Addr, !acc.L1Hit, r.warm)
 	for _, ev := range acc.L1Evictions {
@@ -518,7 +571,7 @@ func (r *Runner) trackGenerations(cpu int, rec trace.Record, acc coherence.Acces
 
 // finish flushes still-open generations and the trailing window.
 func (r *Runner) finish() {
-	if r.cfg.TrackGenerations {
+	if r.trackGens {
 		for cpu := range r.gensL1 {
 			r.gensL1[cpu].flush(r.res.DensityL1, &r.res.OracleGenerationsL1)
 			r.gensL2[cpu].flush(r.res.DensityL2, &r.res.OracleGenerationsL2)

@@ -40,7 +40,7 @@ type winState struct {
 	onInGroup  []uint64 // per CPU, misses in the current on-chip group
 }
 
-func (r *Runner) windowAccount(rec trace.Record, acc coherence.AccessResult) {
+func (r *Runner) windowAccount(rec trace.Record, acc *coherence.AccessResult) {
 	w := &r.win
 	if w.lastOffSeq == nil {
 		n := r.cfg.Coherence.CPUs

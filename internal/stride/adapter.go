@@ -29,7 +29,7 @@ func (s *SimPrefetcher) Predictor() *Prefetcher { return s.p }
 
 // Train observes the L2 miss stream; first-use hits on prefetched lines
 // also train so steady strides keep running ahead.
-func (s *SimPrefetcher) Train(rec trace.Record, acc coherence.AccessResult) []mem.Addr {
+func (s *SimPrefetcher) Train(rec trace.Record, acc *coherence.AccessResult) []mem.Addr {
 	if acc.Missed(coherence.LevelL2) || acc.L2PrefetchHit {
 		return s.p.Train(rec.PC, rec.Addr)
 	}

@@ -97,6 +97,7 @@ type Prefetcher struct {
 	cfg   Config
 	table []entry
 	stats Stats
+	out   []mem.Addr // reused Train result buffer (valid until next Train)
 }
 
 // New builds a stride prefetcher.
@@ -173,7 +174,7 @@ func (p *Prefetcher) Train(pc uint64, addr mem.Addr) []mem.Addr {
 		return nil
 	}
 	p.stats.Steady++
-	out := make([]mem.Addr, 0, p.cfg.Degree)
+	out := p.out[:0]
 	cur := int64(blockNum)
 	for i := 0; i < p.cfg.Degree; i++ {
 		cur += e.stride
@@ -183,5 +184,6 @@ func (p *Prefetcher) Train(pc uint64, addr mem.Addr) []mem.Addr {
 		out = append(out, mem.Addr(uint64(cur)*uint64(p.cfg.BlockSize)))
 		p.stats.Prefetches++
 	}
+	p.out = out
 	return out
 }

@@ -74,6 +74,48 @@ type Source interface {
 	Next() (Record, bool)
 }
 
+// BatchSource is a Source that can fill whole record batches in one call,
+// amortizing interface dispatch over len(dst) records. NextBatch writes up
+// to len(dst) records into dst and returns how many were written; it
+// returns 0 only when the stream is exhausted (or dst is empty). A
+// BatchSource must yield exactly the same record sequence through Next and
+// NextBatch, in any interleaving.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Record) int
+}
+
+// Batched adapts src to a BatchSource. Sources that already batch
+// natively (the workload generators, SliceSource, Reader, Limit) are
+// returned unchanged; anything else is wrapped in a Next loop, which
+// still hoists the per-record interface dispatch out of consumer inner
+// loops.
+func Batched(src Source) BatchSource {
+	if b, ok := src.(BatchSource); ok {
+		return b
+	}
+	return &batchAdapter{src: src}
+}
+
+type batchAdapter struct{ src Source }
+
+// Next implements Source.
+func (b *batchAdapter) Next() (Record, bool) { return b.src.Next() }
+
+// NextBatch implements BatchSource.
+func (b *batchAdapter) NextBatch(dst []Record) int {
+	n := 0
+	for n < len(dst) {
+		r, ok := b.src.Next()
+		if !ok {
+			break
+		}
+		dst[n] = r
+		n++
+	}
+	return n
+}
+
 // SliceSource adapts an in-memory record slice to a Source.
 type SliceSource struct {
 	recs []Record
@@ -93,6 +135,34 @@ func (s *SliceSource) Next() (Record, bool) {
 	return r, true
 }
 
+// NextBatch implements BatchSource with a single copy.
+func (s *SliceSource) NextBatch(dst []Record) int {
+	n := copy(dst, s.recs[s.i:])
+	s.i += n
+	return n
+}
+
+// NextView implements ViewSource: the returned slice aliases the
+// underlying records, so replaying an in-memory trace moves no bytes.
+func (s *SliceSource) NextView(max int) []Record {
+	rest := s.recs[s.i:]
+	if len(rest) > max {
+		rest = rest[:max]
+	}
+	s.i += len(rest)
+	return rest
+}
+
+// ViewSource is an optional refinement of BatchSource for sources whose
+// records already live in memory: NextView returns up to max records as a
+// slice borrowed from the source (valid until the next call), letting
+// consumers iterate without copying into their own batch buffer. An
+// empty result means exhaustion.
+type ViewSource interface {
+	Source
+	NextView(max int) []Record
+}
+
 // Collect drains a Source into a slice, stopping after max records
 // (max <= 0 means no limit).
 func Collect(src Source, max int) []Record {
@@ -110,10 +180,12 @@ func Collect(src Source, max int) []Record {
 }
 
 // Limit wraps a Source so it yields at most n records.
-func Limit(src Source, n uint64) Source { return &limitSource{src: src, left: n} }
+func Limit(src Source, n uint64) Source {
+	return &limitSource{src: Batched(src), left: n}
+}
 
 type limitSource struct {
-	src  Source
+	src  BatchSource
 	left uint64
 }
 
@@ -123,6 +195,20 @@ func (l *limitSource) Next() (Record, bool) {
 	}
 	l.left--
 	return l.src.Next()
+}
+
+// NextBatch implements BatchSource, clamping the batch to the remaining
+// budget and batching from the underlying source.
+func (l *limitSource) NextBatch(dst []Record) int {
+	if l.left == 0 || len(dst) == 0 {
+		return 0
+	}
+	if uint64(len(dst)) > l.left {
+		dst = dst[:l.left]
+	}
+	n := l.src.NextBatch(dst)
+	l.left -= uint64(n)
+	return n
 }
 
 // Skip discards n records from src, returning how many were actually
@@ -219,12 +305,18 @@ func (tw *Writer) Count() uint64 { return tw.count }
 // Flush flushes buffered records to the underlying writer.
 func (tw *Writer) Flush() error { return tw.w.Flush() }
 
-// Reader decodes a binary trace stream as a Source.
+// Reader decodes a binary trace stream as a Source. It batches natively:
+// NextBatch decodes whole chunks of records per buffered read instead of
+// one 26-byte ReadFull per record.
 type Reader struct {
-	r   *bufio.Reader
-	err error
-	buf [recSize]byte
+	r     *bufio.Reader
+	err   error
+	buf   [recSize]byte
+	chunk []byte // lazily allocated NextBatch read buffer
 }
+
+// readerChunkRecords is the number of records NextBatch reads per chunk.
+const readerChunkRecords = 512
 
 // NewReader validates the header and returns a streaming Reader.
 func NewReader(r io.Reader) (*Reader, error) {
@@ -254,14 +346,49 @@ func (tr *Reader) Next() (Record, bool) {
 		}
 		return Record{}, false
 	}
-	b := tr.buf[:]
+	return decodeRecord(tr.buf[:]), true
+}
+
+// decodeRecord decodes one fixed-size record from b (len(b) >= recSize).
+func decodeRecord(b []byte) Record {
 	return Record{
 		Seq:  binary.LittleEndian.Uint64(b[0:8]),
 		PC:   binary.LittleEndian.Uint64(b[8:16]),
 		Addr: mem.Addr(binary.LittleEndian.Uint64(b[16:24])),
 		CPU:  b[24],
 		Kind: Kind(b[25]),
-	}, true
+	}
+}
+
+// NextBatch implements BatchSource: records are decoded from chunked
+// buffered reads. A stream that ends at a record boundary is a clean EOF
+// exactly as with Next; a trailing partial record sets Err.
+func (tr *Reader) NextBatch(dst []Record) int {
+	total := 0
+	for total < len(dst) && tr.err == nil {
+		want := len(dst) - total
+		if want > readerChunkRecords {
+			want = readerChunkRecords
+		}
+		if tr.chunk == nil {
+			tr.chunk = make([]byte, readerChunkRecords*recSize)
+		}
+		n, err := io.ReadFull(tr.r, tr.chunk[:want*recSize])
+		for i := 0; i+recSize <= n; i += recSize {
+			dst[total] = decodeRecord(tr.chunk[i:])
+			total++
+		}
+		if err != nil {
+			// EOF before any byte, or ErrUnexpectedEOF exactly at a
+			// record boundary, is a clean end of stream; a partial
+			// trailing record is a format error (as in Next).
+			if !(err == io.EOF || (err == io.ErrUnexpectedEOF && n%recSize == 0)) {
+				tr.err = fmt.Errorf("trace: reading record: %w", err)
+			}
+			break
+		}
+	}
+	return total
 }
 
 // Err returns the first decoding error encountered, or nil if the stream

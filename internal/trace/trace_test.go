@@ -300,3 +300,140 @@ func TestFuncSource(t *testing.T) {
 		t.Fatalf("Func source yielded %d", got)
 	}
 }
+
+func TestBatchedAdapterAndSources(t *testing.T) {
+	recs := make([]Record, 1000)
+	for i := range recs {
+		recs[i] = Record{Seq: uint64(i + 1), PC: uint64(i) * 4, Addr: mem.Addr(i * 64), CPU: uint8(i % 3)}
+	}
+
+	// A Source that batches natively is returned unchanged.
+	ss := NewSliceSource(recs)
+	if Batched(ss) != BatchSource(ss) {
+		t.Fatal("Batched wrapped a native BatchSource")
+	}
+
+	// The adapter over a scalar source yields the same stream, across
+	// ragged batch sizes and interleaved Next calls.
+	b := Batched(Func(NewSliceSource(recs).Next))
+	var got []Record
+	buf := make([]Record, 7)
+	for i := 0; ; i++ {
+		if i%5 == 4 {
+			r, ok := b.Next()
+			if !ok {
+				break
+			}
+			got = append(got, r)
+			continue
+		}
+		n := b.NextBatch(buf[:1+i%len(buf)])
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("adapter yielded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+
+	// Limit batches and clamps.
+	lim := Batched(Limit(NewSliceSource(recs), 10))
+	n := lim.NextBatch(buf)
+	n += lim.NextBatch(buf)
+	if n != 10 || lim.NextBatch(buf) != 0 {
+		t.Fatalf("Limit batch clamp: got %d records", n)
+	}
+
+	// SliceSource views alias the backing records and exhaust cleanly.
+	vs := NewSliceSource(recs)
+	view := vs.NextView(64)
+	if len(view) != 64 || &view[0] != &recs[0] {
+		t.Fatal("NextView did not alias the source records")
+	}
+	total := len(view)
+	for {
+		v := vs.NextView(450)
+		if len(v) == 0 {
+			break
+		}
+		total += len(v)
+	}
+	if total != len(recs) {
+		t.Fatalf("views yielded %d records, want %d", total, len(recs))
+	}
+}
+
+func TestReaderNextBatch(t *testing.T) {
+	recs := make([]Record, 1500) // crosses the 512-record chunk boundary
+	for i := range recs {
+		recs[i] = Record{Seq: uint64(i), PC: uint64(i * 3), Addr: mem.Addr(i * 64), CPU: uint8(i % 4), Kind: Kind(i % 2)}
+	}
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]Record, 0, len(recs))
+	dst := make([]Record, 700)
+	// Interleave scalar and batched reads over the same stream.
+	if r, ok := tr.Next(); ok {
+		got = append(got, r)
+	}
+	for {
+		n := tr.NextBatch(dst)
+		if n == 0 {
+			break
+		}
+		got = append(got, dst[:n]...)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("clean stream reported error: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+
+	// A stream truncated mid-record decodes the whole records and sets Err.
+	tr2, err := NewReader(bytes.NewReader(buf.Bytes()[:buf.Len()-13]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		k := tr2.NextBatch(dst)
+		if k == 0 {
+			break
+		}
+		n += k
+	}
+	if n != len(recs)-1 {
+		t.Fatalf("truncated stream yielded %d complete records, want %d", n, len(recs)-1)
+	}
+	if !errors.Is(tr2.Err(), io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream error = %v, want io.ErrUnexpectedEOF", tr2.Err())
+	}
+}

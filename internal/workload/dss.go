@@ -147,7 +147,7 @@ func init() {
 	})
 }
 
-func newDSS(cfg Config, p dssParams) trace.Source {
+func newDSS(cfg Config, p dssParams) trace.BatchSource {
 	cfg = cfg.normalized()
 	fact := structBase(p.workloadID, 0)  // fact table, scanned once
 	hash := structBase(p.workloadID, 1)  // join hash/index structure

@@ -112,7 +112,7 @@ func init() {
 	})
 }
 
-func newOLTP(cfg Config, p oltpParams) trace.Source {
+func newOLTP(cfg Config, p oltpParams) trace.BatchSource {
 	cfg = cfg.normalized()
 	poolA := structBase(p.workloadID, 0)
 	poolB := structBase(p.workloadID, 1)

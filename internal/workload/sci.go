@@ -45,25 +45,25 @@ func init() {
 		Name:        "em3d",
 		Group:       GroupScientific,
 		Description: "em3d-like graph relaxation: streaming node updates with 15% remote single-block neighbour reads",
-		Make:        newEm3d,
+		Make:        func(cfg Config) trace.Source { return newEm3d(cfg) },
 	})
 	register(Workload{
 		Name:        "ocean",
 		Group:       GroupScientific,
 		Description: "ocean-like grid relaxation: dense row sweeps over several arrays",
-		Make:        newOcean,
+		Make:        func(cfg Config) trace.Source { return newOcean(cfg) },
 	})
 	register(Workload{
 		Name:        "sparse",
 		Group:       GroupScientific,
 		Description: "sparse-like matrix-vector solve: dense value streaming with iteration-stable gathers",
-		Make:        newSparse,
+		Make:        func(cfg Config) trace.Source { return newSparse(cfg) },
 	})
 }
 
 // --- em3d ---
 
-func newEm3d(cfg Config) trace.Source {
+func newEm3d(cfg Config) trace.BatchSource {
 	cfg = cfg.normalized()
 	const remoteFrac = 0.15 // paper: 15% remote
 	nodesBase := structBase(sciWorkloadEm3d, 0)
@@ -139,7 +139,7 @@ func nodeHash(page, blk, d int) uint64 {
 
 // --- ocean ---
 
-func newOcean(cfg Config) trace.Source {
+func newOcean(cfg Config) trace.BatchSource {
 	cfg = cfg.normalized()
 	// Three source arrays and one destination array; the sweep reads the
 	// stencil rows densely and writes the destination densely.
@@ -184,7 +184,7 @@ func newOcean(cfg Config) trace.Source {
 
 // --- sparse ---
 
-func newSparse(cfg Config) trace.Source {
+func newSparse(cfg Config) trace.BatchSource {
 	cfg = cfg.normalized()
 	vals := structBase(sciWorkloadSparse, 0) // matrix values + column indices
 	xvec := structBase(sciWorkloadSparse, 1) // gathered vector (shared, read)

@@ -93,7 +93,7 @@ func init() {
 	})
 }
 
-func newWeb(cfg Config, p webParams) trace.Source {
+func newWeb(cfg Config, p webParams) trace.BatchSource {
 	cfg = cfg.normalized()
 	conns := structBase(p.workloadID, 0) // per-CPU connection buffer pools
 	files := structBase(p.workloadID, 1) // shared file cache

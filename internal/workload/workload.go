@@ -100,9 +100,16 @@ type Workload struct {
 	Group string
 	// Description summarizes what the generator models.
 	Description string
-	// Make returns a fresh trace source for the configuration.
+	// Make returns a fresh trace source for the configuration. Every
+	// built-in generator's source is also a trace.BatchSource, so
+	// consumers that batch (trace.Batched never copies in that case)
+	// pay no per-record interface dispatch.
 	Make func(cfg Config) trace.Source
 }
+
+// The shared generation engine batches natively; all four workload
+// families inherit it.
+var _ trace.BatchSource = (*engine)(nil)
 
 var registry []Workload
 
@@ -248,39 +255,59 @@ func newEngine(ec engineConfig) *engine {
 
 // Next implements trace.Source.
 func (e *engine) Next() (trace.Record, bool) {
-	if e.remaining == 0 {
+	var one [1]trace.Record
+	if e.NextBatch(one[:]) == 0 {
 		return trace.Record{}, false
 	}
-	e.remaining--
+	return one[0], true
+}
 
-	cpu := e.nextCPU
-	e.nextCPU = (e.nextCPU + 1) % len(e.cpus)
-	cs := e.cpus[cpu]
+// NextBatch implements trace.BatchSource natively: the whole per-record
+// generation path (actor switch, queue refill, record stamping) runs in
+// one tight loop with no interface dispatch, and all four workload
+// families batch through it since every generator is an engine.
+func (e *engine) NextBatch(dst []trace.Record) int {
+	n := 0
+	ncpu := len(e.cpus)
+	seq := e.seq
+	for n < len(dst) && e.remaining > 0 {
+		e.remaining--
 
-	if len(cs.actors) > 1 && cs.rng.Float64() < cs.switchProb {
-		cs.cur = cs.rng.Intn(len(cs.actors))
-	}
-	as := cs.actors[cs.cur]
-	for as.next >= len(as.queue) {
-		as.queue = as.op(cs.rng, as.queue[:0])
-		as.next = 0
-		if len(as.queue) == 0 {
-			// Defensive: an op that generates nothing would spin forever;
-			// emit a filler access instead.
-			as.queue = append(as.queue, access{pc: 0xdead0000, addr: 0})
+		cpu := e.nextCPU
+		e.nextCPU++
+		if e.nextCPU == ncpu {
+			e.nextCPU = 0
 		}
-	}
-	a := as.queue[as.next]
-	as.next++
+		cs := e.cpus[cpu]
 
-	e.seq += e.instrPerAccess
-	return trace.Record{
-		Seq:  e.seq,
-		PC:   a.pc,
-		Addr: a.addr,
-		CPU:  uint8(cpu),
-		Kind: kindOf(a.write),
-	}, true
+		if len(cs.actors) > 1 && cs.rng.Float64() < cs.switchProb {
+			cs.cur = cs.rng.Intn(len(cs.actors))
+		}
+		as := cs.actors[cs.cur]
+		for as.next >= len(as.queue) {
+			as.queue = as.op(cs.rng, as.queue[:0])
+			as.next = 0
+			if len(as.queue) == 0 {
+				// Defensive: an op that generates nothing would spin forever;
+				// emit a filler access instead.
+				as.queue = append(as.queue, access{pc: 0xdead0000, addr: 0})
+			}
+		}
+		a := as.queue[as.next]
+		as.next++
+
+		seq += e.instrPerAccess
+		dst[n] = trace.Record{
+			Seq:  seq,
+			PC:   a.pc,
+			Addr: a.addr,
+			CPU:  uint8(cpu),
+			Kind: kindOf(a.write),
+		}
+		n++
+	}
+	e.seq = seq
+	return n
 }
 
 func kindOf(write bool) trace.Kind {
