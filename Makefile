@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test test-full bench bench-smoke bench-allocs bench-record smoke
+.PHONY: ci fmt vet staticcheck build test test-full bench bench-smoke bench-allocs bench-record fuzz-smoke smoke
 
-ci: fmt vet staticcheck build test bench-smoke bench-allocs smoke
+ci: fmt vet staticcheck build test fuzz-smoke bench-smoke bench-allocs smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -58,6 +58,13 @@ bench-allocs:
 # compare against BENCH_baseline.json.
 bench-record:
 	./scripts/bench.sh BENCH_after.json
+
+# Short fuzz pass over both trace decoders: corrupt/truncated input
+# must return wrapped errors (ErrBadFormat, io.ErrUnexpectedEOF) and
+# never panic. Go runs one fuzz target per invocation.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReaderV1$$' -fuzztime 5s ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzReaderV2$$' -fuzztime 5s ./internal/trace
 
 # End-to-end daemon smoke: start smsd, submit a job, poll it to
 # completion, cancel a second one.

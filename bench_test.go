@@ -14,6 +14,8 @@ package repro_test
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -329,6 +331,71 @@ func BenchmarkTraceGeneration(b *testing.B) {
 			b.Fatal("source exhausted")
 		}
 		left -= n
+	}
+}
+
+// BenchmarkTraceReplay is the replay half of the replay-vs-generate
+// comparison (BenchmarkTraceGeneration is the other half, over the same
+// workload): records/second decoded from an mmap'd v2 trace file
+// through the zero-copy view path — the stream the engine's disk trace
+// tier feeds to the simulator. ns/op is ns/record; steady state must
+// run at 0 allocs/op (CI gate).
+func BenchmarkTraceReplay(b *testing.B) {
+	w, err := workload.ByName("oltp-db2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 2_000_000
+	path := filepath.Join(b.TempDir(), "bench.smst")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tw, err := trace.NewV2Writer(f, trace.Header{CPUs: 4, Workload: "oltp-db2"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := trace.Batched(w.Make(workload.Config{CPUs: 4, Seed: 1, Length: records}))
+	buf := make([]trace.Record, sim.DefaultBatchRecords)
+	for {
+		n := src.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		if err := tw.WriteBatch(buf[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	m, err := trace.OpenMapped(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	var sink uint64
+	replay := func(n int) {
+		for n > 0 {
+			v := m.NextView(sim.DefaultBatchRecords)
+			if len(v) == 0 {
+				m.Reset()
+				continue
+			}
+			sink += v[len(v)-1].Seq
+			n -= len(v)
+		}
+	}
+	replay(records) // prewarm: fault the mapping in, size the decode buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	replay(b.N)
+	if sink == 0 {
+		b.Fatal("replay produced nothing")
 	}
 }
 

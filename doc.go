@@ -16,6 +16,11 @@
 //	internal/cache     — set-associative cache model
 //	internal/coherence — MSI directory multiprocessor memory system
 //	internal/workload  — synthetic commercial/scientific trace generators
+//	                     and the trace: family wrapping captured trace
+//	                     files as first-class workloads
+//	internal/trace     — the access-record model; trace format v1
+//	                     (legacy) and v2 (blocked columnar, seekable,
+//	                     mmap zero-copy replay)
 //	internal/sim       — trace-driven simulation driver (cancellable,
 //	                     progress-observable), accounting, and the
 //	                     prefetcher registry
@@ -24,7 +29,9 @@
 //	                     deduplicated runs, memoization, streamed events
 //	internal/exp       — one declarative plan + renderer per paper
 //	                     figure/table
-//	internal/store     — persistent content-addressed result store
+//	internal/store     — persistent content-addressed result store with
+//	                     a binary trace tier (v2 artifacts replayed by
+//	                     mmap across process restarts)
 //	internal/server    — smsd HTTP daemon with its async job API
 //
 // Prefetchers are pluggable: the simulator dispatches through the

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -65,6 +66,11 @@ type Engine struct {
 	sem    chan struct{}
 	traces *traceCache // nil when disabled
 
+	// The disk trace tier keeps one shared mapping per replayed
+	// artifact; every run gets its own decoding stream over it.
+	tierMu    sync.Mutex
+	tierFiles map[string]*trace.File
+
 	mu    sync.Mutex
 	memo  map[string]*entry
 	order []string // completed memo keys in insertion order, for eviction
@@ -75,6 +81,8 @@ type Engine struct {
 	memoHits    atomic.Uint64
 	cancelled   atomic.Uint64
 	generations atomic.Uint64
+	tierHits    atomic.Uint64
+	tierMisses  atomic.Uint64
 }
 
 // entry is one memoized (possibly in-flight) run; followers block on done.
@@ -134,9 +142,19 @@ func (e *Engine) StoreHits() uint64 { return e.storeHits.Load() }
 func (e *Engine) MemoHits() uint64 { return e.memoHits.Load() }
 
 // TraceGenerations returns how many times a workload generator actually
-// ran; runs replayed from the trace memo do not count. With the memo
-// enabled, a grid of N variants over one workload generates once.
+// ran; runs replayed from the trace memo or the disk trace tier do not
+// count. With the memo enabled, a grid of N variants over one workload
+// generates once — and with a store attached, a workload whose trace
+// artifact is already stored generates zero times, even in a fresh
+// process.
 func (e *Engine) TraceGenerations() uint64 { return e.generations.Load() }
+
+// TraceTierHits returns how many runs replayed an mmap'd trace artifact
+// from the store's disk tier.
+func (e *Engine) TraceTierHits() uint64 { return e.tierHits.Load() }
+
+// TraceTierMisses returns how many disk-tier probes found no artifact.
+func (e *Engine) TraceTierMisses() uint64 { return e.tierMisses.Load() }
 
 // CancelledRuns returns how many started simulations were cancelled
 // mid-run.
@@ -288,7 +306,7 @@ func (e *Engine) simulate(ctx context.Context, workloadName string, cfg sim.Conf
 		emit(Event{Kind: RunProgress, Records: records})
 	})
 	e.sims.Add(1)
-	src, generated := e.traces.source(w, e.cfg.Workload)
+	src, generated := e.traceSource(w)
 	if generated {
 		e.generations.Add(1)
 	}

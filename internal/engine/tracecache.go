@@ -4,23 +4,39 @@ import (
 	"sync"
 	"unsafe"
 
+	"repro/internal/mem"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// traceCache memoizes generated traces by workload name. Every run an
-// engine executes uses the same workload.Config, so all variants of one
-// workload in a grid — a figure typically runs five or more — consume
-// byte-identical record sequences; generating the trace once and
-// replaying it from memory removes the generator (and its random-number
-// stream) from all but the first run.
+// The engine serves every run's trace through a two-level cache:
 //
-// The cache is byte-bounded: traces longer than the budget stream from
-// the generator exactly as before, so production-scale runs (hundreds of
-// millions of records) never bloat the daemon. Entries are single-flight:
-// concurrent workers requesting the same workload block until the first
-// finishes generating. Eviction is FIFO over completed entries; an
-// evicted trace remains alive for any SliceSource already replaying it.
+//  1. An in-memory memo (traceCache): the generated record slice, keyed
+//     by workload name. Every run an engine executes uses the same
+//     workload.Config, so all variants of one workload in a grid consume
+//     byte-identical record sequences; generating once and replaying
+//     from memory removes the generator (and its random-number stream)
+//     from all but the first run. The memo is byte-bounded, and entries
+//     are single-flight: concurrent workers requesting the same workload
+//     block until the first finishes generating.
+//
+//  2. A disk tier (with a store attached): generated traces are written
+//     through as content-addressed v2 files (store.ForTrace — workload
+//     name + canonical generation config) and replayed by mmap
+//     (trace.MappedSource) on any later miss of the memo — including in
+//     a fresh process, so a warm store means TraceGenerations == 0
+//     across restarts. Replay is zero-copy: blocks decode straight from
+//     the mapping into a per-run reused buffer.
+//
+// Traces longer than the memo budget always stream from the generator
+// (so production-scale runs never bloat the daemon) but still replay
+// from the disk tier when a v2 artifact exists — bulk captures made
+// with `smstrace gen -store` mmap-replay at any size, which is how a
+// grid scales past RAM.
+//
+// Trace-file workloads (workload.External, the trace: family) are
+// already file replays; they bypass both levels.
 type traceCache struct {
 	mu      sync.Mutex
 	budget  int64
@@ -47,19 +63,107 @@ func newTraceCache(budget int64) *traceCache {
 	return &traceCache{budget: budget, entries: make(map[string]*traceEntry)}
 }
 
-// source returns a trace source for the named workload: a replay of the
-// memoized record slice when the trace fits the budget, else a fresh
-// generator stream. The second result reports whether this call ran the
-// generator itself (for the engine's generation counter).
-func (tc *traceCache) source(w workload.Workload, cfg workload.Config) (trace.Source, bool) {
-	length := cfg.Canonical().Length
-	// Budget check by division: length is caller-controlled and may be
-	// effectively unbounded (1<<62 in benchmarks), so multiplying it by
-	// the record size could wrap and sneak past the budget.
-	if tc == nil || length > uint64(tc.budget/recordBytes) {
-		return w.Make(cfg), true
+// lookup reports the memo's state for name: a completed entry to
+// replay, or an in-flight generation the caller should join (via
+// generate) instead of probing the disk tier — probing while the
+// leader generates would count one logical miss once per worker.
+func (tc *traceCache) lookup(name string) (ent *traceEntry, completed, inflight bool) {
+	if tc == nil {
+		return nil, false, false
+	}
+	tc.mu.Lock()
+	ent, ok := tc.entries[name]
+	tc.mu.Unlock()
+	if !ok {
+		return nil, false, false
+	}
+	select {
+	case <-ent.done:
+		return ent, ent.ok, false
+	default:
+		return nil, false, true
+	}
+}
+
+// fits reports whether a trace of the given record count is admissible.
+func (tc *traceCache) fits(length uint64) bool {
+	return tc != nil && length <= uint64(tc.budget/recordBytes)
+}
+
+// traceSource returns a trace source for the workload of one run, and
+// whether this call ran the generator itself (for the engine's
+// generation counter): memory memo, then disk tier, then generate.
+func (e *Engine) traceSource(w workload.Workload) (trace.Source, bool) {
+	cfg := e.cfg.Workload
+	if w.External {
+		// The trace: family replays a file already; caching it would
+		// only copy an mmap into memory.
+		return w.Make(cfg), false
 	}
 
+	ent, completed, inflight := e.traces.lookup(w.Name)
+	if completed {
+		return trace.NewSliceSource(ent.recs), false
+	}
+	if !inflight {
+		if src, ok := e.tierSource(w); ok {
+			return src, false
+		}
+	}
+	if !e.traces.fits(cfg.Canonical().Length) {
+		// Too long to capture in memory: stream straight from the
+		// generator. (Bulk captures enter the disk tier via
+		// `smstrace gen -store`, not through the engine.)
+		return w.Make(cfg), true
+	}
+	return e.generate(w, cfg)
+}
+
+// tierKey is the disk-tier content address of the engine's workload
+// config under the given workload name.
+func (e *Engine) tierKey(name string) string {
+	return store.ForTrace(name, e.cfg.Workload)
+}
+
+// tierSource opens (or reuses) the mmap'd trace artifact for w and
+// returns a fresh zero-copy replay stream over it.
+func (e *Engine) tierSource(w workload.Workload) (trace.Source, bool) {
+	st := e.cfg.Store
+	if st == nil {
+		return nil, false
+	}
+	key := e.tierKey(w.Name)
+	e.tierMu.Lock()
+	f, ok := e.tierFiles[key]
+	e.tierMu.Unlock()
+	if !ok {
+		f, ok = st.OpenTrace(key)
+		if !ok {
+			e.tierMisses.Add(1)
+			return nil, false
+		}
+		e.tierMu.Lock()
+		if prev, exists := e.tierFiles[key]; exists {
+			// Another worker opened it first; keep one mapping.
+			_ = f.Close()
+			f = prev
+		} else {
+			if e.tierFiles == nil {
+				e.tierFiles = make(map[string]*trace.File)
+			}
+			e.tierFiles[key] = f
+		}
+		e.tierMu.Unlock()
+	}
+	e.tierHits.Add(1)
+	return f.NewSource(), true
+}
+
+// generate runs the workload generator under the memo's single-flight
+// lock, captures the trace in memory, and writes it through to the disk
+// tier (best effort) so later processes replay instead of regenerating.
+func (e *Engine) generate(w workload.Workload, cfg workload.Config) (trace.Source, bool) {
+	tc := e.traces
 	tc.mu.Lock()
 	if ent, ok := tc.entries[w.Name]; ok {
 		tc.mu.Unlock()
@@ -75,15 +179,19 @@ func (tc *traceCache) source(w workload.Workload, cfg workload.Config) (trace.So
 
 	// If the generator panics, drop the entry and release followers (who
 	// see ok=false and generate for themselves) before propagating.
+	released := false
 	defer func() {
 		if !ent.ok {
 			tc.mu.Lock()
 			delete(tc.entries, w.Name)
 			tc.mu.Unlock()
 		}
-		close(ent.done)
+		if !released {
+			close(ent.done)
+		}
 	}()
 
+	length := cfg.Canonical().Length
 	recs := make([]trace.Record, length)
 	src := trace.Batched(w.Make(cfg))
 	total := 0
@@ -99,6 +207,11 @@ func (tc *traceCache) source(w workload.Workload, cfg workload.Config) (trace.So
 	ent.recs = recs[:total]
 	ent.size = int64(total) * recordBytes
 	ent.ok = true
+	// Release the singleflight followers before the disk write-through:
+	// the tier write can take seconds on slow storage, and their runs
+	// only need the in-memory records (which are immutable from here).
+	released = true
+	close(ent.done)
 
 	tc.mu.Lock()
 	tc.used += ent.size
@@ -113,5 +226,27 @@ func (tc *traceCache) source(w workload.Workload, cfg workload.Config) (trace.So
 	}
 	tc.mu.Unlock()
 
+	e.persistTrace(w.Name, ent.recs)
 	return trace.NewSliceSource(ent.recs), true
+}
+
+// persistTrace writes a freshly generated trace into the disk tier. The
+// tier is a cache: failures are ignored — the worst outcome is a
+// regeneration in some later process.
+func (e *Engine) persistTrace(name string, recs []trace.Record) {
+	st := e.cfg.Store
+	if st == nil {
+		return
+	}
+	key := e.tierKey(name)
+	if st.HasTrace(key) {
+		return
+	}
+	hdr := trace.Header{
+		CPUs:         e.cfg.Workload.Canonical().CPUs,
+		Geometry:     mem.DefaultGeometry(),
+		Workload:     name,
+		WorkloadHash: key,
+	}
+	_ = st.PutTraceRecords(key, hdr, recs)
 }

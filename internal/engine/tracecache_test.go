@@ -88,19 +88,19 @@ func TestTraceMemoBudget(t *testing.T) {
 // TestTraceMemoSingleflight: concurrent requests for the same workload
 // generate once and all receive the full trace.
 func TestTraceMemoSingleflight(t *testing.T) {
-	tc := newTraceCache(DefaultTraceCacheBytes)
 	w, err := workload.ByName("oltp-db2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := workload.Config{CPUs: 2, Seed: 5, Length: 10_000}
+	e := New(Config{Workload: cfg})
 	var wg sync.WaitGroup
 	generations := make(chan bool, 16)
 	for i := 0; i < 16; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			src, generated := tc.source(w, cfg)
+			src, generated := e.traceSource(w)
 			generations <- generated
 			if n := len(trace.Collect(src, 0)); n != 10_000 {
 				t.Errorf("short trace: %d records", n)

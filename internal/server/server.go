@@ -12,6 +12,7 @@
 //	DELETE /v1/jobs/{id}       cancel the job's in-flight simulations
 //	GET    /v1/prefetchers     registered prefetcher names
 //	GET    /v1/workloads       registered workloads (name, group, description)
+//	GET    /v1/traces          trace artifacts cached in the store's disk trace tier
 //	GET    /healthz            liveness probe
 //	GET    /metrics            plain-text metrics (Prometheus exposition style)
 //
@@ -44,6 +45,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -525,6 +527,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/prefetchers", s.handlePrefetchers)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	mux.HandleFunc("POST /v1/figures/{name}", s.handleFigureJob)
 	mux.HandleFunc("POST /v1/runs", s.handleRunJob)
@@ -868,6 +871,28 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleTraces lists the trace artifacts cached in the store's disk
+// trace tier — the v2 files the engine replays by mmap instead of
+// regenerating. Without a store the tier does not exist and the list is
+// empty.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	st := s.session.Store()
+	if st == nil {
+		writeJSON(w, http.StatusOK, []store.TraceInfo{})
+		return
+	}
+	infos, err := st.ListTraces()
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+		return
+	}
+	if infos == nil {
+		infos = []store.TraceInfo{}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.mu.Lock()
@@ -893,6 +918,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "smsd_engine_store_hits_total %d\n", eng.StoreHits())
 	fmt.Fprintf(&b, "smsd_engine_memo_hits_total %d\n", eng.MemoHits())
 	fmt.Fprintf(&b, "smsd_engine_cancelled_runs_total %d\n", eng.CancelledRuns())
+	fmt.Fprintf(&b, "smsd_engine_trace_generations_total %d\n", eng.TraceGenerations())
+	fmt.Fprintf(&b, "smsd_trace_tier_hits_total %d\n", eng.TraceTierHits())
+	fmt.Fprintf(&b, "smsd_trace_tier_misses_total %d\n", eng.TraceTierMisses())
 	if st := s.session.Store(); st != nil {
 		stats := st.Stats()
 		fmt.Fprintf(&b, "smsd_store_hits_total %d\n", stats.Hits)
@@ -903,6 +931,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "smsd_store_corrupt_total %d\n", stats.Corrupt)
 		fmt.Fprintf(&b, "smsd_store_bytes_read_total %d\n", stats.BytesRead)
 		fmt.Fprintf(&b, "smsd_store_bytes_written_total %d\n", stats.BytesWritten)
+		fmt.Fprintf(&b, "smsd_trace_tier_artifact_hits_total %d\n", stats.TraceHits)
+		fmt.Fprintf(&b, "smsd_trace_tier_artifact_misses_total %d\n", stats.TraceMisses)
+		fmt.Fprintf(&b, "smsd_trace_tier_writes_total %d\n", stats.TraceWrites)
+		fmt.Fprintf(&b, "smsd_trace_tier_bytes_read_total %d\n", stats.TraceBytesRead)
+		fmt.Fprintf(&b, "smsd_trace_tier_bytes_written_total %d\n", stats.TraceBytesWritten)
 	}
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -742,3 +742,58 @@ func TestSyncFigureGetDuringShutdownFailsFast(t *testing.T) {
 		t.Errorf("shutdown GET churned %d jobs", created)
 	}
 }
+
+// TestTracesEndpointAndTierMetrics: a run executed through the daemon
+// writes its workload's trace into the store's disk tier, GET /v1/traces
+// lists the artifact, and /metrics exports the tier gauges.
+func TestTracesEndpointAndTierMetrics(t *testing.T) {
+	dir := t.TempDir()
+	sess := tinySession(t, dir)
+	_, ts := newTestServer(t, Config{Session: sess, Workers: 2})
+
+	// No artifacts yet: the endpoint serves an empty JSON list.
+	code, body := get(t, ts.URL+"/v1/traces")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty tier: %d %q", code, body)
+	}
+
+	code, body = postJSON(t, ts.URL+"/v1/runs", `{"workload":"oltp-db2","prefetcher":"none"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs: %d %q", code, body)
+	}
+	if doc := pollJob(t, ts.URL, decodeJob(t, body).ID); doc.State != JobDone {
+		t.Fatalf("run job state %s: %s", doc.State, doc.Error)
+	}
+
+	code, body = get(t, ts.URL+"/v1/traces")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces: %d", code)
+	}
+	var infos []store.TraceInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if len(infos) != 1 || infos[0].Workload != "oltp-db2" || infos[0].Records != 10_000 ||
+		infos[0].Bytes == 0 || infos[0].Key == "" {
+		t.Fatalf("traces = %+v", infos)
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"smsd_engine_trace_generations_total 1",
+		"smsd_trace_tier_writes_total 1",
+		"smsd_trace_tier_bytes_written_total",
+		"smsd_trace_tier_hits_total",
+		"smsd_trace_tier_misses_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A storeless daemon has no tier: /v1/traces stays an empty list.
+	_, plain := newTestServer(t, Config{Session: tinySession(t, "")})
+	if code, body := get(t, plain.URL+"/v1/traces"); code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Errorf("storeless /v1/traces: %d %q", code, body)
+	}
+}

@@ -9,9 +9,12 @@ package sim_test
 // are unchanged.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/mem"
@@ -111,6 +114,170 @@ func TestBatchedRunMatchesStepLoop(t *testing.T) {
 			}
 			if ja != jc {
 				t.Fatalf("batched vs Step-loop Result JSON differs:\n%s\nvs\n%s", ja, jc)
+			}
+		})
+	}
+}
+
+// TestMappedReplayMatchesGenerator is the trace-format-v2 bit-identity
+// differential: for every registered prefetcher, Result JSON from
+// replaying an mmap'd v2 capture of a workload — through
+// trace.OpenMapped directly and through the trace: workload family —
+// must equal the direct generator run byte for byte. This is what lets
+// the engine's disk trace tier substitute replay for generation without
+// perturbing a single figure number.
+func TestMappedReplayMatchesGenerator(t *testing.T) {
+	wcfg := workload.Config{CPUs: 4, Seed: 11, Length: 50_000}
+	w, err := workload.ByName("oltp-db2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "capture.smst")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := trace.NewV2Writer(f, trace.Header{CPUs: wcfg.CPUs, Workload: "oltp-db2", BlockRecords: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trace.Batched(w.Make(wcfg))
+	buf := make([]trace.Record, 1024)
+	for {
+		n := src.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		if err := tw.WriteBatch(buf[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	traceWL, err := workload.ByName("trace:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := sim.Config{
+		WarmupAccesses:     20_000,
+		TrackGenerations:   true,
+		WindowInstructions: 4096,
+	}
+	for _, pf := range sim.Names() {
+		t.Run(pf, func(t *testing.T) {
+			c := cfg
+			c.PrefetcherName = pf
+
+			gen, err := sim.MustNewRunner(c).RunContext(context.Background(), w.Make(wcfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := trace.OpenMapped(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			mapped, err := sim.MustNewRunner(c).RunContext(context.Background(), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			family, err := sim.MustNewRunner(c).RunContext(context.Background(), traceWL.Make(wcfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			jg, jm, jf := resultJSON(t, gen), resultJSON(t, mapped), resultJSON(t, family)
+			if jg != jm {
+				t.Fatalf("mmap replay Result JSON differs from generator:\n%s\nvs\n%s", jm, jg)
+			}
+			if jg != jf {
+				t.Fatalf("trace: workload Result JSON differs from generator:\n%s\nvs\n%s", jf, jg)
+			}
+		})
+	}
+}
+
+// TestRunContextSurfacesSourceDecodeError: a corrupt trace artifact
+// (valid header and index, damaged block payload) must fail the run,
+// not quietly produce a Result over the partial stream — a wrong Result
+// persisted under a content-addressed key would poison every future
+// lookup of that run.
+func TestRunContextSurfacesSourceDecodeError(t *testing.T) {
+	w, err := workload.ByName("sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := trace.NewV2Writer(&buf, trace.Header{BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.WriteBatch(trace.Collect(w.Make(workload.Config{CPUs: 1, Seed: 1, Length: 2000}), 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first block's seq-column length field (the header is
+	// 66 bytes with an empty workload name): decode fails, the index
+	// stays valid, so only the post-drain Err() check can catch it.
+	raw := buf.Bytes()
+	raw[66+4] = 0xff
+	path := filepath.Join(t.TempDir(), "corrupt.smst")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := trace.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	res, err := sim.MustNewRunner(sim.Config{WarmupAccesses: 100}).RunContext(context.Background(), m)
+	if err == nil || res != nil {
+		t.Fatalf("corrupt replay returned res=%v err=%v, want nil result and an error", res, err)
+	}
+}
+
+// TestV2RoundTripAllWorkloads pins the v2 codec to the generators: for
+// every registered workload, encode→decode reproduces the exact record
+// stream.
+func TestV2RoundTripAllWorkloads(t *testing.T) {
+	for _, w := range workload.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			cfg := workload.Config{CPUs: 3, Seed: 99, Length: 30_000}
+			want := trace.Collect(w.Make(cfg), 0)
+			var buf bytes.Buffer
+			tw, err := trace.NewV2Writer(&buf, trace.Header{CPUs: cfg.CPUs, Workload: w.Name, BlockRecords: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tw.WriteBatch(want); err != nil {
+				t.Fatal(err)
+			}
+			if err := tw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := trace.NewV2Reader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := trace.Collect(r, 0)
+			if r.Err() != nil {
+				t.Fatal(r.Err())
+			}
+			if len(got) != len(want) {
+				t.Fatalf("decoded %d records, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("record %d differs: decoded %+v, generated %+v", i, got[i], want[i])
+				}
 			}
 		})
 	}

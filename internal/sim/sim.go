@@ -22,6 +22,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
@@ -319,6 +320,16 @@ func (r *Runner) RunContext(ctx context.Context, src trace.Source) (*Result, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// Erring sources (trace.Reader, the v2 readers) report exhaustion on
+	// a decode failure exactly like a clean EOF; surfacing the latched
+	// error here keeps a truncated or corrupt trace — e.g. a damaged
+	// disk-tier artifact — from quietly producing (and persisting) a
+	// Result over a partial record stream.
+	if e, ok := src.(interface{ Err() error }); ok {
+		if err := e.Err(); err != nil {
+			return nil, fmt.Errorf("sim: trace source failed mid-stream: %w", err)
+		}
 	}
 	r.finish()
 	if r.onProgress != nil {

@@ -116,7 +116,9 @@ func ForFigure(figure string, cpus int, seed int64, length uint64) string {
 }
 
 // Stats counts store activity. Hits = MemHits + DiskHits; lookups that
-// find nothing (or only a corrupt object) count as Misses.
+// find nothing (or only a corrupt object) count as Misses. The Trace*
+// counters cover the binary trace tier (see trace.go), which bypasses
+// the JSON object path and the in-memory LRU.
 type Stats struct {
 	Hits         uint64
 	Misses       uint64
@@ -126,6 +128,12 @@ type Stats struct {
 	Corrupt      uint64
 	BytesRead    uint64
 	BytesWritten uint64
+
+	TraceHits         uint64
+	TraceMisses       uint64
+	TraceWrites       uint64
+	TraceBytesRead    uint64
+	TraceBytesWritten uint64
 }
 
 // Options tune a Store.
@@ -153,7 +161,7 @@ func OpenOptions(dir string, o Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
-	for _, kind := range []string{kindResult, kindFigure} {
+	for _, kind := range []string{kindResult, kindFigure, kindTrace} {
 		if err := os.MkdirAll(filepath.Join(dir, kind), 0o755); err != nil {
 			return nil, fmt.Errorf("store: creating %s: %w", kind, err)
 		}

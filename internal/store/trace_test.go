@@ -1,0 +1,143 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func traceRecords(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{Seq: uint64(i * 3), PC: 0x400000 + uint64(i%8)*4,
+			Addr: mem.Addr(1<<30 + uint64(i%64)*64), CPU: uint8(i % 2), Kind: trace.Kind(i % 2)}
+	}
+	return recs
+}
+
+func TestForTraceCanonicalizes(t *testing.T) {
+	a := ForTrace("oltp-db2", workload.Config{CPUs: 4, Seed: 1})
+	b := ForTrace("oltp-db2", workload.Config{CPUs: 4, Seed: 1, Scale: 1.0, Length: workload.DefaultLength})
+	if a != b {
+		t.Error("equivalent configs hash differently")
+	}
+	if a == ForTrace("dss-q1", workload.Config{CPUs: 4, Seed: 1}) {
+		t.Error("workload name not in key")
+	}
+	if a == ForTrace("oltp-db2", workload.Config{CPUs: 4, Seed: 2}) {
+		t.Error("seed not in key")
+	}
+	if a == ForRun("oltp-db2", workload.Config{CPUs: 4, Seed: 1}, sim.Config{}) {
+		t.Error("trace key collides with a run key")
+	}
+}
+
+func TestTraceTierRoundTripAndStats(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := workload.Config{CPUs: 2, Seed: 7, Length: 5000}
+	key := ForTrace("sparse", wcfg)
+	recs := traceRecords(5000)
+
+	if s.HasTrace(key) {
+		t.Fatal("empty store has a trace")
+	}
+	if _, ok := s.OpenTrace(key); ok {
+		t.Fatal("miss reported as hit")
+	}
+	hdr := trace.Header{CPUs: 2, Workload: "sparse", WorkloadHash: key}
+	if err := s.PutTraceRecords(key, hdr, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasTrace(key) {
+		t.Fatal("written trace not found")
+	}
+
+	f, ok := s.OpenTrace(key)
+	if !ok {
+		t.Fatal("written trace did not open")
+	}
+	defer f.Close()
+	if f.Info().Workload != "sparse" || f.Info().WorkloadHash != key || f.Info().Records != 5000 {
+		t.Fatalf("trace info = %+v", f.Info())
+	}
+	got := trace.Collect(f.NewSource(), 0)
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+
+	st := s.Stats()
+	if st.TraceWrites != 1 || st.TraceHits != 1 || st.TraceMisses != 1 || st.TraceBytesWritten == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	infos, err := s.ListTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Key != key || infos[0].Records != 5000 ||
+		infos[0].Workload != "sparse" || infos[0].Bytes == 0 {
+		t.Fatalf("ListTraces = %+v", infos)
+	}
+}
+
+func TestTraceTierCorruptArtifactIsAMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ForTrace("sparse", workload.Config{CPUs: 1, Seed: 1, Length: 10})
+	if err := s.PutTraceRecords(key, trace.Header{}, traceRecords(10)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.tracePath(key)
+	if err := os.WriteFile(path, []byte("SMSTgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.OpenTrace(key); ok {
+		t.Fatal("corrupt trace opened")
+	}
+	if st := s.Stats(); st.Corrupt == 0 || st.TraceMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A torn artifact does not break listing either.
+	if infos, err := s.ListTraces(); err != nil || len(infos) != 0 {
+		t.Fatalf("ListTraces over corrupt artifact = %v, %v", infos, err)
+	}
+}
+
+func TestTraceSinkAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ForTrace("sparse", workload.Config{CPUs: 1, Seed: 2})
+	ts, err := s.BeginTrace(key, trace.Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.W.WriteBatch(traceRecords(100)); err != nil {
+		t.Fatal(err)
+	}
+	ts.Abort()
+	if s.HasTrace(key) {
+		t.Fatal("aborted trace published")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "traces", "*", "*"))
+	if err != nil || len(left) != 0 {
+		t.Fatalf("aborted sink left files: %v (%v)", left, err)
+	}
+}

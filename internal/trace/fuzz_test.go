@@ -1,0 +1,155 @@
+package trace
+
+// Fuzz targets for both trace decoders. The contract under fuzzing:
+// corrupt or truncated input returns wrapped sentinel errors
+// (ErrBadFormat, io.ErrUnexpectedEOF, io.EOF) — never a panic, never an
+// unwrapped error, and never an allocation larger than the input
+// justifies (the decoders validate claimed counts against actual byte
+// ranges before allocating). CI runs each target for a few seconds
+// (`make fuzz-smoke`); longer local runs just extend -fuzztime.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// checkDecodeErr asserts the decoder error contract.
+func checkDecodeErr(t *testing.T, context string, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, ErrBadFormat) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("%s: error %v wraps no known sentinel", context, err)
+	}
+}
+
+func FuzzReaderV1(f *testing.F) {
+	// Seeds: a valid trace, a truncated one, junk, and a bad version.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Write(Record{Seq: uint64(i * 3), PC: 0x400000, Addr: 1 << 30, CPU: uint8(i)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("JUNKJUNKJUNKJUNKJUNKJUNK"))
+	badVersion := append([]byte(nil), valid...)
+	badVersion[4] = 99
+	f.Add(badVersion)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			checkDecodeErr(t, "NewReader", err)
+			return
+		}
+		n := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n*recSize > len(data) {
+			t.Fatalf("decoded %d records from %d bytes", n, len(data))
+		}
+		checkDecodeErr(t, "Reader.Err", r.Err())
+
+		// The batched decode path must agree with the scalar one.
+		r2, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("second NewReader disagreed: %v", err)
+		}
+		dst := make([]Record, 64)
+		n2 := 0
+		for {
+			k := r2.NextBatch(dst)
+			if k == 0 {
+				break
+			}
+			n2 += k
+		}
+		if n2 != n {
+			t.Fatalf("NextBatch decoded %d records, Next %d", n2, n)
+		}
+	})
+}
+
+func FuzzReaderV2(f *testing.F) {
+	// Seeds: valid multi-block files, a truncation, and targeted bit
+	// flips in the header, a block, the index and the tail.
+	mk := func(n, block int) []byte {
+		var buf bytes.Buffer
+		w, err := NewV2Writer(&buf, Header{CPUs: 2, Workload: "w", BlockRecords: block})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := w.Write(Record{Seq: uint64(i * 3), PC: 0x400000 + uint64(i%8)*4,
+				Addr: 1 << 30, CPU: uint8(i % 2), Kind: Kind(i % 2)}); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := mk(200, 64)
+	f.Add(valid)
+	f.Add(mk(0, 64))
+	f.Add(valid[:len(valid)/2])
+	for _, pos := range []int{5, 7, 25, v2HeaderMin + 3, len(valid) - v2TailSize - 5, len(valid) - 10, len(valid) - 1} {
+		flipped := append([]byte(nil), valid...)
+		flipped[pos] ^= 0x41
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewV2Reader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			checkDecodeErr(t, "NewV2Reader", err)
+			return
+		}
+		claimed := r.Records()
+		if claimed > uint64(len(data)) {
+			// Every record costs at least one cpu byte, so a validated
+			// index can never claim more records than file bytes.
+			t.Fatalf("index claims %d records in %d bytes", claimed, len(data))
+		}
+		var n uint64
+		dst := make([]Record, 128)
+		for {
+			k := r.NextBatch(dst)
+			if k == 0 {
+				break
+			}
+			n += uint64(k)
+		}
+		checkDecodeErr(t, "V2Reader.Err", r.Err())
+		if r.Err() == nil && n != claimed {
+			t.Fatalf("decoded %d records, index claims %d", n, claimed)
+		}
+		// Seeking anywhere (including past the end) must not panic and
+		// must keep the error contract.
+		for _, pos := range []uint64{0, claimed / 2, claimed, claimed + 10} {
+			if err := r.Seek(pos); err != nil {
+				checkDecodeErr(t, "Seek", err)
+			}
+			r.Next()
+			checkDecodeErr(t, "post-Seek Err", r.Err())
+		}
+	})
+}

@@ -1,0 +1,16 @@
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// readFallback loads the whole file into memory — the portable stand-in
+// for mapFile when mmap is unavailable or fails.
+func readFallback(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if err := readAt(f, data, 0); err != nil && err != io.EOF {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// mapFile reads the file into memory on platforms without mmap support;
+// the "mapped" replay path then decodes from the in-memory copy.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	return readFallback(f, size)
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. On platforms (or filesystems)
+// where mmap fails, it falls back to reading the file into memory, so
+// callers always get a byte slice over the whole file.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if int64(int(size)) != size {
+		return readFallback(f, size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFallback(f, size)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -116,6 +116,20 @@ func (b *batchAdapter) NextBatch(dst []Record) int {
 	return n
 }
 
+// Err surfaces the wrapped source's latched decode error, if it has one.
+func (b *batchAdapter) Err() error { return sourceErr(b.src) }
+
+// sourceErr returns src's latched decode error when src is an erring
+// source (trace.Reader, the v2 readers), else nil. Wrappers (Batched,
+// Limit) pass it through so consumers can distinguish clean EOF from a
+// truncated or corrupt stream without knowing the concrete source type.
+func sourceErr(src Source) error {
+	if e, ok := src.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
 // SliceSource adapts an in-memory record slice to a Source.
 type SliceSource struct {
 	recs []Record
@@ -210,6 +224,9 @@ func (l *limitSource) NextBatch(dst []Record) int {
 	l.left -= uint64(n)
 	return n
 }
+
+// Err surfaces the wrapped source's latched decode error, if it has one.
+func (l *limitSource) Err() error { return sourceErr(l.src) }
 
 // Skip discards n records from src, returning how many were actually
 // discarded (fewer if the stream ended early). It is used to implement the

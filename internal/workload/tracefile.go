@@ -1,0 +1,121 @@
+package workload
+
+// The trace: workload family wraps captured trace files — the paper's
+// actual methodology (§4 replays FLEXUS/Simics traces of commercial
+// workloads) — as first-class workloads: any plan, experiment, smsim
+// invocation or smsd job can target "trace:<path>" exactly like a
+// generator name, and the simulator replays the file's records.
+//
+// ByName resolves the family lazily: the first lookup of a given path
+// opens (and for v2, mmaps) the file and caches the handle for the
+// process lifetime, so repeated runs share one mapping. Trace workloads
+// are deliberately absent from All(): the figure plans enumerate the
+// paper's synthetic suite, and adding dynamically registered files to
+// it would silently change every figure grid.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// GroupTrace is the group name of trace-file workloads.
+const GroupTrace = "Trace"
+
+// TracePrefix marks workload names that name a trace file.
+const TracePrefix = "trace:"
+
+var (
+	traceMu    sync.Mutex
+	traceFiles = map[string]*cachedTraceFile{}
+)
+
+// cachedTraceFile remembers how the file looked when it was opened so a
+// re-captured file is reopened instead of served stale from the old
+// mapping.
+type cachedTraceFile struct {
+	f     *trace.File
+	size  int64
+	mtime time.Time
+}
+
+// IsTraceName reports whether name selects the trace-file family.
+func IsTraceName(name string) bool { return strings.HasPrefix(name, TracePrefix) }
+
+// byTraceName resolves "trace:<path>", opening the file on first use.
+// A cached handle is revalidated against the file's current size and
+// mtime: overwriting a capture serves the new records on the next
+// lookup. (The old mapping is deliberately leaked — sources replaying
+// it may still be live; truncating a file mid-replay remains undefined,
+// as with any mmap consumer.)
+func byTraceName(name string) (Workload, error) {
+	path := strings.TrimPrefix(name, TracePrefix)
+	if path == "" {
+		return Workload{}, fmt.Errorf("workload: %q names no trace file", name)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return Workload{}, fmt.Errorf("workload: opening trace file: %w", err)
+	}
+	traceMu.Lock()
+	c, ok := traceFiles[path]
+	if ok && (c.size != st.Size() || !c.mtime.Equal(st.ModTime())) {
+		delete(traceFiles, path)
+		ok = false
+	}
+	traceMu.Unlock()
+	if !ok {
+		f, err := trace.OpenFile(path)
+		if err != nil {
+			return Workload{}, fmt.Errorf("workload: opening trace file: %w", err)
+		}
+		c = &cachedTraceFile{f: f, size: st.Size(), mtime: st.ModTime()}
+		traceMu.Lock()
+		if prev, raced := traceFiles[path]; raced {
+			_ = f.Close()
+			c = prev
+		} else {
+			traceFiles[path] = c
+		}
+		traceMu.Unlock()
+	}
+	return traceWorkload(name, c.f), nil
+}
+
+// traceWorkload wraps an opened file as a Workload.
+func traceWorkload(name string, f *trace.File) Workload {
+	info := f.Info()
+	desc := fmt.Sprintf("captured trace replay (%d records, format v%d", info.Records, info.Version)
+	if info.Workload != "" {
+		desc += ", source " + info.Workload
+	}
+	desc += ")"
+	return Workload{
+		Name:        name,
+		Group:       GroupTrace,
+		Description: desc,
+		External:    true,
+		Make: func(cfg Config) trace.Source {
+			src := f.NewSource()
+			// The trace is what it is: CPUs, seed and scale do not
+			// apply. Length only caps the replay — shorter files simply
+			// exhaust early, like a generator asked for fewer records
+			// than Config.Length would imply.
+			if cfg.Length > 0 && cfg.Length < info.Records {
+				return trace.Limit(src, cfg.Length)
+			}
+			return src
+		},
+	}
+}
+
+// OpenTraceWorkload opens the trace file at path and returns its
+// workload (name "trace:<path>"). It is ByName(TracePrefix+path) with
+// the error surfaced eagerly.
+func OpenTraceWorkload(path string) (Workload, error) {
+	return byTraceName(TracePrefix + path)
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// captureV2 writes workload name's trace under cfg to a v2 file.
+func captureV2(t *testing.T, name string, cfg Config) (string, []trace.Record) {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := trace.Collect(w.Make(cfg), 0)
+	path := filepath.Join(t.TempDir(), "capture.smst")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := trace.NewV2Writer(f, trace.Header{CPUs: cfg.CPUs, Workload: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.WriteBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, recs
+}
+
+func TestTraceWorkloadReplaysFile(t *testing.T) {
+	cfg := Config{CPUs: 2, Seed: 3, Length: 12_000}
+	path, recs := captureV2(t, "dss-q1", cfg)
+
+	w, err := ByName(TracePrefix + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Group != GroupTrace || !w.External || w.Name != TracePrefix+path {
+		t.Fatalf("trace workload = %+v", w)
+	}
+
+	// The replay ignores CPUs/seed/scale and reproduces the capture.
+	got := trace.Collect(w.Make(Config{CPUs: 16, Seed: 99, Scale: 4}), 0)
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+
+	// Length caps the replay; two sources are independent streams.
+	a := w.Make(Config{Length: 100})
+	b := w.Make(Config{})
+	if n := len(trace.Collect(a, 0)); n != 100 {
+		t.Fatalf("Length cap yielded %d records", n)
+	}
+	if n := len(trace.Collect(b, 0)); n != len(recs) {
+		t.Fatalf("uncapped source yielded %d records", n)
+	}
+
+	// Second lookup reuses the cached file handle.
+	again, err := ByName(TracePrefix + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(trace.Collect(again.Make(Config{}), 0)); n != len(recs) {
+		t.Fatalf("cached handle yielded %d records", n)
+	}
+}
+
+func TestTraceWorkloadReopensOverwrittenFile(t *testing.T) {
+	cfg := Config{CPUs: 1, Seed: 1, Length: 2000}
+	path, _ := captureV2(t, "sparse", cfg)
+	w, err := ByName(TracePrefix + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(trace.Collect(w.Make(Config{}), 0)); n != 2000 {
+		t.Fatalf("first capture yielded %d records", n)
+	}
+
+	// Re-capture over the same path with a different length: the next
+	// lookup must serve the new file, not the stale cached mapping.
+	other, _ := captureV2(t, "sparse", Config{CPUs: 1, Seed: 2, Length: 3000})
+	data, err := os.ReadFile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ByName(TracePrefix + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(trace.Collect(w2.Make(Config{}), 0)); n != 3000 {
+		t.Fatalf("overwritten capture yielded %d records, want 3000", n)
+	}
+}
+
+func TestTraceWorkloadStaysOutOfAll(t *testing.T) {
+	before := len(All())
+	path, _ := captureV2(t, "sparse", Config{CPUs: 1, Seed: 1, Length: 1000})
+	if _, err := OpenTraceWorkload(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(All()); got != before {
+		t.Fatalf("All() grew from %d to %d after registering a trace workload", before, got)
+	}
+}
+
+func TestTraceWorkloadErrors(t *testing.T) {
+	if _, err := ByName("trace:"); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := ByName("trace:" + filepath.Join(t.TempDir(), "missing.smst")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.smst")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("trace:" + bad); !errors.Is(err, trace.ErrBadFormat) {
+		t.Errorf("garbage file error = %v, want ErrBadFormat", err)
+	}
+}

@@ -105,6 +105,11 @@ type Workload struct {
 	// consumers that batch (trace.Batched never copies in that case)
 	// pay no per-record interface dispatch.
 	Make func(cfg Config) trace.Source
+	// External marks workloads whose source replays an externally
+	// captured trace file (the trace: family) instead of running a
+	// generator: the engine's trace memo and disk tier skip them — the
+	// file is already a zero-copy replay.
+	External bool
 }
 
 // The shared generation engine batches natively; all four workload
@@ -131,12 +136,17 @@ func All() []Workload {
 	return out
 }
 
-// ByName looks a workload up by its paper name.
+// ByName looks a workload up by its paper name. Names of the form
+// "trace:<path>" resolve to the trace-file family (see tracefile.go):
+// the file is opened on first use and replayed as the workload's source.
 func ByName(name string) (Workload, error) {
 	for _, w := range registry {
 		if w.Name == name {
 			return w, nil
 		}
+	}
+	if IsTraceName(name) {
+		return byTraceName(name)
 	}
 	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
 }

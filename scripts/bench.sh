@@ -20,9 +20,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-HEADLINE='^(BenchmarkSimulatorThroughput|BenchmarkTraceGeneration|BenchmarkFig8Training)$'
+HEADLINE='^(BenchmarkSimulatorThroughput|BenchmarkTraceGeneration|BenchmarkTraceReplay|BenchmarkFig8Training)$'
 # Benchmarks that must not allocate per record in steady state.
-ZERO_ALLOC='BenchmarkSimulatorThroughput|BenchmarkTraceGeneration'
+ZERO_ALLOC='BenchmarkSimulatorThroughput|BenchmarkTraceGeneration|BenchmarkTraceReplay'
 
 run_bench() {
 	go test -run '^$' -bench "$HEADLINE" -benchmem -benchtime=2s -count=3 .
@@ -77,7 +77,7 @@ echo "$raw" | awk -v go_version="$(go env GOVERSION)" '
 			if (bbytes[name] != "") printf ", \"bytes_per_op\": %s", bbytes[name]
 			if (ballocs[name] != "") printf ", \"allocs_per_op\": %s", ballocs[name]
 			# Per-record benchmarks: ns/op is ns/record; 26 B/record on the wire.
-			if (name ~ /SimulatorThroughput|TraceGeneration/) {
+			if (name ~ /SimulatorThroughput|TraceGeneration|TraceReplay/) {
 				printf ", \"ns_per_record\": %s, \"mb_per_s\": %.1f", best[name], 26 * 1000 / best[name]
 			}
 			printf "}"
@@ -87,3 +87,13 @@ echo "$raw" | awk -v go_version="$(go env GOVERSION)" '
 	}
 ' >"$OUT"
 echo "wrote $OUT"
+
+# Append this run to the benchmark trajectory: one JSON line per
+# recording (UTC timestamp, commit, the full metrics object), so perf
+# history survives the before/after pair being overwritten.
+HIST=BENCH_history.jsonl
+ts=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+printf '{"time":"%s","commit":"%s","out":"%s","record":%s}\n' \
+	"$ts" "$sha" "$OUT" "$(tr -d '\n' <"$OUT")" >>"$HIST"
+echo "appended to $HIST"
