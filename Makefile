@@ -1,11 +1,15 @@
-# Mirrors .github/workflows/ci.yml: `make ci` runs the exact pipeline
-# CI runs, so a green `make ci` means a green check.
+# Mirrors .github/workflows/ci.yml: `make ci` runs the same stages the
+# CI jobs run (sequentially, on the local toolchain instead of the
+# stable/oldstable matrix), so a green `make ci` means a green check.
+# `make nightly` mirrors .github/workflows/nightly.yml's deep checks.
 
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test test-full bench bench-smoke bench-allocs bench-record fuzz-smoke smoke
+.PHONY: ci nightly fmt vet staticcheck build test test-full bench bench-smoke bench-allocs bench-record fuzz-smoke fuzz-nightly smoke
 
 ci: fmt vet staticcheck build test fuzz-smoke bench-smoke bench-allocs smoke
+
+nightly: test-full fuzz-nightly
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -36,9 +40,10 @@ build:
 test:
 	$(GO) test -short -race ./...
 
-# The full suite includes the figure-scale experiment tests (~minutes).
+# The full suite includes the figure-scale experiment tests and the
+# sampled-vs-exact statistical validation grid (~minutes).
 test-full:
-	$(GO) test ./...
+	$(GO) test -timeout 50m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -65,6 +70,11 @@ bench-record:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReaderV1$$' -fuzztime 5s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzReaderV2$$' -fuzztime 5s ./internal/trace
+
+# The nightly workflow's longer fuzz pass.
+fuzz-nightly:
+	$(GO) test -run '^$$' -fuzz '^FuzzReaderV1$$' -fuzztime 60s ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzReaderV2$$' -fuzztime 60s ./internal/trace
 
 # End-to-end daemon smoke: start smsd, submit a job, poll it to
 # completion, cancel a second one.

@@ -311,6 +311,44 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	step(b.N)
 }
 
+func BenchmarkSampledThroughput(b *testing.B) {
+	// Sampled-mode records/second through RunContext: an in-memory
+	// (seekable) replay of the same workload as SimulatorThroughput,
+	// with SMARTS sampling skipping the cold gaps via Seek. ns/op is
+	// ns per consumed trace record, so the ratio to
+	// BenchmarkSimulatorThroughput is the sampled-mode speedup on
+	// seekable sources. The window schedule is per-source, so one
+	// runner consumes the corpus repeatedly; the measured loop must
+	// stay allocation-free per record (the CI gate asserts it — the
+	// few fixed allocations per RunContext call amortize to zero).
+	w, err := workload.ByName("oltp-oracle")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const corpus = 1 << 20
+	recs := trace.Collect(w.Make(workload.Config{CPUs: 4, Seed: 1, Length: corpus}), 0)
+	runner := sim.MustNewRunner(sim.Config{
+		PrefetcherName: "sms",
+		Sampling:       sim.SamplingConfig{WindowRecords: 2048, IntervalRecords: 16_384, WarmupRecords: 4096},
+	})
+	run := func(records int) {
+		for records > 0 {
+			n := records
+			if n > len(recs) {
+				n = len(recs)
+			}
+			if _, err := runner.RunContext(context.Background(), trace.NewSliceSource(recs[:n])); err != nil {
+				b.Fatal(err)
+			}
+			records -= n
+		}
+	}
+	run(500_000) // prewarm to steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	run(b.N)
+}
+
 func BenchmarkTraceGeneration(b *testing.B) {
 	// Batched generation throughput; ns/op is ns/record.
 	w, err := workload.ByName("oltp-db2")

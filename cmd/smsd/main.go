@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -78,7 +79,6 @@ func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uin
 	}
 
 	httpSrv := &http.Server{
-		Addr:              addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -86,11 +86,19 @@ func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uin
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// An explicit listener (rather than ListenAndServe) means the logged
+	// address is the one the kernel actually bound: with -addr :0 the
+	// line below carries the assigned port, which scripts/smoke_smsd.sh
+	// parses to run daemons on collision-free ephemeral ports.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 	o := session.Options()
-	log.Printf("smsd listening on %s (cpus=%d seed=%d length=%d)", addr, o.CPUs, o.Seed, o.Length)
+	log.Printf("smsd listening on %s (cpus=%d seed=%d length=%d)", ln.Addr(), o.CPUs, o.Seed, o.Length)
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 
 	var serveErr error
 	select {

@@ -6,9 +6,15 @@
 //	smsexp [flags] all
 //
 // Experiments: table1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 agt fig11 fig12
-// fig13 ablate headline. Each prints a text table with the rows/series of
-// the corresponding figure in Somogyi et al., "Spatial Memory Streaming"
-// (ISCA 2006).
+// fig13 ablate headline sampled. Each prints a text table with the
+// rows/series of the corresponding figure in Somogyi et al., "Spatial
+// Memory Streaming" (ISCA 2006).
+//
+// With -sample (or an explicit -sample-window), every figure runs in
+// SMARTS-style sampled mode: detailed measurement windows separated by
+// functional warming and fast-forwarded gaps, with confidence intervals
+// in the results. The `sampled` experiment validates the mode against
+// exact runs.
 //
 // With -store DIR, simulation results and rendered figures persist in a
 // content-addressed store, so regenerating a figure a second time — in
@@ -28,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -49,6 +56,12 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		quick    = fs.Bool("quick", false, "abbreviated runs (overrides -cpus/-length)")
 		storeDir = fs.String("store", "", "persistent result store directory (reused across runs and by smsd)")
+
+		sample         = fs.Bool("sample", false, "run figures in SMARTS-style sampled mode with figure-scale defaults")
+		sampleWindow   = fs.Uint64("sample-window", 0, "sampling: detailed window length in records (implies -sample)")
+		sampleInterval = fs.Uint64("sample-interval", 0, "sampling: records per interval (0 = 50x window)")
+		sampleWarmup   = fs.Uint64("sample-warmup", 0, "sampling: functional-warming records before each window (0 = 4x window)")
+		confidence     = fs.Float64("confidence", 0, "sampling: confidence level for reported intervals (0 = 0.95)")
 	)
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(argv); err != nil {
@@ -62,7 +75,25 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	session := exp.NewSession(exp.CLIOptions(*cpus, *seed, *length, *parallel, *quick))
+	opts := exp.CLIOptions(*cpus, *seed, *length, *parallel, *quick)
+	if *sample || *sampleWindow > 0 {
+		opts.Sampling = exp.SampledConfig(opts)
+		if *sampleWindow > 0 {
+			opts.Sampling = sim.SamplingConfig{
+				WindowRecords:   *sampleWindow,
+				IntervalRecords: *sampleInterval,
+				WarmupRecords:   *sampleWarmup,
+			}
+		}
+		if *confidence > 0 {
+			opts.Sampling.Confidence = *confidence
+		}
+		if err := opts.Sampling.Validate(); err != nil {
+			fmt.Fprintln(stderr, "smsexp:", err)
+			return 2
+		}
+	}
+	session := exp.NewSession(opts)
 	if err := exp.AttachStore(session, *storeDir); err != nil {
 		fmt.Fprintln(stderr, "smsexp:", err)
 		return 1

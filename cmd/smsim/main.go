@@ -48,6 +48,11 @@ func main() {
 		storeDir   = flag.String("store", "", "persistent result store directory (shared with smsexp/smsd)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
+
+		sampleWindow   = flag.Uint64("sample-window", 0, "SMARTS sampling: detailed window length in records (0 = exact mode)")
+		sampleInterval = flag.Uint64("sample-interval", 0, "SMARTS sampling: records per interval (0 = 50x window)")
+		sampleWarmup   = flag.Uint64("sample-warmup", 0, "SMARTS sampling: functional-warming records before each window (0 = 4x window)")
+		confidence     = flag.Float64("confidence", 0, "SMARTS sampling: confidence level for reported intervals (0 = 0.95)")
 	)
 	flag.Parse()
 
@@ -112,6 +117,15 @@ func main() {
 		WarmupAccesses: *length / 2,
 		SMS:            core.Config{Index: idx, PHTEntries: phtEntries},
 		GHB:            ghb.Config{HistoryEntries: *ghbEntries},
+		Sampling: sim.SamplingConfig{
+			WindowRecords:   *sampleWindow,
+			IntervalRecords: *sampleInterval,
+			WarmupRecords:   *sampleWarmup,
+			Confidence:      *confidence,
+		},
+	}
+	if err := cfg.Sampling.Validate(); err != nil {
+		fatal(err)
 	}
 	pfName := strings.ToLower(*prefetcher)
 	if pfName == "" {
@@ -147,6 +161,15 @@ func main() {
 	fmt.Printf("accesses        %d (reads %d, writes %d)\n", res.Accesses, res.Reads, res.Writes)
 	fmt.Printf("L1 read misses  %d (%.2f%% of reads)\n", res.L1ReadMisses, 100*res.L1MissesPerAccess())
 	fmt.Printf("off-chip reads  %d (%.2f%% of reads)\n", res.OffChipReadMisses, 100*res.OffChipMissesPerAccess())
+	if s := res.Sampling; s != nil {
+		fmt.Printf("sampling        %d windows of %d records (interval %d, warmup %d), %.1f%% simulated\n",
+			s.Windows, s.Config.WindowRecords, s.Config.IntervalRecords, s.Config.WarmupRecords,
+			100*s.SimulatedFraction())
+		for _, m := range s.Metrics {
+			fmt.Printf("  %-32s %.5f ± %.5f (std %.5f) at %.0f%% confidence\n",
+				m.Name, m.Mean, m.HalfWidth, m.StdDev, 100*s.Config.Confidence)
+		}
+	}
 	fmt.Printf("coherence       %d off-chip read misses (%d false sharing)\n", res.CoherenceReadMisses, res.FalseSharingReadMisses)
 	if pfName != "none" {
 		fmt.Printf("covered L1      %d\n", res.L1CoveredMisses)

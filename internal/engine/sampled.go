@@ -1,0 +1,38 @@
+package engine
+
+import "repro/internal/sim"
+
+// Sampled returns a copy of p with SMARTS-style sampling applied to
+// every standard cell: each variant and extra cell gets sc as its
+// sim.Config.Sampling. Cells that use the timing model's instruction
+// windows (WindowInstructions > 0) stay exact — sampled mode rejects
+// them, and the timing figures need every window — and custom cells are
+// untouched (they bypass sim.Config entirely). A disabled sc returns p
+// unchanged.
+//
+// Because Sampling participates in config canonicalization and store
+// keys, the sampled plan's cells memoize separately from their exact
+// counterparts: turning sampling on never serves approximate results
+// under exact addresses, or vice versa.
+func Sampled(p Plan, sc sim.SamplingConfig) Plan {
+	if !sc.Enabled() {
+		return p
+	}
+	vs := make([]Variant, len(p.Variants))
+	for i, v := range p.Variants {
+		if v.Config.WindowInstructions == 0 {
+			v.Config.Sampling = sc
+		}
+		vs[i] = v
+	}
+	p.Variants = vs
+	ex := make([]Cell, len(p.Extra))
+	for i, c := range p.Extra {
+		if c.Config.WindowInstructions == 0 {
+			c.Config.Sampling = sc
+		}
+		ex[i] = c
+	}
+	p.Extra = ex
+	return p
+}

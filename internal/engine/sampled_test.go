@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSampledPlanTransform(t *testing.T) {
+	sc := sim.SamplingConfig{WindowRecords: 1024}
+	p := Plan{
+		Name:      "fig",
+		Workloads: []string{"sparse"},
+		Baseline:  "base",
+		Variants: []Variant{
+			{Key: "base", Config: sim.Config{}},
+			{Key: "sms", Config: sim.Config{PrefetcherName: "sms"}},
+			{Key: "timing", Config: sim.Config{PrefetcherName: "sms", WindowInstructions: 4096}},
+		},
+		Extra: []Cell{
+			{Workload: "sparse", Key: "x", Config: sim.Config{PrefetcherName: "ghb"}},
+		},
+	}
+
+	s := Sampled(p, sc)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Variants {
+		want := sc
+		if v.Config.WindowInstructions > 0 {
+			want = sim.SamplingConfig{} // timing cells stay exact
+		}
+		if v.Config.Sampling != want {
+			t.Errorf("variant %q sampling = %+v, want %+v", v.Key, v.Config.Sampling, want)
+		}
+	}
+	if got := s.Extra[0].Config.Sampling; got != sc {
+		t.Errorf("extra cell sampling = %+v, want %+v", got, sc)
+	}
+
+	// The original plan must be untouched (figure builders reuse plans).
+	for _, v := range p.Variants {
+		if v.Config.Sampling.Enabled() {
+			t.Fatalf("Sampled mutated the input plan (variant %q)", v.Key)
+		}
+	}
+	if p.Extra[0].Config.Sampling.Enabled() {
+		t.Fatal("Sampled mutated the input plan's extra cells")
+	}
+
+	// Disabled sampling is the identity.
+	if d := Sampled(p, sim.SamplingConfig{}); d.Variants[1].Config.Sampling.Enabled() {
+		t.Fatal("disabled Sampled enabled sampling")
+	}
+
+	// Sampled and exact forms of the same cell address different runs.
+	e := New(Config{})
+	exact := e.Key("sparse", p.Variants[1].Config)
+	sampled := e.Key("sparse", s.Variants[1].Config)
+	if exact == sampled {
+		t.Error("sampled and exact cells share a store key")
+	}
+}

@@ -17,6 +17,13 @@
 // "sms", "ls", "ghb", ...), so schemes registered via sim.Register — like
 // the next-line series in the Fig. 8 runner — plug in without touching
 // the simulator.
+//
+// A Session whose Options carry a sampling configuration runs every
+// figure in SMARTS-sampled mode (engine.Sampled transforms each plan;
+// sampled cells key separately from exact ones in the store). The
+// "sampled" experiment is the mode's validation figure: it runs a small
+// grid exact and sampled, checks the confidence intervals against the
+// exact values, and reports the wall-clock speedup.
 package exp
 
 import (
@@ -42,6 +49,12 @@ type Options struct {
 	Length uint64
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallel int
+	// Sampling, when enabled, runs every standard plan cell in
+	// SMARTS-style sampled mode (engine.Sampled): detailed measurement
+	// windows with confidence intervals instead of every-record
+	// simulation. Timing cells (WindowInstructions) and custom cells
+	// stay exact. The zero value keeps the exact mode.
+	Sampling sim.SamplingConfig
 }
 
 // DefaultOptions runs full-length experiments.
@@ -91,6 +104,7 @@ func (o Options) normalized() Options {
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
 	}
+	o.Sampling = o.Sampling.Canonical()
 	return o
 }
 
@@ -198,9 +212,14 @@ func (s *Session) Run(ctx context.Context, name string, cfg sim.Config) (*sim.Re
 	return s.eng.Run(ctx, name, cfg)
 }
 
-// Execute runs a declarative plan through the session's engine.
+// Execute runs a declarative plan through the session's engine. When the
+// session's options enable sampling, the plan is transformed with
+// engine.Sampled first, so every figure transparently runs sampled under
+// `smsexp -sample-window` without the figure runners knowing; runners
+// that must mix exact and sampled cells in one grid (the sampled-vs-exact
+// validation experiment) bypass the transform via s.Engine().Execute.
 func (s *Session) Execute(ctx context.Context, plan engine.Plan) (*engine.Grid, error) {
-	return s.eng.Execute(ctx, plan)
+	return s.eng.Execute(ctx, engine.Sampled(plan, s.opts.Sampling))
 }
 
 // GroupNames returns the four paper groups.

@@ -85,6 +85,10 @@ func Experiments() map[string]Runner {
 			r, err := Headline(ctx, s)
 			return rendered(r, err)
 		},
+		"sampled": func(ctx context.Context, s *Session) (string, error) {
+			r, err := Sampled(ctx, s)
+			return rendered(r, err)
+		},
 	}
 }
 
@@ -105,6 +109,7 @@ func planBuilders() map[string]func(Options) engine.Plan {
 		"fig13":    Fig12Plan,
 		"ablate":   AblatePlan,
 		"headline": HeadlinePlan,
+		"sampled":  SampledPlan,
 	}
 }
 
@@ -149,7 +154,7 @@ func MergedPlan(name string, o Options, experiments ...string) (engine.Plan, boo
 
 // ExperimentNames returns the registry's names in the paper's order.
 func ExperimentNames() []string {
-	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "agt", "fig11", "fig12", "fig13", "ablate", "headline"}
+	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "agt", "fig11", "fig12", "fig13", "ablate", "headline", "sampled"}
 	// Sanity: keep the map and the order in sync; fall back to a sorted
 	// listing if they ever drift so no experiment becomes unreachable.
 	m := Experiments()
@@ -183,7 +188,7 @@ func (s *Session) CachedFigure(name string) (string, bool) {
 	if s.Store() == nil {
 		return "", false
 	}
-	return s.Store().ProbeFigure(store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length))
+	return s.Store().ProbeFigure(store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length, s.opts.Sampling))
 }
 
 // RunFigure executes run under the figure-level store cache: with a store
@@ -194,7 +199,7 @@ func (s *Session) RunFigure(ctx context.Context, name string, run Runner) (strin
 	if s.Store() == nil {
 		return run(ctx, s)
 	}
-	key := store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length)
+	key := store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length, s.opts.Sampling)
 	if text, ok := s.Store().GetFigure(key); ok {
 		return text, nil
 	}

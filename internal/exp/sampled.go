@@ -1,0 +1,291 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// The sampled-vs-exact validation experiment: the same grid of runs
+// executed twice, once exact and once in SMARTS-style sampled mode, so
+// the rendered table shows — per workload and scheme — the exact metric
+// next to the sampled mean ± confidence interval, whether the interval
+// covers the truth, and what the sampling actually cost (simulated
+// fraction, wall clock). It is the machine-checkable evidence behind
+// trusting `-sample-window` on the real figures.
+
+// SampledWorkloadNames lists the validation grid's workloads: one from
+// each paper group plus the scientific outlier, small enough to run
+// exact mode twice in CI.
+func SampledWorkloadNames() []string {
+	return []string{"oltp-db2", "dss-q1", "web-apache", "sparse"}
+}
+
+// sampledSchemes are the validation grid's prefetcher configurations.
+var sampledSchemes = []string{BaseVariant, "sms", "ghb"}
+
+// sampledKey is the variant key of the sampled twin of an exact cell.
+func sampledKey(scheme string) string { return scheme + "~s" }
+
+// l2WarmupRecords approximates the functional-warming run needed to
+// repopulate the scaled 1 MB L2 (16384 blocks) after a cold skip — about
+// two capacities' worth of accesses. L1-level metrics rewarm within a
+// few thousand records, but off-chip (L2 miss) metrics are only
+// trustworthy when each window's warming is at least this long; see the
+// README's "when CIs are trustworthy".
+const l2WarmupRecords = 32_768
+
+// SampledConfig derives the figure-scale sampling configuration the
+// validation experiment and the CLI `-sample` shorthand use: Length/24
+// intervals (roughly half survive the global warm-up prefix as eligible
+// windows), windows of interval/64 records, and L2-scale functional
+// warming before each window. On short traces the warming fills the
+// whole inter-window gap — accurate but barely faster than exact; the
+// speedup grows with trace length as the fixed warming cost amortizes
+// (about 7% simulated, ~13x ideal, at 12M records).
+func SampledConfig(o Options) sim.SamplingConfig {
+	interval := o.Length / 24
+	if interval == 0 {
+		interval = 1
+	}
+	window := interval / 64
+	if window < 256 {
+		window = 256
+	}
+	if window > interval {
+		window = interval
+	}
+	warmup := 4 * window
+	if warmup < l2WarmupRecords {
+		warmup = l2WarmupRecords
+	}
+	if gap := interval - window; warmup > gap {
+		warmup = gap
+	}
+	return sim.SamplingConfig{
+		WindowRecords:   window,
+		IntervalRecords: interval,
+		WarmupRecords:   warmup,
+	}.Canonical()
+}
+
+func sampledSchemeConfig(o Options, scheme string) sim.Config {
+	cfg := o.BaselineConfig()
+	if scheme != BaseVariant {
+		cfg.PrefetcherName = scheme
+	}
+	return cfg
+}
+
+// SampledPlan declares the validation grid: every scheme exact and, under
+// the "~s" keys, its sampled twin. The exact cells deduplicate against
+// the regular figure grids, so validating sampling costs little beyond
+// the sampled runs themselves.
+func SampledPlan(o Options) engine.Plan {
+	sc := SampledConfig(o)
+	p := engine.Plan{
+		Name:      "sampled",
+		Workloads: SampledWorkloadNames(),
+		Baseline:  BaseVariant,
+	}
+	for _, scheme := range sampledSchemes {
+		p = p.WithVariant(scheme, sampledSchemeConfig(o, scheme))
+		cfg := sampledSchemeConfig(o, scheme)
+		cfg.Sampling = sc
+		p = p.WithVariant(sampledKey(scheme), cfg)
+	}
+	return p
+}
+
+// SampledMetricCheck is one exact-vs-sampled comparison of a metric.
+type SampledMetricCheck struct {
+	// Exact is the exact-mode value; Mean and HalfWidth the sampled
+	// estimate at the configured confidence.
+	Exact     float64
+	Mean      float64
+	HalfWidth float64
+	// Covered reports whether the interval contains the exact value.
+	Covered bool
+}
+
+// RelErr is the sampled mean's relative distance from the exact value.
+func (c SampledMetricCheck) RelErr() float64 {
+	return math.Abs(c.Mean-c.Exact) / math.Max(c.Exact, 1e-12)
+}
+
+func newMetricCheck(exact float64, m sim.SampledMetric) SampledMetricCheck {
+	return SampledMetricCheck{
+		Exact:     exact,
+		Mean:      m.Mean,
+		HalfWidth: m.HalfWidth,
+		Covered:   m.Interval().Contains(exact),
+	}
+}
+
+// SampledRow is one (workload, scheme) exact-vs-sampled comparison.
+type SampledRow struct {
+	Workload string
+	Scheme   string
+	// L1 and OffChip compare the read-miss rates; Windows is the sampled
+	// run's window count and SimulatedFraction its detailed+warmed share.
+	L1                SampledMetricCheck
+	OffChip           SampledMetricCheck
+	Windows           uint64
+	SimulatedFraction float64
+}
+
+// SampledResult is the validation experiment's dataset.
+type SampledResult struct {
+	Config sim.SamplingConfig
+	Rows   []SampledRow
+	// ExactSeconds/SampledSeconds time the two Execute phases; they are
+	// honest wall clock only when the corresponding Simulations count is
+	// nonzero (a fully store-served phase measures cache reads).
+	ExactSeconds       float64
+	SampledSeconds     float64
+	ExactSimulations   uint64
+	SampledSimulations uint64
+}
+
+// exactPlan is SampledPlan restricted to its exact cells.
+func sampledExactPlan(o Options) engine.Plan {
+	p := engine.Plan{
+		Name:      "sampled-exact",
+		Workloads: SampledWorkloadNames(),
+		Baseline:  BaseVariant,
+	}
+	for _, scheme := range sampledSchemes {
+		p = p.WithVariant(scheme, sampledSchemeConfig(o, scheme))
+	}
+	return p
+}
+
+// sampledOnlyPlan is SampledPlan restricted to its sampled cells.
+func sampledOnlyPlan(o Options) engine.Plan {
+	sc := SampledConfig(o)
+	p := engine.Plan{Name: "sampled-only", Workloads: SampledWorkloadNames()}
+	for _, scheme := range sampledSchemes {
+		cfg := sampledSchemeConfig(o, scheme)
+		cfg.Sampling = sc
+		p = p.WithVariant(sampledKey(scheme), cfg)
+	}
+	return p
+}
+
+// Sampled runs the validation experiment. It executes the exact and
+// sampled halves as two separately-timed phases through the engine
+// directly — bypassing the session's sampling transform, so the exact
+// half stays exact even under `smsexp -sample-window`.
+func Sampled(ctx context.Context, s *Session) (*SampledResult, error) {
+	o := s.Options()
+	res := &SampledResult{Config: SampledConfig(o)}
+
+	sims := s.Engine().Simulations()
+	start := time.Now()
+	exact, err := s.Engine().Execute(ctx, sampledExactPlan(o))
+	if err != nil {
+		return nil, err
+	}
+	res.ExactSeconds = time.Since(start).Seconds()
+	res.ExactSimulations = s.Engine().Simulations() - sims
+
+	sims = s.Engine().Simulations()
+	start = time.Now()
+	sampled, err := s.Engine().Execute(ctx, sampledOnlyPlan(o))
+	if err != nil {
+		return nil, err
+	}
+	res.SampledSeconds = time.Since(start).Seconds()
+	res.SampledSimulations = s.Engine().Simulations() - sims
+
+	for _, name := range SampledWorkloadNames() {
+		for _, scheme := range sampledSchemes {
+			er := exact.Result(name, scheme)
+			sr := sampled.Result(name, sampledKey(scheme))
+			if sr.Sampling == nil {
+				return nil, fmt.Errorf("exp: sampled cell %s/%s carries no Sampling block", name, scheme)
+			}
+			l1, ok := sr.Sampling.Metric("l1_read_misses_per_read")
+			if !ok {
+				return nil, fmt.Errorf("exp: sampled cell %s/%s has no metrics (%d windows)", name, scheme, sr.Sampling.Windows)
+			}
+			off, _ := sr.Sampling.Metric("offchip_read_misses_per_read")
+			res.Rows = append(res.Rows, SampledRow{
+				Workload:          name,
+				Scheme:            scheme,
+				L1:                newMetricCheck(er.L1MissesPerAccess(), l1),
+				OffChip:           newMetricCheck(er.OffChipMissesPerAccess(), off),
+				Windows:           sr.Sampling.Windows,
+				SimulatedFraction: sr.Sampling.SimulatedFraction(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Covered counts rows where both compared intervals contain the exact
+// value; total is 2×len(Rows) checks.
+func (r *SampledResult) Covered() (covered, total int) {
+	for _, row := range r.Rows {
+		total += 2
+		if row.L1.Covered {
+			covered++
+		}
+		if row.OffChip.Covered {
+			covered++
+		}
+	}
+	return covered, total
+}
+
+// Speedup is the exact-to-sampled wall-clock ratio of the two Execute
+// phases, or 0 when either phase ran no simulations (a store-served
+// phase's wall clock measures cache reads, not simulation).
+func (r *SampledResult) Speedup() float64 {
+	if r.ExactSimulations == 0 || r.SampledSimulations == 0 || r.SampledSeconds == 0 {
+		return 0
+	}
+	return r.ExactSeconds / r.SampledSeconds
+}
+
+func fmtInterval(c SampledMetricCheck) string {
+	return fmt.Sprintf("%.4f±%.4f", c.Mean, c.HalfWidth)
+}
+
+func fmtCovered(c SampledMetricCheck) string {
+	if c.Covered {
+		return "yes"
+	}
+	return fmt.Sprintf("no (%.1f%% off)", 100*c.RelErr())
+}
+
+// Render formats the validation table.
+func (r *SampledResult) Render() string {
+	t := NewTable("Sampled vs exact: SMARTS-style sampling validation",
+		"workload", "scheme", "L1 exact", "L1 sampled", "in CI",
+		"off-chip exact", "off-chip sampled", "in CI", "windows")
+	cov, total := r.Covered()
+	caption := fmt.Sprintf(
+		"window %d / interval %d / warmup %d records at %.0f%% confidence; %d/%d intervals cover the exact value",
+		r.Config.WindowRecords, r.Config.IntervalRecords, r.Config.WarmupRecords,
+		100*r.Config.Confidence, cov, total)
+	if len(r.Rows) > 0 {
+		caption += fmt.Sprintf("; simulated fraction %.1f%%", 100*r.Rows[0].SimulatedFraction)
+	}
+	if sp := r.Speedup(); sp > 0 {
+		caption += fmt.Sprintf("; wall clock %.2fs exact vs %.2fs sampled (%.1fx)",
+			r.ExactSeconds, r.SampledSeconds, sp)
+	}
+	t.SetCaption(caption)
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload, row.Scheme,
+			fmt.Sprintf("%.4f", row.L1.Exact), fmtInterval(row.L1), fmtCovered(row.L1),
+			fmt.Sprintf("%.4f", row.OffChip.Exact), fmtInterval(row.OffChip), fmtCovered(row.OffChip),
+			fmt.Sprintf("%d", row.Windows))
+	}
+	return t.Render()
+}

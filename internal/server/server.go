@@ -686,6 +686,11 @@ type RunRequest struct {
 	// RegionSize optionally overrides the spatial region size in bytes
 	// (power of two, ≥ the 64 B block size).
 	RegionSize int `json:"region_size,omitempty"`
+	// Sampling optionally runs the simulation in SMARTS-style sampled
+	// mode (windowed measurement with confidence intervals in
+	// Result.Sampling). Omitted or zero keeps the exact mode; sampled and
+	// exact runs have distinct keys.
+	Sampling *sim.SamplingConfig `json:"sampling,omitempty"`
 }
 
 // RunResponse carries one simulation outcome.
@@ -716,6 +721,12 @@ func (s *Server) runConfig(req RunRequest) (sim.Config, error) {
 			return sim.Config{}, err
 		}
 		cfg.Geometry = geo
+	}
+	if req.Sampling != nil {
+		if err := req.Sampling.Validate(); err != nil {
+			return sim.Config{}, err
+		}
+		cfg.Sampling = *req.Sampling
 	}
 	return cfg, nil
 }

@@ -347,10 +347,29 @@ func TestRunJobLifecycle(t *testing.T) {
 		t.Error("region override did not change the run key")
 	}
 
+	// Sampled runs carry a Sampling block and key separately from exact.
+	code, body = postJSON(t, ts.URL+"/v1/runs",
+		`{"workload":"sparse","prefetcher":"sms","sampling":{"WindowRecords":500,"IntervalRecords":2000}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("sampled run status %d body %q", code, body)
+	}
+	sampled := pollJob(t, ts.URL, decodeJob(t, body).ID)
+	if sampled.State != JobDone {
+		t.Fatalf("sampled job settled as %s (%s)", sampled.State, sampled.Error)
+	}
+	if sampled.Result.Key == rr.Key {
+		t.Error("sampled run shares the exact run's key")
+	}
+	if sampled.Result.Result.Sampling == nil {
+		t.Error("sampled run result carries no Sampling block")
+	}
+
 	for _, bad := range []string{
 		`{"workload":"nope"}`,
 		`{"workload":"sparse","prefetcher":"nope"}`,
 		`{"workload":"sparse","region_size":7}`,
+		`{"workload":"sparse","sampling":{"WindowRecords":500,"IntervalRecords":100}}`,
+		`{"workload":"sparse","sampling":{"WindowRecords":500,"Confidence":2}}`,
 		`not json`,
 	} {
 		if code, _ := postJSON(t, ts.URL+"/v1/runs", bad); code != http.StatusBadRequest {

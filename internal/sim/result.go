@@ -66,6 +66,13 @@ type Result struct {
 	// (map[string]any with float64 numbers), so consumers must not
 	// type-assert the original structs on stored results.
 	PrefetcherStats []any
+
+	// Sampling summarizes the per-window samples of a SMARTS-style
+	// sampled run (mean ± Student's t confidence interval per headline
+	// metric). It is nil for exact runs, so exact-mode Result JSON — and
+	// the golden hashes pinned over it — is unchanged by sampled mode
+	// existing.
+	Sampling *SamplingSummary `json:",omitempty"`
 }
 
 // Instructions returns the committed-instruction count covered by the

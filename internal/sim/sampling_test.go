@@ -1,0 +1,289 @@
+package sim_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+
+	_ "repro/internal/nextline"
+)
+
+func TestSamplingConfigCanonical(t *testing.T) {
+	// Disabled configs normalize to the zero value regardless of what
+	// the other fields say, so every spelling of exact mode hashes
+	// identically.
+	off := sim.SamplingConfig{Confidence: 0.99, WarmupRecords: 7}
+	if got := off.Canonical(); got != (sim.SamplingConfig{}) {
+		t.Errorf("disabled config canonicalized to %+v, want zero", got)
+	}
+	// Enabled configs resolve defaults and are idempotent.
+	on := sim.SamplingConfig{WindowRecords: 1000}
+	c := on.Canonical()
+	want := sim.SamplingConfig{
+		WindowRecords:   1000,
+		IntervalRecords: sim.DefaultSamplingIntervalFactor * 1000,
+		WarmupRecords:   sim.DefaultSamplingWarmupFactor * 1000,
+		Confidence:      sim.DefaultSamplingConfidence,
+	}
+	if c != want {
+		t.Errorf("Canonical = %+v, want %+v", c, want)
+	}
+	if c.Canonical() != c {
+		t.Error("Canonical not idempotent")
+	}
+	// And through the full sim.Config canonicalization.
+	cfg := sim.Config{Sampling: on}
+	if cc := cfg.Canonical(); cc.Sampling != want {
+		t.Errorf("Config.Canonical().Sampling = %+v, want %+v", cc.Sampling, want)
+	}
+}
+
+func TestSamplingConfigValidate(t *testing.T) {
+	bad := []sim.SamplingConfig{
+		{WindowRecords: 4096, IntervalRecords: 1024}, // window > interval
+		{WindowRecords: 1024, Confidence: 1.5},       // confidence out of range
+		{WindowRecords: 1024, IntervalRecords: 8192, Confidence: -1},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", sc)
+		}
+		if _, err := sim.NewRunner(sim.Config{Sampling: sc}); err == nil {
+			t.Errorf("NewRunner accepted invalid sampling config %+v", sc)
+		}
+	}
+	if err := (sim.SamplingConfig{}).Validate(); err != nil {
+		t.Errorf("zero config should validate: %v", err)
+	}
+	if err := (sim.SamplingConfig{WindowRecords: 1024}).Validate(); err != nil {
+		t.Errorf("defaulted config should validate: %v", err)
+	}
+}
+
+func TestSampledRejectsInstructionWindows(t *testing.T) {
+	_, err := sim.NewRunner(sim.Config{
+		WindowInstructions: 4096,
+		Sampling:           sim.SamplingConfig{WindowRecords: 1024},
+	})
+	if err == nil {
+		t.Fatal("NewRunner accepted sampling + WindowInstructions")
+	}
+}
+
+// stripSampling marshals res with the Sampling block removed, so sampled
+// and exact runs can be compared on everything else.
+func stripSampling(t *testing.T, res *sim.Result) string {
+	t.Helper()
+	cp := *res
+	cp.Sampling = nil
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// The degenerate configuration — one window covering the whole trace —
+// must drive every record through the exact per-record path and
+// reproduce the exact-mode Result byte for byte.
+func TestSampledDegenerateMatchesExact(t *testing.T) {
+	const length = 60_000
+	wcfg := workload.Config{CPUs: 4, Seed: 3, Length: length}
+	w, err := workload.ByName("oltp-db2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Config{WarmupAccesses: length / 2, TrackGenerations: true}
+	for _, pf := range sim.Names() {
+		t.Run(pf, func(t *testing.T) {
+			exact := base
+			exact.PrefetcherName = pf
+			eres, err := sim.MustNewRunner(exact).RunContext(context.Background(), w.Make(wcfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sampled := exact
+			sampled.Sampling = sim.SamplingConfig{WindowRecords: length, IntervalRecords: length}
+			sres, err := sim.MustNewRunner(sampled).RunContext(context.Background(), w.Make(wcfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if sres.Sampling == nil {
+				t.Fatal("sampled run carries no Sampling block")
+			}
+			if sres.Sampling.MeasuredRecords != length || sres.Sampling.SkippedRecords != 0 {
+				t.Errorf("degenerate run measured %d / skipped %d records, want %d / 0",
+					sres.Sampling.MeasuredRecords, sres.Sampling.SkippedRecords, length)
+			}
+			if eres.Sampling != nil {
+				t.Error("exact run unexpectedly carries a Sampling block")
+			}
+			je, js := stripSampling(t, eres), stripSampling(t, sres)
+			if je != js {
+				t.Fatalf("degenerate sampled Result differs from exact:\nexact:   %s\nsampled: %s", je, js)
+			}
+		})
+	}
+}
+
+// nextOnly hides every batching/seeking capability of a source, forcing
+// the streamed fast-forward fallback.
+type nextOnly struct{ src trace.Source }
+
+func (s nextOnly) Next() (trace.Record, bool) { return s.src.Next() }
+
+// The cold-gap skip must be a pure repositioning: a sampled run over a
+// seekable source (in-memory slice, mmap'd v2 file) must produce exactly
+// the Result of the streamed fast-forward fallback over the same
+// records.
+func TestSampledSeekMatchesStreamedFastForward(t *testing.T) {
+	const length = 120_000
+	wcfg := workload.Config{CPUs: 4, Seed: 5, Length: length}
+	w, err := workload.ByName("web-apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := trace.Collect(w.Make(wcfg), 0)
+	if uint64(len(recs)) != length {
+		t.Fatalf("collected %d records, want %d", len(recs), length)
+	}
+
+	path := filepath.Join(t.TempDir(), "capture.smst")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := trace.NewV2Writer(f, trace.Header{CPUs: wcfg.CPUs, Workload: "web-apache", BlockRecords: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.WriteBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := sim.Config{
+		PrefetcherName: "sms",
+		WarmupAccesses: length / 2,
+		Sampling: sim.SamplingConfig{
+			WindowRecords:   1024,
+			IntervalRecords: 12_288,
+			WarmupRecords:   3072,
+		},
+	}
+
+	run := func(src trace.Source) *sim.Result {
+		t.Helper()
+		res, err := sim.MustNewRunner(cfg).RunContext(context.Background(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	seek := run(trace.NewSliceSource(recs))
+	streamed := run(nextOnly{trace.NewSliceSource(recs)})
+	m, err := trace.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	mapped := run(m)
+
+	if seek.Sampling == nil || seek.Sampling.SkippedRecords == 0 {
+		t.Fatalf("seek run skipped nothing: %+v", seek.Sampling)
+	}
+	if seek.Sampling.Windows < 2 {
+		t.Fatalf("too few sampled windows (%d) for the comparison to mean anything", seek.Sampling.Windows)
+	}
+	js, jf, jm := resultJSON(t, seek), resultJSON(t, streamed), resultJSON(t, mapped)
+	if js != jf {
+		t.Fatalf("seek-skip Result differs from streamed fast-forward:\nseek:     %s\nstreamed: %s", js, jf)
+	}
+	if js != jm {
+		t.Fatalf("mmap seek Result differs from in-memory seek:\nslice: %s\nmmap:  %s", js, jm)
+	}
+}
+
+// Statistical soundness: for every prefetcher and several seeds, the
+// sampled run's confidence interval must cover the exact-mode value of
+// the same metric — or at least land within a small relative distance of
+// it. The tolerance fallback exists because functional warming
+// introduces a small systematic bias (prefetch issue is suppressed
+// between windows) that no confidence level can absorb; it is part of
+// what sampling trades for speed, and the bound keeps it honest.
+func TestSampledCICoversExact(t *testing.T) {
+	const length = 400_000
+	seeds := []int64{1, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	w, err := workload.ByName("oltp-db2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const relTolerance = 0.10
+
+	for _, pf := range sim.Names() {
+		for _, seed := range seeds {
+			t.Run(pf, func(t *testing.T) {
+				wcfg := workload.Config{CPUs: 4, Seed: seed, Length: length}
+				cfg := sim.Config{PrefetcherName: pf, WarmupAccesses: length / 2}
+
+				eres, err := sim.MustNewRunner(cfg).RunContext(context.Background(), w.Make(wcfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				scfg := cfg
+				scfg.Sampling = sim.SamplingConfig{
+					WindowRecords:   2048,
+					IntervalRecords: 16_384,
+					WarmupRecords:   8192,
+					Confidence:      0.99,
+				}
+				sres, err := sim.MustNewRunner(scfg).RunContext(context.Background(), w.Make(wcfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sres.Sampling == nil || sres.Sampling.Windows < 5 {
+					t.Fatalf("sampled run produced %v windows, want >= 5", sres.Sampling)
+				}
+
+				checks := []struct {
+					metric string
+					exact  float64
+				}{
+					{"l1_read_misses_per_read", eres.L1MissesPerAccess()},
+					{"offchip_read_misses_per_read", eres.OffChipMissesPerAccess()},
+				}
+				for _, c := range checks {
+					m, ok := sres.Sampling.Metric(c.metric)
+					if !ok {
+						t.Fatalf("sampled summary lacks metric %s", c.metric)
+					}
+					covered := m.Interval().Contains(c.exact)
+					rel := math.Abs(m.Mean-c.exact) / math.Max(c.exact, 1e-12)
+					if !covered && rel > relTolerance {
+						t.Errorf("seed %d, %s: exact %.5f outside sampled %.5f ± %.5f (rel err %.1f%%, %d windows)",
+							seed, c.metric, c.exact, m.Mean, m.HalfWidth, 100*rel, sres.Sampling.Windows)
+					}
+				}
+			})
+		}
+	}
+}

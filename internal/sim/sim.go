@@ -18,6 +18,13 @@
 //     first use.
 //   - Statistics are collected only after a warm-up prefix of the trace
 //     (the paper uses half of each trace for warm-up).
+//
+// Besides exact mode (every record simulated in detail, the golden
+// reference), a Runner with Config.Sampling enabled runs SMARTS-style
+// sampled simulation: short detailed windows separated by functional
+// warming and fast-forwarded gaps, reporting each headline metric as a
+// mean ± Student's t confidence interval (see sampling.go and
+// Result.Sampling).
 package sim
 
 import (
@@ -77,6 +84,12 @@ type Config struct {
 	// MaxMLP caps the number of misses per overlap group (the MSHR
 	// bound on outstanding misses). 0 selects the default.
 	MaxMLP uint64
+	// Sampling, when enabled (WindowRecords > 0), switches the run to
+	// SMARTS-style sampled simulation: short detailed measurement
+	// windows separated by functional warming and fast-forwarded gaps,
+	// with per-window confidence intervals reported in Result.Sampling.
+	// The zero value keeps the exact, every-record mode.
+	Sampling SamplingConfig
 }
 
 // DefaultStreamRate bounds stream issue per processed access.
@@ -112,6 +125,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxMLP == 0 {
 		c.MaxMLP = DefaultMaxMLP
 	}
+	c.Sampling = c.Sampling.withDefaults()
 	return c
 }
 
@@ -154,6 +168,7 @@ type Runner struct {
 
 	res     Result
 	warm    bool
+	warming bool   // inside a sampled functional-warming phase: stats off
 	counted uint64 // accesses processed
 
 	// Per-record branch hoists, fixed at construction.
@@ -172,12 +187,21 @@ type Runner struct {
 	sres coherence.StreamResult
 
 	win winState
+
+	// sampled holds the SMARTS-style sampling state; nil in exact mode.
+	sampled *sampledState
 }
 
 // NewRunner builds a runner for cfg, attaching the prefetcher selected by
 // cfg.PrefetcherName from the registry.
 func NewRunner(cfg Config) (*Runner, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Sampling.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Sampling.Enabled() && cfg.WindowInstructions > 0 {
+		return nil, fmt.Errorf("sim: sampled mode is incompatible with the timing model's instruction windows (WindowInstructions); run the timing figures exact")
+	}
 	sys, err := coherence.New(cfg.Coherence)
 	if err != nil {
 		return nil, err
@@ -214,6 +238,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r.trackGens = cfg.TrackGenerations
 	r.hasWindows = cfg.WindowInstructions > 0
 	r.warm = cfg.WarmupAccesses == 0
+	if cfg.Sampling.Enabled() {
+		r.sampled = newSampledState(cfg.Sampling)
+	}
 	r.res.DensityL1 = newDensityHistogram()
 	r.res.DensityL2 = newDensityHistogram()
 	return r, nil
@@ -276,6 +303,9 @@ const DefaultBatchRecords = 4096
 // batch natively (all workload generators, trace.Reader) feed the
 // simulator with no per-record interface calls.
 func (r *Runner) RunContext(ctx context.Context, src trace.Source) (*Result, error) {
+	if r.sampled != nil {
+		return r.runSampled(ctx, src)
+	}
 	every := r.progressEvery
 	if every == 0 {
 		every = DefaultProgressInterval
@@ -360,7 +390,7 @@ func (r *Runner) Step(rec trace.Record) {
 	acc := &r.acc
 	r.sys.AccessInto(acc, cpu, rec.Addr, write)
 
-	if r.warm {
+	if r.collecting() {
 		r.account(rec, acc)
 		if r.hasWindows {
 			r.windowAccount(rec, acc)
@@ -456,10 +486,15 @@ func (r *Runner) feedInvalidations(acc *coherence.AccessResult) {
 	}
 }
 
+// collecting reports whether statistics should be recorded for the
+// current record: past the global warm-up prefix and not inside a
+// sampled functional-warming phase.
+func (r *Runner) collecting() bool { return r.warm && !r.warming }
+
 // countL2Overpredictions accounts overpredictions judged at the L2
 // lifetime: streamed blocks whose L2 copy (or only copy) died unused.
 func (r *Runner) countL2Overpredictions(acc *coherence.AccessResult) {
-	if !r.warm {
+	if !r.collecting() {
 		return
 	}
 	for _, ev := range acc.L2Evictions {
@@ -488,7 +523,7 @@ func (r *Runner) issueStreams(cpu int) {
 // stream applies one prefetch to the hierarchy at the engine's fill
 // level: L1 engines (SMS, LS) stream into L1, the rest into L2.
 func (r *Runner) stream(cpu int, a mem.Addr) {
-	if r.warm {
+	if r.collecting() {
 		r.res.StreamRequests++
 	}
 	sres := &r.sres
@@ -503,10 +538,10 @@ func (r *Runner) stream(cpu int, a mem.Addr) {
 		return
 	}
 	r.sys.L2StreamInto(sres, cpu, a)
-	if r.warm && !sres.AlreadyPresent {
-		r.res.OffChipBlocks++
-	}
-	if r.warm {
+	if r.collecting() {
+		if !sres.AlreadyPresent {
+			r.res.OffChipBlocks++
+		}
 		for _, ev := range sres.L2Evictions {
 			if ev.Dirty {
 				r.res.OffChipBlocks++
@@ -518,7 +553,7 @@ func (r *Runner) stream(cpu int, a mem.Addr) {
 // accountStreamTraffic counts the off-chip transfers caused by an
 // L1-targeted stream fill.
 func (r *Runner) accountStreamTraffic(sres *coherence.StreamResult) {
-	if !r.warm || sres.AlreadyPresent {
+	if !r.collecting() || sres.AlreadyPresent {
 		return
 	}
 	if !sres.L2Hit {
@@ -538,15 +573,15 @@ func (r *Runner) trackStreamEvictions(cpu int, sres *coherence.StreamResult) {
 		return
 	}
 	for _, ev := range sres.L1Evictions {
-		r.gensL1[cpu].remove(ev.Addr, r.warm, r.res.DensityL1, &r.res.OracleGenerationsL1)
+		r.gensL1[cpu].remove(ev.Addr, r.collecting(), r.res.DensityL1, &r.res.OracleGenerationsL1)
 	}
 	for _, ev := range sres.L2Evictions {
-		r.gensL2[cpu].remove(ev.Addr, r.warm, r.res.DensityL2, &r.res.OracleGenerationsL2)
+		r.gensL2[cpu].remove(ev.Addr, r.collecting(), r.res.DensityL2, &r.res.OracleGenerationsL2)
 	}
 }
 
 func (r *Runner) countStreamL2Evictions(sres *coherence.StreamResult) {
-	if !r.warm {
+	if !r.collecting() {
 		return
 	}
 	for _, ev := range sres.L2Evictions {
@@ -558,24 +593,32 @@ func (r *Runner) countStreamL2Evictions(sres *coherence.StreamResult) {
 
 // trackGenerations updates the density/oracle trackers at both levels.
 func (r *Runner) trackGenerations(cpu int, rec trace.Record, acc *coherence.AccessResult) {
+	r.trackGenerationsWarm(cpu, rec, acc, r.collecting())
+}
+
+// trackGenerationsWarm is trackGenerations with the warm flag explicit:
+// functional warming phases keep the tracker state coherent while
+// passing warm=false so generations ended there add nothing to the
+// histograms or oracle counts.
+func (r *Runner) trackGenerationsWarm(cpu int, rec trace.Record, acc *coherence.AccessResult, warm bool) {
 	g1 := r.gensL1[cpu]
-	g1.access(rec.Addr, !acc.L1Hit, r.warm)
+	g1.access(rec.Addr, !acc.L1Hit, warm)
 	for _, ev := range acc.L1Evictions {
-		g1.remove(ev.Addr, r.warm, r.res.DensityL1, &r.res.OracleGenerationsL1)
+		g1.remove(ev.Addr, warm, r.res.DensityL1, &r.res.OracleGenerationsL1)
 	}
 	g2 := r.gensL2[cpu]
 	if !acc.L1Hit {
-		g2.access(rec.Addr, acc.Missed(coherence.LevelL2), r.warm)
+		g2.access(rec.Addr, acc.Missed(coherence.LevelL2), warm)
 	}
 	for _, ev := range acc.L2Evictions {
-		g2.remove(ev.Addr, r.warm, r.res.DensityL2, &r.res.OracleGenerationsL2)
+		g2.remove(ev.Addr, warm, r.res.DensityL2, &r.res.OracleGenerationsL2)
 	}
 	for _, inv := range acc.Invalidations {
 		if inv.L1 {
-			r.gensL1[inv.CPU].remove(inv.Addr, r.warm, r.res.DensityL1, &r.res.OracleGenerationsL1)
+			r.gensL1[inv.CPU].remove(inv.Addr, warm, r.res.DensityL1, &r.res.OracleGenerationsL1)
 		}
 		if inv.L2 {
-			r.gensL2[inv.CPU].remove(inv.Addr, r.warm, r.res.DensityL2, &r.res.OracleGenerationsL2)
+			r.gensL2[inv.CPU].remove(inv.Addr, warm, r.res.DensityL2, &r.res.OracleGenerationsL2)
 		}
 	}
 }

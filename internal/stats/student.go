@@ -1,0 +1,135 @@
+package stats
+
+import "math"
+
+// This file provides the Student's t quantiles the sampled-simulation
+// mode needs at arbitrary confidence levels. tCritical95's lookup table
+// (stats.go) only covers the two-sided 95% level; SMARTS-style sampling
+// lets the caller pick the confidence, so the critical value is computed
+// from the t distribution itself via the regularized incomplete beta
+// function (the standard continued-fraction evaluation).
+
+// TCritical returns the two-sided critical value t* of Student's t
+// distribution with df degrees of freedom: P(|T| <= t*) = confidence.
+// df <= 0 yields +Inf (no samples bound nothing); confidence outside
+// (0, 1) yields NaN.
+func TCritical(confidence float64, df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return math.NaN()
+	}
+	// Two-sided tail mass: P(|T| > t) = I_x(df/2, 1/2) with
+	// x = df/(df+t^2), strictly decreasing in t. Bracket the root and
+	// bisect; ~60 iterations reach full float64 precision and the whole
+	// computation runs once per Result, far off any hot path.
+	tail := 1 - confidence
+	n := float64(df)
+	tailAt := func(t float64) float64 {
+		return regIncBeta(n/2, 0.5, n/(n+t*t))
+	}
+	hi := 1.0
+	for tailAt(hi) > tail {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := lo + (hi-lo)/2
+		if tailAt(mid) > tail {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// MeanCI returns the confidence interval for the mean of xs at the given
+// two-sided confidence level (e.g. 0.95). A single sample yields an
+// infinite half-width: one window bounds nothing.
+func MeanCI(xs []float64, confidence float64) Interval {
+	n := len(xs)
+	if n == 0 {
+		return Interval{}
+	}
+	m := Mean(xs)
+	if n == 1 {
+		return Interval{Mean: m, Half: math.Inf(1)}
+	}
+	se := StdDev(xs) / math.Sqrt(float64(n))
+	return Interval{Mean: m, Half: TCritical(confidence, n-1) * se}
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// evaluated by the symmetric continued fraction (Lentz's method); the
+// x < (a+1)/(a+b+2) split keeps the fraction in its fast-converging
+// region.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

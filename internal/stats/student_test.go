@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Reference two-sided critical values from standard t tables.
+func TestTCriticalAgainstTables(t *testing.T) {
+	cases := []struct {
+		confidence float64
+		df         int
+		want       float64
+	}{
+		{0.95, 1, 12.706},
+		{0.95, 2, 4.303},
+		{0.95, 5, 2.571},
+		{0.95, 10, 2.228},
+		{0.95, 30, 2.042},
+		{0.95, 100, 1.984},
+		{0.99, 5, 4.032},
+		{0.99, 10, 3.169},
+		{0.99, 30, 2.750},
+		{0.90, 5, 2.015},
+		{0.90, 10, 1.812},
+		{0.80, 10, 1.372},
+	}
+	for _, c := range cases {
+		got := TCritical(c.confidence, c.df)
+		if math.Abs(got-c.want) > 5e-3*c.want {
+			t.Errorf("TCritical(%g, %d) = %.4f, want ~%.3f", c.confidence, c.df, got, c.want)
+		}
+	}
+}
+
+// The computed 95% quantiles must agree with the tabulated ones the rest
+// of the toolkit uses, across the whole table range.
+func TestTCriticalMatches95Table(t *testing.T) {
+	for df := 1; df <= 30; df++ {
+		got := TCritical(0.95, df)
+		want := tCritical95(df)
+		if math.Abs(got-want) > 1e-3*want {
+			t.Errorf("df=%d: TCritical=%.4f, table=%.4f", df, got, want)
+		}
+	}
+}
+
+func TestTCriticalLargeDfApproachesNormal(t *testing.T) {
+	got := TCritical(0.95, 100000)
+	if math.Abs(got-1.96) > 0.001 {
+		t.Errorf("TCritical(0.95, 1e5) = %.4f, want ~1.960", got)
+	}
+}
+
+func TestTCriticalDegenerate(t *testing.T) {
+	if !math.IsInf(TCritical(0.95, 0), 1) {
+		t.Error("df=0 should be +Inf")
+	}
+	if !math.IsNaN(TCritical(1.5, 10)) || !math.IsNaN(TCritical(0, 10)) {
+		t.Error("confidence outside (0,1) should be NaN")
+	}
+}
+
+func TestTCriticalMonotonicInConfidence(t *testing.T) {
+	prev := 0.0
+	for _, conf := range []float64{0.5, 0.8, 0.9, 0.95, 0.99, 0.999} {
+		v := TCritical(conf, 8)
+		if v <= prev {
+			t.Fatalf("TCritical not increasing: %g at %g after %g", v, conf, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	iv95 := MeanCI(xs, 0.95)
+	want := MeanCI95(xs)
+	if math.Abs(iv95.Mean-want.Mean) > 1e-12 || math.Abs(iv95.Half-want.Half) > 1e-3*want.Half {
+		t.Errorf("MeanCI(0.95) = %v, MeanCI95 = %v", iv95, want)
+	}
+	iv99 := MeanCI(xs, 0.99)
+	if iv99.Half <= iv95.Half {
+		t.Errorf("99%% interval (%g) not wider than 95%% (%g)", iv99.Half, iv95.Half)
+	}
+	if n1 := MeanCI([]float64{7}, 0.95); !math.IsInf(n1.Half, 1) || n1.Mean != 7 {
+		t.Errorf("single sample: got %v, want mean 7 half +Inf", n1)
+	}
+	if z := MeanCI(nil, 0.95); z != (Interval{}) {
+		t.Errorf("empty samples: got %v, want zero interval", z)
+	}
+}
+
+// regIncBeta sanity: I_x(1,1) is the uniform CDF; symmetry relation
+// I_x(a,b) = 1 - I_{1-x}(b,a).
+func TestRegIncBeta(t *testing.T) {
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%g(1,1) = %g, want %g", x, got, x)
+		}
+	}
+	for _, x := range []float64{0.2, 0.5, 0.7} {
+		a, b := 3.0, 0.5
+		lhs := regIncBeta(a, b, x)
+		rhs := 1 - regIncBeta(b, a, 1-x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("symmetry broken at x=%g: %g vs %g", x, lhs, rhs)
+		}
+	}
+}

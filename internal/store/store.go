@@ -42,7 +42,12 @@ import (
 // /2: sim.Config lost the deprecated Prefetcher enum field, changing the
 // canonical JSON that run identities hash. Results are unchanged, but
 // pre-/2 store objects are unreachable under the new addresses.
-const VersionSalt = "sms-repro/2"
+//
+// /3: sim.Config gained the Sampling block and figure identities gained a
+// sampling scope, changing both hashed serializations. Exact results are
+// unchanged, but pre-/3 store objects are unreachable under the new
+// addresses.
+const VersionSalt = "sms-repro/3"
 
 // DefaultMemoryBytes bounds the in-memory LRU layer by default.
 const DefaultMemoryBytes = 64 << 20
@@ -67,12 +72,13 @@ type runIdentity struct {
 
 // figureIdentity is the hashed form of one rendered figure.
 type figureIdentity struct {
-	Kind   string `json:"kind"`
-	Salt   string `json:"salt"`
-	Figure string `json:"figure"`
-	CPUs   int    `json:"cpus"`
-	Seed   int64  `json:"seed"`
-	Length uint64 `json:"length"`
+	Kind     string             `json:"kind"`
+	Salt     string             `json:"salt"`
+	Figure   string             `json:"figure"`
+	CPUs     int                `json:"cpus"`
+	Seed     int64              `json:"seed"`
+	Length   uint64             `json:"length"`
+	Sampling sim.SamplingConfig `json:"sampling"`
 }
 
 func hashIdentity(id any) string {
@@ -103,15 +109,18 @@ func ForRun(workloadName string, wcfg workload.Config, scfg sim.Config) string {
 
 // ForFigure returns the content address of a rendered figure under the
 // given experiment scope (figure name + the options that shape every run
-// inside it).
-func ForFigure(figure string, cpus int, seed int64, length uint64) string {
+// inside it). The sampling config is part of the scope, so sampled and
+// exact renderings of the same figure memoize separately; pass the zero
+// value for exact figures.
+func ForFigure(figure string, cpus int, seed int64, length uint64, sampling sim.SamplingConfig) string {
 	return hashIdentity(figureIdentity{
-		Kind:   "figure",
-		Salt:   VersionSalt,
-		Figure: figure,
-		CPUs:   cpus,
-		Seed:   seed,
-		Length: length,
+		Kind:     "figure",
+		Salt:     VersionSalt,
+		Figure:   figure,
+		CPUs:     cpus,
+		Seed:     seed,
+		Length:   length,
+		Sampling: sampling.Canonical(),
 	})
 }
 

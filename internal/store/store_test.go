@@ -40,6 +40,7 @@ func TestForRunCanonicalizes(t *testing.T) {
 		"prefetcher": ForRun("sparse", wcfg, sim.Config{PrefetcherName: "ghb"}),
 		"seed":       ForRun("sparse", workload.Config{CPUs: 4, Seed: 2}, sim.Config{PrefetcherName: "sms"}),
 		"warmup":     ForRun("sparse", wcfg, sim.Config{PrefetcherName: "sms", WarmupAccesses: 7}),
+		"sampling":   ForRun("sparse", wcfg, sim.Config{PrefetcherName: "sms", Sampling: sim.SamplingConfig{WindowRecords: 1024}}),
 	} {
 		if other == a {
 			t.Errorf("changing %s did not change the key", name)
@@ -48,15 +49,25 @@ func TestForRunCanonicalizes(t *testing.T) {
 }
 
 func TestForFigureKeys(t *testing.T) {
-	a := ForFigure("fig8", 2, 1, 200_000)
-	if a == ForFigure("fig9", 2, 1, 200_000) {
+	a := ForFigure("fig8", 2, 1, 200_000, sim.SamplingConfig{})
+	if a == ForFigure("fig9", 2, 1, 200_000, sim.SamplingConfig{}) {
 		t.Error("figure name not in key")
 	}
-	if a == ForFigure("fig8", 2, 1, 100_000) {
+	if a == ForFigure("fig8", 2, 1, 100_000, sim.SamplingConfig{}) {
 		t.Error("length not in key")
 	}
-	if a != ForFigure("fig8", 2, 1, 200_000) {
+	if a != ForFigure("fig8", 2, 1, 200_000, sim.SamplingConfig{}) {
 		t.Error("key not deterministic")
+	}
+	sampled := ForFigure("fig8", 2, 1, 200_000, sim.SamplingConfig{WindowRecords: 1024})
+	if a == sampled {
+		t.Error("sampling config not in key")
+	}
+	// Equivalent spellings of the same sampling config address the same
+	// figure: the key hashes the canonical form.
+	spelled := ForFigure("fig8", 2, 1, 200_000, (sim.SamplingConfig{WindowRecords: 1024}).Canonical())
+	if sampled != spelled {
+		t.Error("defaulted and canonical sampling configs address different figures")
 	}
 }
 
@@ -121,7 +132,7 @@ func TestFigureRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := ForFigure("fig8", 2, 1, 200_000)
+	key := ForFigure("fig8", 2, 1, 200_000, sim.SamplingConfig{})
 	if _, ok := s.GetFigure(key); ok {
 		t.Fatal("hit on empty store")
 	}
@@ -141,7 +152,7 @@ func TestCorruptObjectIsAMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := ForFigure("fig4", 2, 1, 1000)
+	key := ForFigure("fig4", 2, 1, 1000, sim.SamplingConfig{})
 	if err := s.PutFigure(key, "good"); err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +191,7 @@ func TestProbeDoesNotCountMisses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := ForFigure("fig4", 1, 1, 10)
+	key := ForFigure("fig4", 1, 1, 10, sim.SamplingConfig{})
 	if _, ok := s.ProbeFigure(key); ok {
 		t.Fatal("probe hit on empty store")
 	}
@@ -209,7 +220,7 @@ func TestObjectsAreWorldReadable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := ForFigure("fig4", 1, 1, 10)
+	key := ForFigure("fig4", 1, 1, 10, sim.SamplingConfig{})
 	if err := s.PutFigure(key, "x"); err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +240,7 @@ func TestAtomicWritesLeaveNoTempFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, fig := range []string{"fig4", "fig5", "fig6"} {
-		if err := s.PutFigure(ForFigure(fig, 2, int64(i), 1000), "x"); err != nil {
+		if err := s.PutFigure(ForFigure(fig, 2, int64(i), 1000, sim.SamplingConfig{}), "x"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -258,8 +269,8 @@ func TestMemoryLayerEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k1 := ForFigure("fig4", 1, 1, 10)
-	k2 := ForFigure("fig5", 1, 1, 10)
+	k1 := ForFigure("fig4", 1, 1, 10, sim.SamplingConfig{})
+	k2 := ForFigure("fig5", 1, 1, 10, sim.SamplingConfig{})
 	if err := s.PutFigure(k1, "first object, forty-plus bytes of text"); err != nil {
 		t.Fatal(err)
 	}

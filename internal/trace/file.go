@@ -255,6 +255,8 @@ type MappedSource struct {
 	owned *File // non-nil when OpenMapped owns the underlying File
 }
 
+var _ Seeker = (*MappedSource)(nil)
+
 func newMappedSource(meta *v2meta, data []byte, owned *File) *MappedSource {
 	m := &MappedSource{owned: owned}
 	m.init(meta, func(i int) ([]byte, error) {

@@ -167,6 +167,32 @@ func (s *SliceSource) NextView(max int) []Record {
 	return rest
 }
 
+// Seek implements Seeker: it repositions the source at record index rec,
+// clamped to the end of the slice.
+func (s *SliceSource) Seek(rec uint64) error {
+	if rec > uint64(len(s.recs)) {
+		rec = uint64(len(s.recs))
+	}
+	s.i = int(rec)
+	return nil
+}
+
+// Records implements Seeker: the total record count.
+func (s *SliceSource) Records() uint64 { return uint64(len(s.recs)) }
+
+// Seeker is a Source that can reposition to an absolute record index in
+// O(1) decodes and knows its total length: in-memory slices and mmap'd
+// v2 traces. Seeking past the end clamps (subsequent reads report
+// exhaustion). The sampled simulation mode uses it to skip the cold gap
+// between measurement windows instead of streaming through it.
+type Seeker interface {
+	Source
+	Seek(rec uint64) error
+	Records() uint64
+}
+
+var _ Seeker = (*SliceSource)(nil)
+
 // ViewSource is an optional refinement of BatchSource for sources whose
 // records already live in memory: NextView returns up to max records as a
 // slice borrowed from the source (valid until the next call), letting

@@ -4,7 +4,11 @@
 # Usage:
 #   scripts/bench.sh [OUTFILE]          # record (default BENCH_after.json)
 #   scripts/bench.sh --check            # CI gate: fail if any hot-path
-#                                       # benchmark allocates per op
+#                                       # benchmark allocates per op, or
+#                                       # regressed >BENCH_TOLERANCE %
+#                                       # (default 15) in ns/record vs
+#                                       # the last BENCH_history.jsonl
+#                                       # recording on this machine
 #
 # The headline benchmarks cover the full record hot path (trace
 # generation -> coherent hierarchy -> SMS -> accounting), the trace
@@ -20,9 +24,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-HEADLINE='^(BenchmarkSimulatorThroughput|BenchmarkTraceGeneration|BenchmarkTraceReplay|BenchmarkFig8Training)$'
+HEADLINE='^(BenchmarkSimulatorThroughput|BenchmarkSampledThroughput|BenchmarkTraceGeneration|BenchmarkTraceReplay|BenchmarkFig8Training)$'
 # Benchmarks that must not allocate per record in steady state.
-ZERO_ALLOC='BenchmarkSimulatorThroughput|BenchmarkTraceGeneration|BenchmarkTraceReplay'
+ZERO_ALLOC='BenchmarkSimulatorThroughput|BenchmarkSampledThroughput|BenchmarkTraceGeneration|BenchmarkTraceReplay'
 
 run_bench() {
 	go test -run '^$' -bench "$HEADLINE" -benchmem -benchtime=2s -count=3 .
@@ -44,6 +48,57 @@ if [ "${1:-}" = "--check" ]; then
 		END { exit bad }
 	'
 	echo "bench allocation check passed: hot-path benchmarks run at 0 B/op, 0 allocs/op"
+
+	# Regression gate: compare ns/op (= ns/record) per benchmark against
+	# the most recent BENCH_history.jsonl recording. History lines embed
+	# the recorded JSON, so the baseline comes from one sed pass over the
+	# last line. The comparison gets its own time-based run (best of 3 at
+	# 1s, close to how recordings are made) — the fixed-iteration alloc
+	# run above measures ~20ms per benchmark, which is inside CPU
+	# frequency-scaling noise and not comparable to a 2s recording. Only
+	# benchmarks present in both sets are compared; with no history
+	# (fresh clone, CI runner) the gate is a no-op, since cross-machine
+	# numbers are not comparable.
+	HIST=BENCH_history.jsonl
+	tol=${BENCH_TOLERANCE:-15}
+	if [ ! -s "$HIST" ]; then
+		echo "no $HIST baseline on this machine; skipping regression comparison"
+		exit 0
+	fi
+	baseline=$(tail -n 1 "$HIST" | tr '{' '\n' | sed -n 's/.*"name": "\([^"]*\)", "ns_per_op": \([0-9.]*\).*/\1 \2/p')
+	cmp=$(go test -run '^$' -bench "^(${ZERO_ALLOC})\$" -benchtime=1s -count=3 .)
+	echo "$cmp" | awk -v tol="$tol" -v baseline="$baseline" '
+		BEGIN {
+			n = split(baseline, lines, "\n")
+			for (i = 1; i <= n; i++) {
+				split(lines[i], kv, " ")
+				if (kv[1] != "") base[kv[1]] = kv[2]
+			}
+		}
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			ns = ""
+			for (i = 1; i <= NF; i++) if ($i == "ns/op") ns = $(i-1)
+			if (ns == "") next
+			if (!(name in cur) || ns + 0 < cur[name] + 0) cur[name] = ns
+		}
+		END {
+			for (name in cur) {
+				if (!(name in base)) continue
+				limit = base[name] * (1 + tol / 100)
+				if (cur[name] + 0 > limit) {
+					printf "FAIL: %s regressed to %.1f ns/op, baseline %.1f (tolerance %s%%)\n", name, cur[name], base[name], tol
+					bad = 1
+				} else {
+					printf "ok: %s %.1f ns/op vs baseline %.1f (tolerance %s%%)\n", name, cur[name], base[name], tol
+				}
+				compared++
+			}
+			if (!compared) print "no overlapping benchmarks with baseline; nothing compared"
+			if (bad) exit 1
+		}
+	'
+	echo "bench regression check passed (tolerance ${tol}%)"
 	exit 0
 fi
 
@@ -77,7 +132,7 @@ echo "$raw" | awk -v go_version="$(go env GOVERSION)" '
 			if (bbytes[name] != "") printf ", \"bytes_per_op\": %s", bbytes[name]
 			if (ballocs[name] != "") printf ", \"allocs_per_op\": %s", ballocs[name]
 			# Per-record benchmarks: ns/op is ns/record; 26 B/record on the wire.
-			if (name ~ /SimulatorThroughput|TraceGeneration|TraceReplay/) {
+			if (name ~ /SimulatorThroughput|SampledThroughput|TraceGeneration|TraceReplay/) {
 				printf ", \"ns_per_record\": %s, \"mb_per_s\": %.1f", best[name], 26 * 1000 / best[name]
 			}
 			printf "}"

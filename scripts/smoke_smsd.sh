@@ -2,11 +2,13 @@
 # Smoke test for the smsd async job API: start the daemon, submit a job
 # and poll it to completion, then cancel a second (long) one and check it
 # settles as cancelled. Run from the repository root; needs curl.
+#
+# Each daemon binds -addr 127.0.0.1:0 and the script reads the
+# kernel-assigned port back from the startup log line, so concurrent
+# smoke runs (or a developer's own smsd on :8344) never collide.
 set -eu
 
 BIN=${BIN:-./smsd-smoke-bin}
-PORT_FAST=${PORT_FAST:-18344}
-PORT_SLOW=${PORT_SLOW:-18345}
 
 say() { echo "smoke: $*"; }
 fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
@@ -29,11 +31,34 @@ json_field() {
     sed -n "s/^.*\"$2\": \"\([^\"]*\)\".*$/\1/p" "$1" | head -n 1
 }
 
+# wait_port LOGFILE → the port from "smsd listening on 127.0.0.1:PORT",
+# polled until the daemon writes it. A daemon that dies before binding
+# would hang this loop, so the timeout path dumps the log — the failure
+# reason (bad flag, port exhaustion, panic) is in there, not here.
+wait_port() {
+    i=0
+    while :; do
+        port=$(sed -n 's/.*smsd listening on [^ ]*:\([0-9][0-9]*\) .*/\1/p' "$1" | head -n 1)
+        [ -n "$port" ] && { echo "$port"; return 0; }
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "smoke: FAIL: daemon never logged its listen address; log follows" >&2
+            sed 's/^/smoke:   | /' "$1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
 wait_healthy() {
     i=0
     while ! curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
         i=$((i + 1))
-        [ "$i" -gt 100 ] && fail "daemon on :$1 never became healthy"
+        if [ "$i" -gt 100 ]; then
+            echo "smoke: FAIL: daemon on :$1 never became healthy; log follows" >&2
+            sed 's/^/smoke:   | /' "$2" >&2
+            exit 1
+        fi
         sleep 0.1
     done
 }
@@ -41,9 +66,11 @@ wait_healthy() {
 TMP=$(mktemp -d)
 
 # --- Job to completion, against a fast daemon ------------------------------
-"$BIN" -addr "127.0.0.1:$PORT_FAST" -cpus 1 -length 120000 >"$TMP/fast.log" 2>&1 &
+"$BIN" -addr 127.0.0.1:0 -cpus 1 -length 120000 >"$TMP/fast.log" 2>&1 &
 FAST_PID=$!
-wait_healthy "$PORT_FAST"
+PORT_FAST=$(wait_port "$TMP/fast.log")
+wait_healthy "$PORT_FAST" "$TMP/fast.log"
+say "fast daemon on :$PORT_FAST"
 
 curl -fsS -X POST "http://127.0.0.1:$PORT_FAST/v1/runs" \
     -d '{"workload":"sparse","prefetcher":"sms"}' >"$TMP/submit.json"
@@ -66,10 +93,33 @@ done
 grep -q '"workload": "sparse"' "$TMP/poll.json" || fail "done job carries no result"
 say "job $JOB completed with a result"
 
+# --- Sampled run: the job API's sampling field end to end ------------------
+curl -fsS -X POST "http://127.0.0.1:$PORT_FAST/v1/runs" \
+    -d '{"workload":"sparse","prefetcher":"sms","sampling":{"WindowRecords":500,"IntervalRecords":4000}}' \
+    >"$TMP/submit_s.json"
+JOBS=$(json_field "$TMP/submit_s.json" id)
+[ -n "$JOBS" ] || fail "no job id in sampled submit: $(cat "$TMP/submit_s.json")"
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_FAST/v1/jobs/$JOBS" >"$TMP/poll_s.json"
+    STATE=$(json_field "$TMP/poll_s.json" state)
+    case "$STATE" in
+    done) break ;;
+    failed | cancelled) fail "sampled job settled as $STATE: $(cat "$TMP/poll_s.json")" ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && fail "sampled job stuck in state $STATE"
+    sleep 0.2
+done
+grep -q '"Sampling"' "$TMP/poll_s.json" || fail "sampled job result carries no Sampling block"
+say "sampled job $JOBS completed with confidence intervals"
+
 # --- Cancellation, against a daemon with a very long trace -----------------
-"$BIN" -addr "127.0.0.1:$PORT_SLOW" -cpus 1 -length 200000000 >"$TMP/slow.log" 2>&1 &
+"$BIN" -addr 127.0.0.1:0 -cpus 1 -length 200000000 >"$TMP/slow.log" 2>&1 &
 SLOW_PID=$!
-wait_healthy "$PORT_SLOW"
+PORT_SLOW=$(wait_port "$TMP/slow.log")
+wait_healthy "$PORT_SLOW" "$TMP/slow.log"
+say "slow daemon on :$PORT_SLOW"
 
 curl -fsS -X POST "http://127.0.0.1:$PORT_SLOW/v1/runs" \
     -d '{"workload":"ocean","prefetcher":"sms"}' >"$TMP/submit2.json"
