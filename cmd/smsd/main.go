@@ -25,7 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -53,27 +53,63 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		quick    = flag.Bool("quick", false, "abbreviated runs (overrides -cpus/-length)")
 		grace    = flag.Duration("shutdown-deadline", 15*time.Second, "bound on graceful shutdown: in-flight simulations are cancelled, not drained")
+
+		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		logFormat = flag.String("log-format", "text", "log format: text | json")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *storeDir, *workers, *queue, *cpus, *seed, *length, *parallel, *quick, *grace); err != nil {
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "smsd:", err)
+		os.Exit(2)
+	}
+	// The store (and any library code) logs through slog's default too.
+	slog.SetDefault(logger)
+
+	if err := run(logger, *addr, *storeDir, *workers, *queue, *cpus, *seed, *length, *parallel, *quick, *pprofOn, *grace); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uint64, parallel int, quick bool, grace time.Duration) error {
+// buildLogger assembles the daemon's structured logger from the CLI
+// flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+func run(logger *slog.Logger, addr, storeDir string, workers, queue, cpus int, seed int64, length uint64, parallel int, quick, pprofOn bool, grace time.Duration) error {
 	session := exp.NewSession(exp.CLIOptions(cpus, seed, length, parallel, quick))
 	if err := exp.AttachStore(session, storeDir); err != nil {
 		return err
 	}
 	if st := session.Store(); st != nil {
-		log.Printf("result store at %s", st.Dir())
+		logger.Info("result store attached", "dir", st.Dir())
 	} else {
-		log.Printf("no -store directory: results cached in memory only")
+		logger.Info("no -store directory: results cached in memory only")
 	}
 
-	srv, err := server.New(server.Config{Session: session, Workers: workers, Queue: queue})
+	srv, err := server.New(server.Config{
+		Session: session,
+		Workers: workers,
+		Queue:   queue,
+		Logger:  logger,
+		Pprof:   pprofOn,
+	})
 	if err != nil {
 		return err
 	}
@@ -95,7 +131,9 @@ func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uin
 		return err
 	}
 	o := session.Options()
-	log.Printf("smsd listening on %s (cpus=%d seed=%d length=%d)", ln.Addr(), o.CPUs, o.Seed, o.Length)
+	logger.Info("smsd listening",
+		"addr", ln.Addr().String(), "cpus", o.CPUs, "seed", o.Seed,
+		"length", o.Length, "pprof", pprofOn)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -107,7 +145,7 @@ func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uin
 		// daemon's jobs before returning.
 		srv.Close()
 	case <-ctx.Done():
-		log.Printf("shutting down (deadline %v)", grace)
+		logger.Info("shutting down", "deadline", grace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 		// Cancel every job first — in-flight simulations stop within one
 		// progress interval, so even a synchronous figure request mid-
@@ -118,7 +156,7 @@ func run(addr, storeDir string, workers, queue, cpus int, seed int64, length uin
 		srv.CancelJobs()
 		_ = httpSrv.Shutdown(shutdownCtx)
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("worker pool did not drain before the deadline: %v", err)
+			logger.Warn("worker pool did not drain before the deadline", "err", err)
 		}
 		cancel()
 		serveErr = <-errc

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -56,6 +57,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		quick    = fs.Bool("quick", false, "abbreviated runs (overrides -cpus/-length)")
 		storeDir = fs.String("store", "", "persistent result store directory (reused across runs and by smsd)")
+		traceOut = fs.String("trace-out", "", "write run-phase spans as Chrome trace-event JSON (load via chrome://tracing or ui.perfetto.dev)")
 
 		sample         = fs.Bool("sample", false, "run figures in SMARTS-style sampled mode with figure-scale defaults")
 		sampleWindow   = fs.Uint64("sample-window", 0, "sampling: detailed window length in records (implies -sample)")
@@ -97,6 +99,14 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	if err := exp.AttachStore(session, *storeDir); err != nil {
 		fmt.Fprintln(stderr, "smsexp:", err)
 		return 1
+	}
+
+	// The tracer spans everything below — the prewarm grid and every
+	// figure — so one trace file shows the whole invocation's timeline.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
 	}
 
 	args := fs.Args()
@@ -147,6 +157,22 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, out)
 		fmt.Fprintf(stderr, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "smsexp:", err)
+			return 1
+		}
+		if err := tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "smsexp: writing trace:", err)
+			return 1
+		}
 	}
 	return 0
 }

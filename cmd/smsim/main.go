@@ -24,6 +24,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/ghb"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -48,6 +49,7 @@ func main() {
 		storeDir   = flag.String("store", "", "persistent result store directory (shared with smsexp/smsd)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
+		traceOut   = flag.String("trace-out", "", "write run-phase spans as Chrome trace-event JSON (load via chrome://tracing or ui.perfetto.dev)")
 
 		sampleWindow   = flag.Uint64("sample-window", 0, "SMARTS sampling: detailed window length in records (0 = exact mode)")
 		sampleInterval = flag.Uint64("sample-interval", 0, "SMARTS sampling: records per interval (0 = 50x window)")
@@ -144,9 +146,19 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	res, err := session.Run(ctx, w.Name, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if tracer != nil {
+		if err := writeChromeTrace(*traceOut, tracer); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("workload        %s (%s)\n", w.Name, w.Group)
@@ -212,4 +224,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "smsim:", err)
 	os.Exit(1)
+}
+
+// writeChromeTrace dumps the run's spans as Chrome trace-event JSON.
+func writeChromeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

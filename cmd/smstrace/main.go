@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -194,6 +195,7 @@ func cmdGen(args []string, stdout, stderr io.Writer) error {
 	length := fs.Uint64("length", 1_000_000, "accesses")
 	format := fs.String("format", "v2", "output format (v1 or v2; -store requires v2)")
 	block := fs.Int("block", 0, "records per v2 block (0 = default)")
+	traceOut := fs.String("trace-out", "", "write capture-phase spans as Chrome trace-event JSON")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -221,6 +223,27 @@ func cmdGen(args []string, stdout, stderr io.Writer) error {
 		BlockRecords: *block,
 	}
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	// writeSpans is deferred work the happy paths share; a nil tracer
+	// makes it a no-op.
+	writeSpans := func() error {
+		if tracer == nil {
+			return nil
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -231,19 +254,23 @@ func cmdGen(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		src := w.Make(cfg)
+		sp := tracer.Start("trace-generate", "smstrace", *name)
 		if _, err := copyRecords(src, sink.W, 0); err != nil {
 			sink.Abort()
 			return err
 		}
+		sp.End()
 		if err := sourceErr(src); err != nil {
 			sink.Abort()
 			return err
 		}
+		sp = tracer.Start("trace-commit", "smstrace", *name)
 		if err := sink.Commit(); err != nil {
 			return err
 		}
+		sp.End()
 		fmt.Fprintf(stdout, "captured %d records into the trace tier at %s\nkey %s\n", sink.W.Count(), *storeDir, key)
-		return nil
+		return writeSpans()
 	}
 
 	tw, finish, err := fileWriter(*out, version, hdr)
@@ -251,6 +278,7 @@ func cmdGen(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	src := w.Make(cfg)
+	sp := tracer.Start("trace-generate", "smstrace", *name)
 	if _, err := copyRecords(src, tw, 0); err != nil {
 		finish()
 		return err
@@ -262,8 +290,9 @@ func cmdGen(args []string, stdout, stderr io.Writer) error {
 	if err := finish(); err != nil {
 		return err
 	}
+	sp.End()
 	fmt.Fprintf(stdout, "wrote %d records to %s (%s)\n", tw.Count(), *out, *format)
-	return nil
+	return writeSpans()
 }
 
 func cmdStat(args []string, stdout, stderr io.Writer) error {

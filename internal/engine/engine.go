@@ -18,7 +18,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -275,8 +277,29 @@ func (e *Engine) run(ctx context.Context, workloadName string, cfg sim.Config, k
 // simulate performs the store lookup and, on a miss, the actual
 // simulation under the worker-pool bound.
 func (e *Engine) simulate(ctx context.Context, workloadName string, cfg sim.Config, key string, emit func(Event)) (*sim.Result, error) {
+	tr := obs.TracerFrom(ctx)
+	// Each run gets its own trace row: workload/prefetcher plus a key
+	// prefix, so concurrent runs don't interleave on one Chrome track.
+	var track string
+	runCtx := ctx
+	if tr != nil {
+		pf := cfg.PrefetcherName
+		if pf == "" {
+			pf = "none"
+		}
+		short := key
+		if len(short) > 8 {
+			short = short[:8]
+		}
+		track = workloadName + "/" + pf + " " + short
+		runCtx = obs.WithTrack(ctx, track)
+	}
+
 	if e.cfg.Store != nil {
-		if res, ok := e.cfg.Store.GetResult(key); ok {
+		sp := tr.Start("store-get", "store", track)
+		res, ok := e.cfg.Store.GetResult(key)
+		sp.End()
+		if ok {
 			e.storeHits.Add(1)
 			emit(Event{Kind: RunCached})
 			return res, nil
@@ -306,11 +329,19 @@ func (e *Engine) simulate(ctx context.Context, workloadName string, cfg sim.Conf
 		emit(Event{Kind: RunProgress, Records: records})
 	})
 	e.sims.Add(1)
+	t0 := time.Now()
 	src, generated := e.traceSource(w)
 	if generated {
 		e.generations.Add(1)
+		tr.Add("trace-generate", "engine", track, t0, time.Now())
+	} else {
+		// Memo/mmap replay: the source opens here in O(1); decode time
+		// lands inside the run span (and the sim phase spans).
+		tr.Add("trace-open", "engine", track, t0, time.Now())
 	}
-	res, err := runner.RunContext(ctx, src)
+	runSpan := tr.Start("run", "engine", track)
+	res, err := runner.RunContext(runCtx, src)
+	runSpan.End()
 	if err != nil {
 		if isCtxErr(err) {
 			e.cancelled.Add(1)
@@ -319,8 +350,10 @@ func (e *Engine) simulate(ctx context.Context, workloadName string, cfg sim.Conf
 		return nil, err
 	}
 	if e.cfg.Store != nil {
+		sp := tr.Start("store-put", "store", track)
 		// The store is a cache: a failed write must not lose the result.
 		_ = e.cfg.Store.PutResult(key, res)
+		sp.End()
 	}
 	emit(Event{Kind: RunFinished})
 	return res, nil
@@ -338,7 +371,9 @@ func (e *Engine) simulate(ctx context.Context, workloadName string, cfg sim.Conf
 // a GridDone event carrying the Grid and error is always the last event.
 func (e *Engine) Execute(ctx context.Context, plan Plan) (*Grid, error) {
 	sink := eventSink(ctx)
+	compileSpan := obs.TracerFrom(ctx).Start("compile", "engine", "")
 	c, err := e.compile(plan)
+	compileSpan.End()
 	if err != nil {
 		sink(Event{Kind: GridDone, Plan: plan.Name, Err: err})
 		return nil, err

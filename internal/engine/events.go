@@ -101,11 +101,25 @@ func eventSink(ctx context.Context) func(Event) {
 // Stream executes the plan in the background and returns a channel
 // carrying every execution event in order, ending with a GridDone event
 // (whose Grid and Err fields hold the outcome) followed by a close. The
-// caller must drain the channel; cancel ctx to abandon the execution
-// early (the stream still drains promptly, delivering the GridDone).
+// caller should drain the channel; cancel ctx to abandon the execution
+// early. A consumer that stops reading never wedges the engine: once
+// ctx is cancelled, undeliverable events (including the final GridDone)
+// are dropped and the channel still closes promptly — the close, not
+// GridDone, is the authoritative end-of-stream signal.
 func (e *Engine) Stream(ctx context.Context, plan Plan) <-chan Event {
 	ch := make(chan Event, 64)
-	ctx = WithEventSink(ctx, func(ev Event) { ch <- ev })
+	ctx = WithEventSink(ctx, func(ev Event) {
+		select {
+		case ch <- ev:
+		default:
+			// Buffer full: a slow or abandoned consumer. Keep ordering by
+			// blocking, but never outlive the execution context.
+			select {
+			case ch <- ev:
+			case <-ctx.Done():
+			}
+		}
+	})
 	go func() {
 		defer close(ch)
 		// The outcome travels in the GridDone event Execute emits.

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestStreamAbandonedConsumerDoesNotWedgeEngine is the regression test
+// for the Stream sink's old bare `ch <- ev`: a consumer that stops
+// reading used to block the emitting worker forever — holding the
+// engine's run semaphore, so every later Run on the engine hung too.
+// Now an undeliverable event blocks only until the stream's context is
+// cancelled.
+func TestStreamAbandonedConsumerDoesNotWedgeEngine(t *testing.T) {
+	e := New(Config{
+		Workload: workload.Config{CPUs: 1, Seed: 1, Length: 60_000},
+		Parallel: 1,
+		// Many progress events per run, so an unread stream overflows the
+		// 64-event channel buffer mid-run and the sink must block.
+		ProgressInterval: 500,
+	})
+	p := Plan{
+		Name:      "wedge",
+		Workloads: []string{"sparse"},
+		Variants: []Variant{
+			{Key: "base", Config: sim.Config{Coherence: memSys()}},
+			{Key: "sms", Config: sim.Config{Coherence: memSys(), PrefetcherName: "sms"}},
+			{Key: "ghb", Config: sim.Config{Coherence: memSys(), PrefetcherName: "ghb"}},
+		},
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := e.Stream(ctx, p)
+
+	// Consume just far enough to know a run started (and therefore holds
+	// the Parallel=1 semaphore), then abandon the channel entirely.
+	started := false
+	for ev := range ch {
+		if ev.Kind == RunStarted {
+			started = true
+			break
+		}
+	}
+	if !started {
+		t.Fatal("stream ended without a RunStarted event")
+	}
+	cancel()
+
+	// With the fix, the wedged emit unblocks on ctx.Done, the execution
+	// winds down, and the semaphore frees: a fresh Run succeeds. Without
+	// it, the worker stays blocked on the abandoned channel and this Run
+	// times out waiting for the semaphore.
+	runCtx, runCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer runCancel()
+	if _, err := e.Run(runCtx, "sparse", sim.Config{Coherence: memSys(), PrefetcherName: "stride"}); err != nil {
+		t.Fatalf("engine wedged after abandoned stream: %v", err)
+	}
+
+	// The channel itself must also close promptly.
+	select {
+	case _, ok := <-ch:
+		for ok {
+			_, ok = <-ch
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream channel never closed after cancellation")
+	}
+}
+
+// TestRunEmitsSpans: a tracer attached to the run context collects the
+// engine's span set (trace source, run, store round-trips when a store
+// is attached) without touching sim.Result.
+func TestRunEmitsSpans(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	e := tinyEngine(t, st, 0)
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+
+	if _, err := e.Run(ctx, "sparse", sim.Config{Coherence: memSys()}); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	track := ""
+	for _, s := range tr.Spans() {
+		byName[s.Name]++
+		if s.Name == "run" {
+			track = s.Track
+		}
+	}
+	for _, want := range []string{"store-get", "trace-generate", "run", "store-put"} {
+		if byName[want] == 0 {
+			t.Errorf("missing %q span (have %v)", want, byName)
+		}
+	}
+	if track == "" {
+		t.Error("run span carries no track label")
+	}
+}

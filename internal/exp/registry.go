@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -18,10 +19,12 @@ type Runner func(context.Context, *Session) (string, error)
 
 type renderable interface{ Render() string }
 
-func rendered(r renderable, err error) (string, error) {
+func rendered(ctx context.Context, r renderable, err error) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	sp := obs.TracerFrom(ctx).Start("render", "figure", "")
+	defer sp.End()
 	return r.Render(), nil
 }
 
@@ -32,62 +35,64 @@ func Experiments() map[string]Runner {
 		"table1": func(_ context.Context, s *Session) (string, error) { return Table1(s), nil },
 		"fig4": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig4(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"fig5": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig5(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"fig6": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig6(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"fig7": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig7(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"fig8": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig8(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"fig9": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig9(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"fig10": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig10(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"agt": func(ctx context.Context, s *Session) (string, error) {
 			r, err := AGTSizing(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"fig11": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig11(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"fig12": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig12(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"fig13": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Fig12(ctx, s)
 			if err != nil {
 				return "", err
 			}
+			sp := obs.TracerFrom(ctx).Start("render", "figure", "")
+			defer sp.End()
 			return r.RenderBreakdown(), nil
 		},
 		"ablate": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Ablate(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"headline": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Headline(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 		"sampled": func(ctx context.Context, s *Session) (string, error) {
 			r, err := Sampled(ctx, s)
-			return rendered(r, err)
+			return rendered(ctx, r, err)
 		},
 	}
 }
@@ -199,8 +204,12 @@ func (s *Session) RunFigure(ctx context.Context, name string, run Runner) (strin
 	if s.Store() == nil {
 		return run(ctx, s)
 	}
+	tr := obs.TracerFrom(ctx)
 	key := store.ForFigure(name, s.opts.CPUs, s.opts.Seed, s.opts.Length, s.opts.Sampling)
-	if text, ok := s.Store().GetFigure(key); ok {
+	sp := tr.Start("store-get", "figure", "")
+	text, ok := s.Store().GetFigure(key)
+	sp.End()
+	if ok {
 		return text, nil
 	}
 	text, err := run(ctx, s)
@@ -208,6 +217,8 @@ func (s *Session) RunFigure(ctx context.Context, name string, run Runner) (strin
 		return "", err
 	}
 	// The store is a cache: a failed write must not lose the figure.
+	sp = tr.Start("store-put", "figure", "")
 	_ = s.Store().PutFigure(key, text)
+	sp.End()
 	return text, nil
 }

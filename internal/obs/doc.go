@@ -1,0 +1,34 @@
+// Package obs is the repository's dependency-free observability kit:
+// a metrics registry rendering valid Prometheus exposition text, an
+// exposition-format checker (shared by unit tests and the smoke
+// scripts), and a span tracer exporting Chrome trace-event JSON.
+//
+// # Metrics
+//
+// A Registry holds counters, gauges, fixed-bucket histograms and their
+// labelled vector forms, plus callback collectors (CounterFunc,
+// GaugeFunc) that sample external state — an engine accessor, a
+// store.Stats() snapshot — at scrape time. WritePrometheus renders the
+// whole registry as Prometheus text exposition with # HELP and # TYPE
+// comments, so real scrapers ingest it unmodified.
+//
+// The record path is allocation-free: Counter.Add, Gauge.Set and
+// Histogram.Observe are a few atomic operations with no heap traffic,
+// so instrumentation can sit on the simulator hot path without
+// tripping the repository's 0 allocs/op CI gate. Labelled children are
+// interned: resolve them once with With and retain the child, then
+// record through it for free.
+//
+// # Tracing
+//
+// A Tracer collects named, categorized spans. Producers attach it to a
+// context (WithTracer) and instrument with Start/End pairs or, for
+// phase-structured loops like the SMARTS sampling driver, a
+// PhaseTracker that turns phase transitions into spans with one string
+// compare per batch. Every method tolerates a nil receiver, so
+// instrumented code pays nothing when no tracer is attached — the
+// simulator benchmarks run exactly as before. WriteChromeTrace renders
+// the spans as Chrome trace-event JSON loadable in chrome://tracing or
+// Perfetto; PhaseTotals aggregates wall time per span name for the smsd
+// job API's phase-timing block and per-phase histograms.
+package obs

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text exposition (version 0.0.4)
+// strictly enough to catch the bugs that bite real scrapers: samples
+// before their # TYPE, malformed names or label blocks, unparseable
+// values, duplicate series, and histograms whose _bucket series lack a
+// le label or a +Inf bucket. It is used by the unit tests and by the
+// obscheck command the smoke scripts run against a live /metrics.
+func CheckExposition(data []byte) error {
+	types := make(map[string]string)   // family -> counter|gauge|histogram|...
+	helped := make(map[string]bool)    // family -> saw # HELP
+	seen := make(map[string]int)       // full series key -> first line no
+	bucketInf := make(map[string]bool) // histogram series (sans le) -> saw +Inf
+
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		no := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", no, err)
+			}
+			if kind == "" {
+				continue // free-form comment
+			}
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in # %s", no, name, kind)
+			}
+			switch kind {
+			case "HELP":
+				if helped[name] {
+					return fmt.Errorf("line %d: duplicate # HELP for %s", no, name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate # TYPE for %s", no, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q for %s", no, rest, name)
+				}
+				types[name] = rest
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", no, err)
+		}
+		fam, suffix := familyOf(name, types)
+		typ, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", no, name)
+		}
+		if suffix == "_bucket" {
+			if typ != "histogram" {
+				return fmt.Errorf("line %d: %s_bucket under non-histogram type %s", no, fam, typ)
+			}
+			le, rest := splitLE(labels)
+			if le == "" {
+				return fmt.Errorf("line %d: %s without a le label", no, name)
+			}
+			if le == "+Inf" {
+				bucketInf[fam+"{"+rest+"}"] = true
+			} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("line %d: unparseable le=%q", no, le)
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil &&
+			value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return fmt.Errorf("line %d: unparseable value %q for %s", no, value, name)
+		}
+		key := name + "{" + labels + "}"
+		if first, dup := seen[key]; dup {
+			return fmt.Errorf("line %d: duplicate series %s (first at line %d)", no, key, first)
+		}
+		seen[key] = no
+	}
+
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		found := false
+		for key := range seen {
+			if strings.HasPrefix(key, fam+"_bucket{") {
+				found = true
+				break
+			}
+		}
+		if found {
+			// Every bucket series set must include +Inf.
+			for key := range seen {
+				if !strings.HasPrefix(key, fam+"_bucket{") {
+					continue
+				}
+				labels := key[len(fam+"_bucket{") : len(key)-1]
+				_, rest := splitLE(labels)
+				if !bucketInf[fam+"{"+rest+"}"] {
+					return fmt.Errorf("histogram %s has bucket series without a le=\"+Inf\" bucket", fam)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// parseComment splits a # line into ("HELP"|"TYPE"|"", name, rest).
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		body = body[len("HELP "):]
+		kind = "HELP"
+	case strings.HasPrefix(body, "TYPE "):
+		body = body[len("TYPE "):]
+		kind = "TYPE"
+	default:
+		return "", "", "", nil
+	}
+	sp := strings.IndexByte(body, ' ')
+	if sp < 0 {
+		if kind == "TYPE" {
+			return "", "", "", fmt.Errorf("# TYPE missing a type")
+		}
+		return kind, body, "", nil // HELP with empty text is legal
+	}
+	return kind, body[:sp], body[sp+1:], nil
+}
+
+// parseSample splits "name{labels} value" into its parts, validating
+// name and label syntax. labels is returned in canonical sorted
+// k="v" order so duplicate detection is label-order independent.
+func parseSample(line string) (name, labels, value string, err error) {
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return "", "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	name = rest[:end]
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := findLabelsEnd(rest)
+		if close < 0 {
+			return "", "", "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, err = canonLabels(rest[1:close])
+		if err != nil {
+			return "", "", "", err
+		}
+		rest = rest[close+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	// A trailing timestamp is legal; take the first field as the value.
+	if sp := strings.IndexByte(value, ' '); sp >= 0 {
+		value = value[:sp]
+	}
+	return name, labels, value, nil
+}
+
+// findLabelsEnd returns the index of the } closing a label block that
+// starts at s[0] == '{', honouring quoted values with escapes.
+func findLabelsEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// canonLabels validates a label-block body and returns it with pairs
+// sorted by label name.
+func canonLabels(body string) (string, error) {
+	if body == "" {
+		return "", nil
+	}
+	var pairs []string
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label pair %q missing =", rest)
+		}
+		lname := rest[:eq]
+		if !validLabelName(lname) {
+			return "", fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return "", fmt.Errorf("label %s value not quoted", lname)
+		}
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return "", fmt.Errorf("label %s value unterminated", lname)
+		}
+		pairs = append(pairs, lname+`="`+rest[1:i]+`"`)
+		rest = rest[i+1:]
+		if rest != "" {
+			if rest[0] != ',' {
+				return "", fmt.Errorf("junk %q after label %s", rest, lname)
+			}
+			rest = rest[1:]
+		}
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ","), nil
+}
+
+// familyOf maps a sample name to its family: histogram/summary samples
+// named fam_bucket / fam_sum / fam_count belong to fam when fam is
+// declared with a matching type.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			base := name[:len(name)-len(s)]
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base, s
+			}
+		}
+	}
+	return name, ""
+}
+
+// splitLE removes the le pair from a canonical label string, returning
+// its value and the remaining labels.
+func splitLE(labels string) (le, rest string) {
+	if labels == "" {
+		return "", ""
+	}
+	var kept []string
+	for _, pair := range splitPairs(labels) {
+		if strings.HasPrefix(pair, `le="`) && strings.HasSuffix(pair, `"`) {
+			le = pair[len(`le="`) : len(pair)-1]
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitPairs splits a canonical label string on commas outside quotes.
+func splitPairs(labels string) []string {
+	var out []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, labels[start:])
+}

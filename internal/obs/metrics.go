@@ -1,0 +1,448 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric family types, as rendered in # TYPE comments.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Registry is a set of metric families rendered together by
+// WritePrometheus. Registration methods panic on invalid or duplicate
+// names: metrics are wired at construction time, so a bad registration
+// is a programming error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric family: a type, help text, a label
+// schema, and the series instantiated under it.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64 // histogram upper bounds, ascending, no +Inf
+
+	// Callback families sample external state at scrape time; exactly
+	// one of fnU/fnF is set for them and series stays empty.
+	fnU func() uint64
+	fnF func() float64
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string
+}
+
+// series is one (family, label values) instance.
+type series struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Counter is a monotonically increasing uint64. Inc and Add are single
+// atomic operations: safe for concurrent use, zero allocations.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64 value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations.
+// Observe is a bounded scan plus a few atomics — no allocation — so it
+// can sit on hot paths.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1; the last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ fam *family }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ fam *family }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ fam *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Resolve once and retain the child on hot paths: With
+// itself locks and allocates on the first call for a value set.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.fam.child(values).c
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.fam.child(values).g
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.fam.child(values).h
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds:
+// start, start·factor, start·factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Counter registers and returns an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, typeCounter, nil, nil).child(nil).c
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, typeCounter, labels, nil)}
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// scrape time — the bridge for counters that already live elsewhere
+// (engine accessors, store.Stats snapshots).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, typeCounter, nil, nil).fnU = fn
+}
+
+// Gauge registers and returns an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, typeGauge, nil, nil).child(nil).g
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, typeGauge, labels, nil)}
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeGauge, nil, nil).fnF = fn
+}
+
+// Histogram registers and returns an unlabelled histogram over the
+// given ascending bucket upper bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, typeHistogram, nil, buckets).child(nil).h
+}
+
+// HistogramVec registers a histogram family with the given label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, typeHistogram, labels, buckets)}
+}
+
+// register validates and installs a family.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l, name))
+		}
+	}
+	if typ == typeHistogram {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %s needs at least one bucket", name))
+		}
+		b := make([]float64, 0, len(buckets))
+		for _, u := range buckets {
+			if math.IsInf(u, +1) {
+				continue // the +Inf bucket is implicit
+			}
+			b = append(b, u)
+		}
+		if !sort.Float64sAreSorted(b) {
+			panic(fmt.Sprintf("obs: histogram %s buckets are not ascending", name))
+		}
+		buckets = b
+		for _, l := range labels {
+			if l == "le" {
+				panic(fmt.Sprintf("obs: histogram %s cannot carry a le label", name))
+			}
+		}
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  labels,
+		buckets: buckets,
+		series:  make(map[string]*series),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.families[name] = f
+	return f
+}
+
+// child returns (creating on first use) the series for the given label
+// values.
+func (f *family) child(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{values: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		s.c = &Counter{}
+	case typeGauge:
+		s.g = &Gauge{}
+	case typeHistogram:
+		s.h = &Histogram{
+			upper:  f.buckets,
+			counts: make([]atomic.Uint64, len(f.buckets)+1),
+		}
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// WritePrometheus renders every family in the registry as Prometheus
+// text exposition (version 0.0.4), families sorted by name, each with
+// its # HELP and # TYPE comments.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// write renders one family.
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+
+	if f.fnU != nil {
+		fmt.Fprintf(b, "%s %d\n", f.name, f.fnU())
+		return
+	}
+	if f.fnF != nil {
+		fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(f.fnF()))
+		return
+	}
+
+	f.mu.Lock()
+	ordered := make([]*series, 0, len(f.order))
+	for _, key := range f.order {
+		ordered = append(ordered, f.series[key])
+	}
+	f.mu.Unlock()
+
+	for _, s := range ordered {
+		switch f.typ {
+		case typeCounter:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.values, "", "")
+			fmt.Fprintf(b, " %d\n", s.c.Value())
+		case typeGauge:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.values, "", "")
+			fmt.Fprintf(b, " %d\n", s.g.Value())
+		case typeHistogram:
+			h := s.h
+			var cum uint64
+			for i, upper := range h.upper {
+				cum += h.counts[i].Load()
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(b, f.labels, s.values, "le", formatFloat(upper))
+				fmt.Fprintf(b, " %d\n", cum)
+			}
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, f.labels, s.values, "le", "+Inf")
+			fmt.Fprintf(b, " %d\n", h.Count())
+			b.WriteString(f.name)
+			b.WriteString("_sum")
+			writeLabels(b, f.labels, s.values, "", "")
+			fmt.Fprintf(b, " %s\n", formatFloat(h.Sum()))
+			b.WriteString(f.name)
+			b.WriteString("_count")
+			writeLabels(b, f.labels, s.values, "", "")
+			fmt.Fprintf(b, " %d\n", h.Count())
+		}
+	}
+}
+
+// writeLabels renders a {k="v",...} block; extraName/extraValue append
+// one synthetic label (histograms' le). Nothing is written when there
+// are no labels at all.
+func writeLabels(b *strings.Builder, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatFloat renders a float the way the exposition format expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs ever created.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("workers", "Worker goroutines.")
+	g.Set(4)
+	g.Add(-1)
+	r.CounterFunc("engine_runs_total", "Runs sampled at scrape.", func() uint64 { return 7 })
+	r.GaugeFunc("queue_depth", "Queue depth sampled at scrape.", func() float64 { return 2 })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs ever created.\n# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE workers gauge\nworkers 3\n",
+		"engine_runs_total 7\n",
+		"queue_depth 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition([]byte(out)); err != nil {
+		t.Errorf("CheckExposition: %v", err)
+	}
+}
+
+func TestVecLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("events_total", "Events by kind.", "kind")
+	v.With("run-started").Add(5)
+	v.With(`we"ird\nasty` + "\n").Inc()
+
+	out := render(t, r)
+	if !strings.Contains(out, `events_total{kind="run-started"} 5`) {
+		t.Errorf("missing plain labelled series:\n%s", out)
+	}
+	if !strings.Contains(out, `events_total{kind="we\"ird\\nasty\n"} 1`) {
+		t.Errorf("missing escaped labelled series:\n%s", out)
+	}
+	if err := CheckExposition([]byte(out)); err != nil {
+		t.Errorf("CheckExposition: %v", err)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dur_seconds", "Duration.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`dur_seconds_bucket{le="0.1"} 1`,
+		`dur_seconds_bucket{le="1"} 3`,
+		`dur_seconds_bucket{le="10"} 4`,
+		`dur_seconds_bucket{le="+Inf"} 5`,
+		`dur_seconds_sum 56.05`,
+		`dur_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if err := CheckExposition([]byte(out)); err != nil {
+		t.Errorf("CheckExposition: %v", err)
+	}
+}
+
+func TestHistogramVecRendering(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("phase_seconds", "Per-phase time.", []float64{1}, "phase")
+	v.With("gap").Observe(0.5)
+	v.With("window").Observe(2)
+	out := render(t, r)
+	for _, want := range []string{
+		`phase_seconds_bucket{phase="gap",le="1"} 1`,
+		`phase_seconds_bucket{phase="gap",le="+Inf"} 1`,
+		`phase_seconds_bucket{phase="window",le="1"} 0`,
+		`phase_seconds_sum{phase="window"} 2`,
+		`phase_seconds_count{phase="gap"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition([]byte(out)); err != nil {
+		t.Errorf("CheckExposition: %v", err)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Registry)
+	}{
+		{"bad name", func(r *Registry) { r.Counter("1bad", "") }},
+		{"bad label", func(r *Registry) { r.CounterVec("ok_total", "", "bad-label") }},
+		{"duplicate", func(r *Registry) { r.Counter("dup_total", ""); r.Counter("dup_total", "") }},
+		{"no buckets", func(r *Registry) { r.Histogram("h_seconds", "", nil) }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("h_seconds", "", []float64{2, 1}) }},
+		{"le label", func(r *Registry) { r.HistogramVec("h_seconds", "", []float64{1}, "le") }},
+		{"wrong arity", func(r *Registry) { r.CounterVec("v_total", "", "a").With("x", "y") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("bucket[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecordPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", ExpBuckets(0.001, 10, 6))
+	child := r.CounterVec("v_total", "", "kind").With("x") // hoisted once, recorded through
+
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.Set(9)
+		h.Observe(0.42)
+		child.Inc()
+	}); n != 0 {
+		t.Errorf("record path allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		frag string
+	}{
+		{"no type", "foo_total 1\n", "no preceding # TYPE"},
+		{"bad name", "# TYPE 2bad counter\n", "invalid metric name"},
+		{"bad value", "# TYPE foo counter\nfoo pickle\n", "unparseable value"},
+		{"duplicate series", "# TYPE foo counter\nfoo 1\nfoo 2\n", "duplicate series"},
+		{"duplicate type", "# TYPE foo counter\n# TYPE foo counter\n", "duplicate # TYPE"},
+		{"unknown type", "# TYPE foo widget\n", "unknown type"},
+		{"bucket no le", "# TYPE h histogram\nh_bucket 1\n", "without a le label"},
+		{"bucket bad le", "# TYPE h histogram\nh_bucket{le=\"x\"} 1\n", "unparseable le"},
+		{"no inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "+Inf"},
+		{"unterminated labels", "# TYPE foo counter\nfoo{a=\"b\" 1\n", "unterminated"},
+		{"bad label name", "# TYPE foo counter\nfoo{1a=\"b\"} 1\n", "invalid label name"},
+		{"dup reordered labels", "# TYPE foo counter\nfoo{a=\"1\",b=\"2\"} 1\nfoo{b=\"2\",a=\"1\"} 1\n", "duplicate series"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckExposition([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("CheckExposition accepted:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestCheckExpositionAccepts(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP up Whether the daemon is up.",
+		"# TYPE up gauge",
+		"up 1",
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{le="0.1"} 0`,
+		`h_seconds_bucket{le="+Inf"} 2`,
+		"h_seconds_sum 5.5",
+		"h_seconds_count 2",
+		"# a free-form comment",
+		"# TYPE neg gauge",
+		"neg -3.5",
+		"",
+	}, "\n")
+	if err := CheckExposition([]byte(in)); err != nil {
+		t.Errorf("CheckExposition rejected valid input: %v", err)
+	}
+}

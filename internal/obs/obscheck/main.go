@@ -1,0 +1,105 @@
+// Command obscheck validates observability artifacts from the smoke
+// scripts: Prometheus exposition text and Chrome trace-event JSON.
+//
+//	obscheck metrics [file]                  # file or stdin
+//	obscheck trace  <file> [span-name ...]   # require named spans
+//
+// Exits non-zero with a diagnostic on the first problem found.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "usage: obscheck metrics [file] | obscheck trace <file> [span-name ...]")
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "metrics":
+		err = checkMetrics(args[1:])
+	case "trace":
+		err = checkTrace(args[1:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", args[0])
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "obscheck %s: %v\n", args[0], err)
+		return 1
+	}
+	return 0
+}
+
+func checkMetrics(args []string) error {
+	data, err := readInput(args)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("empty input")
+	}
+	return obs.CheckExposition(data)
+}
+
+func checkTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("trace needs a file argument")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid trace JSON: %v", err)
+	}
+	spans := 0
+	byName := make(map[string]int)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+			byName[ev.Name]++
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("trace has no complete (ph=X) spans")
+	}
+	for _, want := range args[1:] {
+		if byName[want] == 0 {
+			return fmt.Errorf("trace has no %q span (have %v)", want, names(byName))
+		}
+	}
+	return nil
+}
+
+func names(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func readInput(args []string) ([]byte, error) {
+	if len(args) == 0 || args[0] == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(args[0])
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds the raw span buffer so a pathological run cannot
+// grow a trace without limit; totals keep accumulating past the cap
+// and Dropped reports how many spans were discarded.
+const maxSpans = 1 << 16
+
+// Span is one completed timed interval.
+type Span struct {
+	Name  string // what ran: "run", "gap", "store-get", ...
+	Cat   string // grouping: "engine", "sim", "store", "figure"
+	Track string // display row: typically workload/prefetcher + key prefix
+	Start time.Time
+	End   time.Time
+}
+
+// Dur returns the span's duration.
+func (s Span) Dur() time.Duration { return s.End.Sub(s.Start) }
+
+// Tracer collects spans from concurrent producers. All methods are
+// safe on a nil *Tracer and do nothing, so instrumented code needs no
+// guards when no tracer is attached.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []Span
+	dropped uint64
+	totals  map[string]time.Duration
+	counts  map[string]uint64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{
+		totals: make(map[string]time.Duration),
+		counts: make(map[string]uint64),
+	}
+}
+
+// Add records a completed span.
+func (t *Tracer) Add(name, cat, track string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.totals[name] += end.Sub(start)
+	t.counts[name]++
+	if len(t.spans) < maxSpans {
+		t.spans = append(t.spans, Span{Name: name, Cat: cat, Track: track, Start: start, End: end})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// ActiveSpan is an in-progress interval returned by Start.
+type ActiveSpan struct {
+	t     *Tracer
+	name  string
+	cat   string
+	track string
+	start time.Time
+}
+
+// Start opens a span; close it with End. Returns a no-op span on a
+// nil tracer.
+func (t *Tracer) Start(name, cat, track string) ActiveSpan {
+	if t == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{t: t, name: name, cat: cat, track: track, start: time.Now()}
+}
+
+// End completes the span.
+func (s ActiveSpan) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Add(s.name, s.cat, s.track, s.start, time.Now())
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dropped returns how many spans were discarded past the buffer cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// PhaseTotal is aggregate wall time attributed to one span name.
+type PhaseTotal struct {
+	Name    string        `json:"name"`
+	Total   time.Duration `json:"-"`
+	Seconds float64       `json:"seconds"`
+	Count   uint64        `json:"count"`
+}
+
+// PhaseTotals aggregates wall time per span name (including spans
+// dropped from the raw buffer), sorted by descending total.
+func (t *Tracer) PhaseTotals() []PhaseTotal {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]PhaseTotal, 0, len(t.totals))
+	for name, d := range t.totals {
+		out = append(out, PhaseTotal{Name: name, Total: d, Seconds: d.Seconds(), Count: t.counts[name]})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// PhaseTracker turns phase transitions inside a loop into spans with
+// one string compare per call to Enter — cheap enough for per-batch
+// use in the sampling driver. Not safe for concurrent use; each
+// goroutine gets its own tracker from Phases.
+type PhaseTracker struct {
+	t       *Tracer
+	cat     string
+	track   string
+	current string
+	start   time.Time
+}
+
+// Phases returns a tracker whose spans carry the given category and
+// track. Returns nil on a nil tracer; a nil tracker's methods no-op.
+func (t *Tracer) Phases(cat, track string) *PhaseTracker {
+	if t == nil {
+		return nil
+	}
+	return &PhaseTracker{t: t, cat: cat, track: track}
+}
+
+// Enter switches to the named phase, closing the previous phase's
+// span if the name changed.
+func (p *PhaseTracker) Enter(name string) {
+	if p == nil || p.current == name {
+		return
+	}
+	now := time.Now()
+	if p.current != "" {
+		p.t.Add(p.current, p.cat, p.track, p.start, now)
+	}
+	p.current = name
+	p.start = now
+}
+
+// Close ends the current phase, if any.
+func (p *PhaseTracker) Close() {
+	if p == nil || p.current == "" {
+		return
+	}
+	p.t.Add(p.current, p.cat, p.track, p.start, time.Now())
+	p.current = ""
+}
+
+// chromeEvent is one Chrome trace-event object. Durations and
+// timestamps are microseconds.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur,omitempty"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the recorded spans as Chrome trace-event
+// JSON ({"traceEvents": [...]}), loadable in chrome://tracing or
+// Perfetto. Each distinct Track becomes its own named thread row;
+// timestamps are relative to the earliest span.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	var epoch time.Time
+	for _, s := range spans {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+
+	tids := make(map[string]int)
+	events := make([]chromeEvent, 0, len(spans)+8)
+	for _, s := range spans {
+		tid, ok := tids[s.Track]
+		if !ok {
+			tid = len(tids)
+			tids[s.Track] = tid
+			name := s.Track
+			if name == "" {
+				name = "main"
+			}
+			arg, _ := json.Marshal(map[string]string{"name": name})
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid, Args: arg,
+			})
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Pid:  1,
+			Tid:  tid,
+			Ts:   float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.Dur()) / float64(time.Microsecond),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+type tracerKey struct{}
+type trackKey struct{}
+
+// WithTracer attaches a tracer to the context.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil (whose methods all
+// no-op) when none is attached.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// WithTrack attaches a display-track label (one row in the Chrome
+// trace) to the context, so layers below the engine tag their spans
+// with the run they belong to.
+func WithTrack(ctx context.Context, track string) context.Context {
+	return context.WithValue(ctx, trackKey{}, track)
+}
+
+// TrackFrom returns the context's track label, or "".
+func TrackFrom(ctx context.Context) string {
+	s, _ := ctx.Value(trackKey{}).(string)
+	return s
+}

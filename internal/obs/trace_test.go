@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSpansAndTotals(t *testing.T) {
+	tr := NewTracer()
+	t0 := time.Now()
+	tr.Add("gap", "sim", "w/p", t0, t0.Add(10*time.Millisecond))
+	tr.Add("window", "sim", "w/p", t0.Add(10*time.Millisecond), t0.Add(15*time.Millisecond))
+	tr.Add("gap", "sim", "w/p", t0.Add(15*time.Millisecond), t0.Add(35*time.Millisecond))
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("Spans = %d, want 3", len(spans))
+	}
+	totals := tr.PhaseTotals()
+	if len(totals) != 2 {
+		t.Fatalf("PhaseTotals = %d entries, want 2", len(totals))
+	}
+	if totals[0].Name != "gap" || totals[0].Total != 30*time.Millisecond || totals[0].Count != 2 {
+		t.Errorf("totals[0] = %+v, want gap 30ms count 2", totals[0])
+	}
+	if totals[1].Name != "window" || totals[1].Total != 5*time.Millisecond {
+		t.Errorf("totals[1] = %+v, want window 5ms", totals[1])
+	}
+}
+
+func TestStartEnd(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("compile", "engine", "")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "compile" {
+		t.Fatalf("spans = %+v, want one compile span", spans)
+	}
+	if spans[0].Dur() <= 0 {
+		t.Errorf("Dur = %v, want > 0", spans[0].Dur())
+	}
+}
+
+func TestPhaseTrackerTransitions(t *testing.T) {
+	tr := NewTracer()
+	ph := tr.Phases("sim", "trk")
+	ph.Enter("gap")
+	ph.Enter("gap") // same phase: no new span
+	ph.Enter("warm")
+	ph.Enter("window")
+	ph.Close()
+	ph.Close() // idempotent
+
+	spans := tr.Spans()
+	var names []string
+	for _, s := range spans {
+		names = append(names, s.Name)
+		if s.Cat != "sim" || s.Track != "trk" {
+			t.Errorf("span %s has cat=%q track=%q", s.Name, s.Cat, s.Track)
+		}
+	}
+	if got, want := strings.Join(names, ","), "gap,warm,window"; got != want {
+		t.Errorf("span sequence = %s, want %s", got, want)
+	}
+}
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	tr.Add("x", "y", "z", time.Now(), time.Now())
+	tr.Start("x", "y", "z").End()
+	if tr.Spans() != nil || tr.PhaseTotals() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer should report nothing")
+	}
+	ph := tr.Phases("sim", "")
+	ph.Enter("gap")
+	ph.Close()
+
+	ctx := context.Background()
+	if TracerFrom(ctx) != nil {
+		t.Error("TracerFrom on bare ctx should be nil")
+	}
+	if TrackFrom(ctx) != "" {
+		t.Error("TrackFrom on bare ctx should be empty")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx = WithTrack(ctx, "sparse/sms abc123")
+	if TracerFrom(ctx) != tr {
+		t.Error("TracerFrom lost the tracer")
+	}
+	if TrackFrom(ctx) != "sparse/sms abc123" {
+		t.Error("TrackFrom lost the track")
+	}
+}
+
+func TestSpanCapAndDropped(t *testing.T) {
+	tr := NewTracer()
+	t0 := time.Now()
+	for i := 0; i < maxSpans+10; i++ {
+		tr.Add("x", "c", "", t0, t0.Add(time.Microsecond))
+	}
+	if n := len(tr.Spans()); n != maxSpans {
+		t.Errorf("spans = %d, want cap %d", n, maxSpans)
+	}
+	if d := tr.Dropped(); d != 10 {
+		t.Errorf("Dropped = %d, want 10", d)
+	}
+	if tot := tr.PhaseTotals(); tot[0].Count != maxSpans+10 {
+		t.Errorf("totals count = %d, want %d (dropped spans still aggregate)", tot[0].Count, maxSpans+10)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Add("x", "c", "", t0, t0.Add(time.Microsecond))
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Spans()); n != 800 {
+		t.Errorf("spans = %d, want 800", n)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	t0 := time.Now()
+	tr.Add("trace-generate", "engine", "ocean/sms 12345678", t0, t0.Add(3*time.Millisecond))
+	tr.Add("gap", "sim", "ocean/sms 12345678", t0.Add(3*time.Millisecond), t0.Add(5*time.Millisecond))
+	tr.Add("compile", "engine", "", t0, t0.Add(time.Millisecond))
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	var meta, x int
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			x++
+			tids[ev.Tid] = true
+			if ev.Ts < 0 {
+				t.Errorf("span %s has negative ts %f", ev.Name, ev.Ts)
+			}
+			if ev.Name == "trace-generate" && (ev.Dur < 2900 || ev.Dur > 3100) {
+				t.Errorf("trace-generate dur = %f µs, want ~3000", ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if x != 3 {
+		t.Errorf("X events = %d, want 3", x)
+	}
+	if meta != 2 || len(tids) != 2 {
+		t.Errorf("meta = %d tids = %d, want 2 thread rows", meta, len(tids))
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewTracer().WriteChromeTrace(&b); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Errorf("empty trace output is not valid JSON: %s", b.String())
+	}
+}

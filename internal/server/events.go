@@ -1,0 +1,220 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// DefaultEventHeartbeat is how often an idle /v1/jobs/{id}/events
+// stream emits an SSE comment so proxies and clients see liveness.
+const DefaultEventHeartbeat = 15 * time.Second
+
+// subscriberBuffer bounds each stream's pending-event ring. A consumer
+// slower than the engine loses the oldest events (counted in
+// smsd_job_events_dropped_total) — execution is never stalled by a
+// slow reader.
+const subscriberBuffer = 256
+
+// EventDoc is the JSON payload of one engine event on the SSE stream.
+type EventDoc struct {
+	Kind     string `json:"kind"`
+	Plan     string `json:"plan,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Variant  string `json:"variant,omitempty"`
+	Key      string `json:"key,omitempty"`
+	Records  uint64 `json:"records,omitempty"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Error    string `json:"error,omitempty"`
+}
+
+// sseMsg is one rendered stream message.
+type sseMsg struct {
+	event string
+	data  []byte
+}
+
+// subscriber is one live event stream's bounded drop-oldest queue.
+type subscriber struct {
+	mu      sync.Mutex
+	buf     []sseMsg
+	dropped uint64
+	// notify carries "buf became non-empty" wake-ups; cap 1 so pushes
+	// never block.
+	notify chan struct{}
+}
+
+// push enqueues a message, dropping the oldest when full. Reports
+// whether anything was dropped.
+func (sub *subscriber) push(m sseMsg) bool {
+	sub.mu.Lock()
+	var dropped bool
+	if len(sub.buf) >= subscriberBuffer {
+		sub.buf = sub.buf[1:]
+		sub.dropped++
+		dropped = true
+	}
+	sub.buf = append(sub.buf, m)
+	sub.mu.Unlock()
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+	return dropped
+}
+
+// take removes and returns all pending messages.
+func (sub *subscriber) take() []sseMsg {
+	sub.mu.Lock()
+	msgs := sub.buf
+	sub.buf = nil
+	sub.mu.Unlock()
+	return msgs
+}
+
+// eventDoc renders an engine event for the stream.
+func eventDoc(ev engine.Event) EventDoc {
+	d := EventDoc{
+		Kind:     ev.Kind.String(),
+		Plan:     ev.Plan,
+		Workload: ev.Workload,
+		Variant:  ev.Variant,
+		Key:      ev.Key,
+		Records:  ev.Records,
+		Done:     ev.Done,
+		Total:    ev.Total,
+	}
+	if ev.Err != nil {
+		d.Error = ev.Err.Error()
+	}
+	return d
+}
+
+// publishEvent fans one engine event out to the job's subscribers.
+// With no subscribers it is one mutex round trip — the cost progress
+// events pay on every job.
+func (s *Server) publishEvent(j *job, ev engine.Event) {
+	j.subsMu.Lock()
+	defer j.subsMu.Unlock()
+	if len(j.subs) == 0 {
+		return
+	}
+	data, err := json.Marshal(eventDoc(ev))
+	if err != nil {
+		return
+	}
+	m := sseMsg{event: ev.Kind.String(), data: data}
+	for sub := range j.subs {
+		if sub.push(m) {
+			s.metrics.eventsDropped.Inc()
+		}
+		s.metrics.eventsSent.Inc()
+	}
+}
+
+// writeSSE emits one SSE frame. data must be newline-free (compact
+// JSON is).
+func writeSSE(w http.ResponseWriter, event string, data []byte) error {
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+// stateMsg renders the job's current JobDoc as a "state" frame.
+func stateMsg(j *job) (sseMsg, error) {
+	data, err := json.Marshal(j.doc())
+	if err != nil {
+		return sseMsg{}, err
+	}
+	return sseMsg{event: "state", data: data}, nil
+}
+
+// handleJobEvents streams a job's engine events live as Server-Sent
+// Events: an initial "state" frame with the job document, one frame
+// per engine event (event name = run-started/run-progress/...), comment
+// heartbeats while idle, and a final "state" frame when the job
+// settles, after which the stream closes. Subscribing to a settled job
+// yields the state frames and closes immediately.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.metrics.failures.Inc()
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: "streaming unsupported"})
+		return
+	}
+
+	sub := &subscriber{notify: make(chan struct{}, 1)}
+	j.subsMu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[*subscriber]struct{})
+	}
+	j.subs[sub] = struct{}{}
+	j.subsMu.Unlock()
+	s.metrics.subscribers.Add(1)
+	defer func() {
+		j.subsMu.Lock()
+		delete(j.subs, sub)
+		j.subsMu.Unlock()
+		s.metrics.subscribers.Add(-1)
+	}()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	flush := func(msgs ...sseMsg) bool {
+		for _, m := range msgs {
+			if writeSSE(w, m.event, m.data) != nil {
+				return false
+			}
+		}
+		fl.Flush()
+		return true
+	}
+
+	initial, err := stateMsg(j)
+	if err != nil || !flush(initial) {
+		return
+	}
+
+	ticker := time.NewTicker(s.heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sub.notify:
+			if !flush(sub.take()...) {
+				return
+			}
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-j.done:
+			// Drain what the settling job published, then close with the
+			// authoritative final state.
+			final, err := stateMsg(j)
+			if err != nil {
+				return
+			}
+			flush(append(sub.take(), final)...)
+			return
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			// Daemon shutdown: the job context is cancelled, so the job
+			// settles on its own; close the stream now rather than racing
+			// the teardown.
+			return
+		}
+	}
+}

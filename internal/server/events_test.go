@@ -1,0 +1,361 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/obs"
+)
+
+// sseFrame is one parsed server-sent event (or heartbeat comment).
+type sseFrame struct {
+	event   string
+	data    string
+	comment bool
+}
+
+// sseStream reads frames off a live /v1/jobs/{id}/events response in a
+// background goroutine; frames closes when the server ends the stream.
+type sseStream struct {
+	resp   *http.Response
+	frames chan sseFrame
+}
+
+func openSSE(t *testing.T, url string) *sseStream {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("events stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("events stream content type %q", ct)
+	}
+	st := &sseStream{resp: resp, frames: make(chan sseFrame, 64)}
+	go func() {
+		defer close(st.frames)
+		sc := bufio.NewScanner(resp.Body)
+		var f sseFrame
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if f.event != "" || f.comment {
+					st.frames <- f
+				}
+				f = sseFrame{}
+			case strings.HasPrefix(line, ":"):
+				f.comment = true
+			case strings.HasPrefix(line, "event: "):
+				f.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				f.data = strings.TrimPrefix(line, "data: ")
+			}
+		}
+	}()
+	t.Cleanup(func() { resp.Body.Close() })
+	return st
+}
+
+// next returns the next frame, failing the test on timeout.
+func (st *sseStream) next(t *testing.T) sseFrame {
+	t.Helper()
+	select {
+	case f, ok := <-st.frames:
+		if !ok {
+			t.Fatal("stream closed while waiting for a frame")
+		}
+		return f
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for an SSE frame")
+	}
+	panic("unreachable")
+}
+
+// nextEvent skips heartbeats and returns the next named frame.
+func (st *sseStream) nextEvent(t *testing.T) sseFrame {
+	t.Helper()
+	for {
+		if f := st.next(t); !f.comment {
+			return f
+		}
+	}
+}
+
+// expectClosed asserts the server ends the stream.
+func (st *sseStream) expectClosed(t *testing.T) {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case _, ok := <-st.frames:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream did not close")
+		}
+	}
+}
+
+// gatedServer builds a server whose "slowfig" figure stalls until the
+// returned gate closes (or the job context is cancelled).
+func gatedServer(t *testing.T, cfg Config) (*Server, string, chan struct{}) {
+	t.Helper()
+	gate := make(chan struct{})
+	cfg.Session = tinySession(t, "")
+	cfg.Experiments = map[string]exp.Runner{
+		"slowfig": func(ctx context.Context, _ *exp.Session) (string, error) {
+			select {
+			case <-gate:
+				return "done body", nil
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		},
+	}
+	s, ts := newTestServer(t, cfg)
+	return s, ts.URL, gate
+}
+
+// startGatedJob submits the stalled figure job and returns its id.
+func startGatedJob(t *testing.T, baseURL string) string {
+	t.Helper()
+	code, body := postJSON(t, baseURL+"/v1/figures/slowfig", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("job submit: status %d body %q", code, body)
+	}
+	return decodeJob(t, body).ID
+}
+
+// TestJobEventsMultiSubscriber: two concurrent streams on one running
+// job each receive the initial state frame, every published engine
+// event, and the final state frame when the job completes — then both
+// streams close.
+func TestJobEventsMultiSubscriber(t *testing.T) {
+	s, url, gate := gatedServer(t, Config{Workers: 2})
+	id := startGatedJob(t, url)
+
+	a := openSSE(t, url+"/v1/jobs/"+id+"/events")
+	b := openSSE(t, url+"/v1/jobs/"+id+"/events")
+	for _, st := range []*sseStream{a, b} {
+		f := st.nextEvent(t)
+		if f.event != "state" || !strings.Contains(f.data, `"id": "`+id) && !strings.Contains(f.data, `"id":"`+id) {
+			t.Fatalf("initial frame = %q %q, want state frame for %s", f.event, f.data, id)
+		}
+	}
+
+	// Publish an engine event through the job's sink path, as a worker
+	// would; both subscribers must see it.
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	s.observeEvent(j, engine.Event{Kind: engine.RunStarted, Workload: "sparse", Key: "k1", Total: 1})
+	for _, st := range []*sseStream{a, b} {
+		f := st.nextEvent(t)
+		if f.event != "run-started" || !strings.Contains(f.data, `"workload":"sparse"`) {
+			t.Fatalf("frame = %q %q, want run-started for sparse", f.event, f.data)
+		}
+	}
+
+	close(gate)
+	for _, st := range []*sseStream{a, b} {
+		for {
+			f := st.nextEvent(t)
+			if f.event != "state" {
+				continue
+			}
+			if !strings.Contains(f.data, `"state": "done"`) && !strings.Contains(f.data, `"state":"done"`) {
+				t.Fatalf("final state frame %q does not report done", f.data)
+			}
+			break
+		}
+		st.expectClosed(t)
+	}
+	if sent := s.metrics.eventsSent.Value(); sent < 2 {
+		t.Errorf("events sent = %d, want >= 2", sent)
+	}
+}
+
+// TestJobEventsHeartbeatOnIdleJob: a stream over a job that is running
+// but silent emits comment heartbeats at the configured period.
+func TestJobEventsHeartbeatOnIdleJob(t *testing.T) {
+	_, url, gate := gatedServer(t, Config{Workers: 1, EventHeartbeat: 20 * time.Millisecond})
+	defer close(gate)
+	id := startGatedJob(t, url)
+	st := openSSE(t, url+"/v1/jobs/"+id+"/events")
+	if f := st.next(t); f.event != "state" {
+		t.Fatalf("first frame %q, want state", f.event)
+	}
+	heartbeats := 0
+	for heartbeats < 3 {
+		if f := st.next(t); f.comment {
+			heartbeats++
+		}
+	}
+}
+
+// TestJobEventsCancelTeardown: DELETE on a streamed job settles it as
+// cancelled; the stream delivers the final state and closes.
+func TestJobEventsCancelTeardown(t *testing.T) {
+	_, url, gate := gatedServer(t, Config{Workers: 1})
+	defer close(gate)
+	id := startGatedJob(t, url)
+	st := openSSE(t, url+"/v1/jobs/"+id+"/events")
+	if f := st.next(t); f.event != "state" {
+		t.Fatalf("first frame %q, want state", f.event)
+	}
+	if code, body := del(t, url+"/v1/jobs/"+id); code != http.StatusOK {
+		t.Fatalf("cancel: status %d body %q", code, body)
+	}
+	sawCancelled := false
+	deadline := time.After(30 * time.Second)
+	for !sawCancelled {
+		select {
+		case f, ok := <-st.frames:
+			if !ok {
+				t.Fatal("stream closed before reporting cancellation")
+			}
+			if f.event == "state" && strings.Contains(f.data, `"cancelled"`) {
+				sawCancelled = true
+			}
+		case <-deadline:
+			t.Fatal("no cancelled state frame")
+		}
+	}
+	st.expectClosed(t)
+}
+
+// TestJobEventsShutdownTeardown: daemon shutdown closes live streams
+// instead of leaving them hanging.
+func TestJobEventsShutdownTeardown(t *testing.T) {
+	s, url, gate := gatedServer(t, Config{Workers: 1})
+	defer close(gate)
+	id := startGatedJob(t, url)
+	st := openSSE(t, url+"/v1/jobs/"+id+"/events")
+	if f := st.next(t); f.event != "state" {
+		t.Fatalf("first frame %q, want state", f.event)
+	}
+	s.CancelJobs()
+	st.expectClosed(t)
+	if got := s.metrics.subscribers.Value(); got != 0 {
+		// The gauge decrements as the handler unwinds; give it a moment.
+		deadline := time.Now().Add(5 * time.Second)
+		for s.metrics.subscribers.Value() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("subscriber gauge stuck at %d", got)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestJobEventsSettledJob: subscribing to an already-settled job yields
+// the state frames and closes immediately.
+func TestJobEventsSettledJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Session: tinySession(t, ""), Workers: 2})
+	code, body := postJSON(t, ts.URL+"/v1/runs", `{"workload":"sparse"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("run submit: %d %q", code, body)
+	}
+	doc := pollJob(t, ts.URL, decodeJob(t, body).ID)
+	if doc.State != JobDone {
+		t.Fatalf("job state %s, want done", doc.State)
+	}
+	st := openSSE(t, ts.URL+"/v1/jobs/"+doc.ID+"/events")
+	saw := false
+	for f := range st.frames {
+		if f.event == "state" && strings.Contains(f.data, `"done"`) {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("no done state frame on settled-job stream")
+	}
+}
+
+// TestSubscriberDropOldest: a slow consumer loses the oldest events, the
+// buffer stays bounded, and drops are reported.
+func TestSubscriberDropOldest(t *testing.T) {
+	sub := &subscriber{notify: make(chan struct{}, 1)}
+	total := subscriberBuffer + 10
+	drops := 0
+	for i := 0; i < total; i++ {
+		if sub.push(sseMsg{event: "e", data: []byte(fmt.Sprintf("%d", i))}) {
+			drops++
+		}
+	}
+	if drops != 10 {
+		t.Fatalf("drops = %d, want 10", drops)
+	}
+	msgs := sub.take()
+	if len(msgs) != subscriberBuffer {
+		t.Fatalf("buffered %d, want %d", len(msgs), subscriberBuffer)
+	}
+	if got := string(msgs[0].data); got != "10" {
+		t.Fatalf("oldest surviving message %q, want 10 (0..9 dropped)", got)
+	}
+	if sub.take() != nil {
+		t.Fatal("second take not empty")
+	}
+}
+
+// TestMetricsExpositionValid: /metrics renders parseable Prometheus
+// text exposition, and job counters advance across a submitted job.
+func TestMetricsExpositionValid(t *testing.T) {
+	_, ts := newTestServer(t, Config{Session: tinySession(t, t.TempDir()), Workers: 2})
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if err := obs.CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("exposition invalid before jobs: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"# HELP smsd_jobs_completed_total",
+		"# TYPE smsd_jobs_completed_total counter",
+		"smsd_up 1",
+		"smsd_store_hits_total 0",
+		"# TYPE smsd_job_duration_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	code, jb := postJSON(t, ts.URL+"/v1/runs", `{"workload":"sparse"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("run submit: %d %q", code, jb)
+	}
+	pollJob(t, ts.URL, decodeJob(t, jb).ID)
+
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if err := obs.CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("exposition invalid after job: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"smsd_jobs_created_total 1",
+		"smsd_jobs_completed_total 1",
+		"smsd_simulations_total 1",
+		`smsd_job_duration_seconds_bucket{kind="run",le="+Inf"} 1`,
+		"smsd_run_duration_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q after job:\n%s", want, body)
+		}
+	}
+}

@@ -8,13 +8,15 @@
 //	POST   /v1/figures/{name}  async figure job → 202 + job id
 //	POST   /v1/runs            async simulation job → 202 + job id
 //	GET    /v1/jobs            all jobs, newest first
-//	GET    /v1/jobs/{id}       job status, progress, and (when done) result
+//	GET    /v1/jobs/{id}       job status, progress, phase timings, and (when done) result
+//	GET    /v1/jobs/{id}/events  live engine events as Server-Sent Events
 //	DELETE /v1/jobs/{id}       cancel the job's in-flight simulations
 //	GET    /v1/prefetchers     registered prefetcher names
 //	GET    /v1/workloads       registered workloads (name, group, description)
 //	GET    /v1/traces          trace artifacts cached in the store's disk trace tier
 //	GET    /healthz            liveness probe
-//	GET    /metrics            plain-text metrics (Prometheus exposition style)
+//	GET    /metrics            Prometheus text exposition (internal/obs registry)
+//	GET    /debug/pprof/...    runtime profiles (only with Config.Pprof)
 //
 // All simulation work funnels through a bounded worker pool with a job
 // queue; when the queue is full the server sheds load with 503 instead of
@@ -33,17 +35,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -66,6 +70,13 @@ type Config struct {
 	// Experiments overrides the figure registry (nil = exp.Experiments()).
 	// Tests use this to observe and stall figure computations.
 	Experiments map[string]exp.Runner
+	// Logger receives the daemon's structured logs (nil = slog.Default()).
+	Logger *slog.Logger
+	// EventHeartbeat is the idle-stream heartbeat period for
+	// /v1/jobs/{id}/events (0 = DefaultEventHeartbeat).
+	EventHeartbeat time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
 }
 
 // DefaultQueue is the default job-queue bound.
@@ -113,30 +124,42 @@ type job struct {
 	dedupe  string // active-job dedup key ("" = never deduped)
 	created time.Time
 	cancel  context.CancelFunc
+	// tracer collects the job's run-phase spans (nil for cache-settled
+	// jobs); doc() surfaces its totals as the phase-timing block.
+	tracer *obs.Tracer
 	// done closes when the job settles; synchronous waiters (the GET
 	// figure path) block on it.
 	done chan struct{}
 
+	// subs are the live /v1/jobs/{id}/events streams (see events.go).
+	subsMu sync.Mutex
+	subs   map[*subscriber]struct{}
+
 	mu        sync.Mutex
 	state     JobState
 	progress  JobProgress
-	inflight  map[string]uint64 // run key → records, for runs in flight
-	completed uint64            // records folded in from settled runs
-	result    *RunResponse      // run jobs
-	figure    string            // figure jobs
+	inflight  map[string]uint64    // run key → records, for runs in flight
+	runStarts map[string]time.Time // run key → RunStarted time, for duration metrics
+	completed uint64               // records folded in from settled runs
+	result    *RunResponse         // run jobs
+	figure    string               // figure jobs
 	errText   string
 	finished  time.Time
 }
 
-// sink folds one engine event into the job's progress. It is the event
-// sink attached to the job's context, called from worker goroutines.
-func (j *job) sink(ev engine.Event) {
+// observeEvent folds one engine event into the job's progress, records
+// run-level metrics, and fans the event out to the job's event streams.
+// It is the event sink attached to the job's context, called from
+// worker goroutines.
+func (s *Server) observeEvent(j *job, ev engine.Event) {
+	now := time.Now()
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if ev.Total > 0 {
 		j.progress.TotalRuns = ev.Total
 	}
 	switch ev.Kind {
+	case engine.RunStarted:
+		j.runStarts[ev.Key] = now
 	case engine.RunProgress:
 		j.inflight[ev.Key] = ev.Records
 	case engine.RunCached:
@@ -144,9 +167,24 @@ func (j *job) sink(ev engine.Event) {
 		j.progress.DoneRuns++
 	case engine.RunFinished, engine.RunFailed, engine.RunSkipped:
 		j.progress.DoneRuns++
-		j.completed += j.inflight[ev.Key]
+		records := j.inflight[ev.Key]
+		j.completed += records
 		delete(j.inflight, ev.Key)
+		if start, ok := j.runStarts[ev.Key]; ok {
+			delete(j.runStarts, ev.Key)
+			if ev.Kind == engine.RunFinished {
+				// The final RunProgress callback fires before RunFinished,
+				// so records holds the run's full count here.
+				dur := now.Sub(start).Seconds()
+				s.metrics.runDuration.Observe(dur)
+				if dur > 0 && records > 0 {
+					s.metrics.runRecRate.Observe(float64(records) / dur)
+				}
+			}
+		}
 	}
+	j.mu.Unlock()
+	s.publishEvent(j, ev)
 }
 
 // doc renders the job for the HTTP API.
@@ -172,6 +210,7 @@ func (j *job) doc() JobDoc {
 		t := j.finished
 		d.Finished = &t
 	}
+	d.Phases = j.tracer.PhaseTotals()
 	return d
 }
 
@@ -190,6 +229,11 @@ type JobDoc struct {
 	Result *RunResponse `json:"result,omitempty"`
 	// Figure carries a figure job's rendered text once done.
 	Figure string `json:"figure,omitempty"`
+	// Phases aggregates the job's span tracing per phase name (trace
+	// generation, sampled gap/warm/window, store round trips, render),
+	// sorted by descending wall time. It flows from the run-phase
+	// tracer, never from sim.Result.
+	Phases []obs.PhaseTotal `json:"phases,omitempty"`
 }
 
 // Server is the smsd HTTP daemon state.
@@ -209,6 +253,13 @@ type Server struct {
 	wg      sync.WaitGroup
 	workers int
 
+	logger    *slog.Logger
+	heartbeat time.Duration
+	pprof     bool
+	// metrics is the obs registry behind /metrics plus every instrument
+	// the daemon records into (see metrics.go).
+	metrics *serverMetrics
+
 	mu          sync.Mutex
 	jobs        map[string]*job
 	activeByKey map[string]*job // dedup key → unsettled job
@@ -216,16 +267,6 @@ type Server struct {
 	active      int             // jobs in state running
 	pending     int             // jobs in state queued
 	jobsSeq     uint64
-	requests    atomic.Uint64
-
-	poolExecuted  atomic.Uint64
-	deduped       atomic.Uint64
-	rejected      atomic.Uint64
-	failures      atomic.Uint64
-	jobsCreated   atomic.Uint64
-	jobsDone      atomic.Uint64
-	jobsFailed    atomic.Uint64
-	jobsCancelled atomic.Uint64
 }
 
 // New builds a Server and starts its worker pool. Call Close (or
@@ -257,6 +298,15 @@ func New(cfg Config) (*Server, error) {
 		sort.Strings(names)
 	}
 
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	heartbeat := cfg.EventHeartbeat
+	if heartbeat <= 0 {
+		heartbeat = DefaultEventHeartbeat
+	}
+
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
 		session:     cfg.Session,
@@ -267,9 +317,13 @@ func New(cfg Config) (*Server, error) {
 		jobsCh:      make(chan func(), queue),
 		done:        make(chan struct{}),
 		workers:     workers,
+		logger:      logger,
+		heartbeat:   heartbeat,
+		pprof:       cfg.Pprof,
 		jobs:        make(map[string]*job),
 		activeByKey: make(map[string]*job),
 	}
+	s.metrics = newMetrics(s)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -284,14 +338,14 @@ func New(cfg Config) (*Server, error) {
 					for {
 						select {
 						case task := <-s.jobsCh:
-							s.poolExecuted.Add(1)
+							s.metrics.poolExecuted.Inc()
 							task()
 						default:
 							return
 						}
 					}
 				case task := <-s.jobsCh:
-					s.poolExecuted.Add(1)
+					s.metrics.poolExecuted.Inc()
 					task()
 				}
 			}
@@ -338,7 +392,7 @@ func (s *Server) submit(task func()) bool {
 	case s.jobsCh <- task:
 		return true
 	default:
-		s.rejected.Add(1)
+		s.metrics.rejected.Inc()
 		return false
 	}
 }
@@ -384,19 +438,22 @@ func (s *Server) registerJobLocked(j *job) {
 // engine's run-level memoization cannot dedupe.
 func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(ctx context.Context, j *job) error) (j *job, joined bool, err error) {
 	j = &job{
-		id:       newJobID(),
-		kind:     kind,
-		target:   target,
-		dedupe:   dedupe,
-		created:  time.Now(),
-		state:    JobQueued,
-		inflight: make(map[string]uint64),
-		done:     make(chan struct{}),
+		id:        newJobID(),
+		kind:      kind,
+		target:    target,
+		dedupe:    dedupe,
+		created:   time.Now(),
+		state:     JobQueued,
+		tracer:    obs.NewTracer(),
+		inflight:  make(map[string]uint64),
+		runStarts: make(map[string]time.Time),
+		done:      make(chan struct{}),
 	}
 	j.progress.TotalRuns = totalRuns
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	ctx = engine.WithEventSink(ctx, j.sink)
+	ctx = obs.WithTracer(ctx, j.tracer)
+	ctx = engine.WithEventSink(ctx, func(ev engine.Event) { s.observeEvent(j, ev) })
 	j.cancel = cancel
 
 	s.mu.Lock()
@@ -404,7 +461,7 @@ func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(c
 		if existing, ok := s.activeByKey[dedupe]; ok {
 			s.mu.Unlock()
 			cancel()
-			s.deduped.Add(1)
+			s.metrics.deduped.Inc()
 			return existing, true, nil
 		}
 	}
@@ -413,6 +470,7 @@ func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(c
 	s.mu.Unlock()
 
 	body := func() {
+		s.metrics.queueWait.Observe(time.Since(j.created).Seconds())
 		j.mu.Lock()
 		cancelled := j.state == JobCancelled
 		if !cancelled {
@@ -436,14 +494,14 @@ func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(c
 		switch {
 		case err == nil:
 			j.state = JobDone
-			s.jobsDone.Add(1)
+			s.metrics.jobsDone.Inc()
 		case isCtxErr(err):
 			j.state = JobCancelled
-			s.jobsCancelled.Add(1)
+			s.metrics.jobsCancelled.Inc()
 		default:
 			j.state = JobFailed
 			j.errText = err.Error()
-			s.jobsFailed.Add(1)
+			s.metrics.jobsFailed.Inc()
 		}
 		j.finished = time.Now()
 		j.mu.Unlock()
@@ -464,11 +522,13 @@ func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(c
 		j.state = JobFailed
 		j.errText = ErrBusy.Error()
 		j.mu.Unlock()
-		s.jobsFailed.Add(1)
+		s.metrics.jobsFailed.Inc()
 		s.settleJob(j)
 		return nil, false, ErrBusy
 	}
-	s.jobsCreated.Add(1)
+	s.metrics.jobsCreated.Inc()
+	s.logger.Debug("job accepted",
+		"job_id", j.id, "kind", kind, "target", target, "total_runs", totalRuns)
 	return j, false, nil
 }
 
@@ -478,34 +538,44 @@ func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(c
 func (s *Server) settledJob(kind, target string, fill func(j *job)) *job {
 	now := time.Now()
 	j := &job{
-		id:       newJobID(),
-		kind:     kind,
-		target:   target,
-		created:  now,
-		finished: now,
-		state:    JobDone,
-		cancel:   func() {},
-		inflight: make(map[string]uint64),
-		done:     make(chan struct{}),
+		id:        newJobID(),
+		kind:      kind,
+		target:    target,
+		created:   now,
+		finished:  now,
+		state:     JobDone,
+		cancel:    func() {},
+		inflight:  make(map[string]uint64),
+		runStarts: make(map[string]time.Time),
+		done:      make(chan struct{}),
 	}
 	fill(j)
 	s.mu.Lock()
 	s.registerJobLocked(j)
 	s.mu.Unlock()
-	s.jobsCreated.Add(1)
-	s.jobsDone.Add(1)
+	s.metrics.jobsCreated.Inc()
+	s.metrics.jobsDone.Inc()
 	s.settleJob(j)
 	return j
 }
 
 // settleJob records a terminal job for bounded retention, releases its
-// dedup key, and wakes synchronous waiters.
+// dedup key, records its duration and phase metrics, and wakes
+// synchronous waiters.
 func (s *Server) settleJob(j *job) {
 	j.mu.Lock()
 	if j.finished.IsZero() {
 		j.finished = time.Now()
 	}
+	state, created, finished := j.state, j.created, j.finished
 	j.mu.Unlock()
+	s.metrics.jobDuration.With(j.kind).Observe(finished.Sub(created).Seconds())
+	for _, p := range j.tracer.PhaseTotals() {
+		s.metrics.phaseSeconds.With(p.Name).Observe(p.Seconds)
+	}
+	s.logger.Info("job settled",
+		"job_id", j.id, "kind", j.kind, "target", j.target,
+		"state", state, "duration", finished.Sub(created))
 	s.mu.Lock()
 	if j.dedupe != "" && s.activeByKey[j.dedupe] == j {
 		delete(s.activeByKey, j.dedupe)
@@ -533,10 +603,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleRunJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.withRequestID(mux)
+}
+
+// withRequestID counts requests, tags each with an id (propagating a
+// caller-provided X-Request-ID), and logs it at debug level.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
-		mux.ServeHTTP(w, r)
+		s.metrics.requests.Inc()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newJobID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.logger.Debug("request",
+			"method", r.Method, "path", r.URL.Path,
+			"request_id", id, "duration", time.Since(start))
 	})
 }
 
@@ -606,7 +699,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		}
 		j, err := s.figureJob(name, run)
 		if err != nil {
-			s.failures.Add(1)
+			s.metrics.failures.Inc()
 			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
 			return
 		}
@@ -628,7 +721,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 				// Server-wide cancellation (shutdown), not a DELETE on
 				// the shared job: a fresh job would settle cancelled
 				// instantly, so bail out instead of spinning.
-				s.failures.Add(1)
+				s.metrics.failures.Inc()
 				writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server shutting down"})
 				return
 			}
@@ -636,11 +729,11 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			// with a fresh job while the client is still here.
 			continue
 		case d.Error == ErrBusy.Error():
-			s.failures.Add(1)
+			s.metrics.failures.Inc()
 			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: d.Error})
 			return
 		default:
-			s.failures.Add(1)
+			s.metrics.failures.Inc()
 			writeJSON(w, http.StatusInternalServerError, errorDoc{Error: d.Error})
 			return
 		}
@@ -668,7 +761,7 @@ func (s *Server) handleFigureJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.figureJob(name, run)
 	if err != nil {
-		s.failures.Add(1)
+		s.metrics.failures.Inc()
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
 		return
 	}
@@ -800,7 +893,7 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		s.failures.Add(1)
+		s.metrics.failures.Inc()
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
 		return
 	}
@@ -856,7 +949,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		// The pool has not picked the body up yet; mark it so the body
 		// settles immediately when it runs.
 		j.state = JobCancelled
-		s.jobsCancelled.Add(1)
+		s.metrics.jobsCancelled.Inc()
 	}
 	j.mu.Unlock()
 	j.cancel()
@@ -894,7 +987,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 	}
 	infos, err := st.ListTraces()
 	if err != nil {
-		s.failures.Add(1)
+		s.metrics.failures.Inc()
 		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
 		return
 	}
@@ -902,51 +995,4 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 		infos = []store.TraceInfo{}
 	}
 	writeJSON(w, http.StatusOK, infos)
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.mu.Lock()
-	active, pending := s.active, s.pending
-	s.mu.Unlock()
-	eng := s.session.Engine()
-	var b strings.Builder
-	fmt.Fprintf(&b, "smsd_up 1\n")
-	fmt.Fprintf(&b, "smsd_workers %d\n", s.workers)
-	fmt.Fprintf(&b, "smsd_queue_depth %d\n", len(s.jobsCh))
-	fmt.Fprintf(&b, "smsd_jobs_active %d\n", active)
-	fmt.Fprintf(&b, "smsd_jobs_pending %d\n", pending)
-	fmt.Fprintf(&b, "smsd_requests_total %d\n", s.requests.Load())
-	fmt.Fprintf(&b, "smsd_pool_tasks_executed_total %d\n", s.poolExecuted.Load())
-	fmt.Fprintf(&b, "smsd_jobs_created_total %d\n", s.jobsCreated.Load())
-	fmt.Fprintf(&b, "smsd_jobs_completed_total %d\n", s.jobsDone.Load())
-	fmt.Fprintf(&b, "smsd_jobs_failed_total %d\n", s.jobsFailed.Load())
-	fmt.Fprintf(&b, "smsd_jobs_cancelled_total %d\n", s.jobsCancelled.Load())
-	fmt.Fprintf(&b, "smsd_jobs_deduplicated_total %d\n", s.deduped.Load())
-	fmt.Fprintf(&b, "smsd_jobs_rejected_total %d\n", s.rejected.Load())
-	fmt.Fprintf(&b, "smsd_request_failures_total %d\n", s.failures.Load())
-	fmt.Fprintf(&b, "smsd_simulations_total %d\n", s.session.Simulations())
-	fmt.Fprintf(&b, "smsd_engine_store_hits_total %d\n", eng.StoreHits())
-	fmt.Fprintf(&b, "smsd_engine_memo_hits_total %d\n", eng.MemoHits())
-	fmt.Fprintf(&b, "smsd_engine_cancelled_runs_total %d\n", eng.CancelledRuns())
-	fmt.Fprintf(&b, "smsd_engine_trace_generations_total %d\n", eng.TraceGenerations())
-	fmt.Fprintf(&b, "smsd_trace_tier_hits_total %d\n", eng.TraceTierHits())
-	fmt.Fprintf(&b, "smsd_trace_tier_misses_total %d\n", eng.TraceTierMisses())
-	if st := s.session.Store(); st != nil {
-		stats := st.Stats()
-		fmt.Fprintf(&b, "smsd_store_hits_total %d\n", stats.Hits)
-		fmt.Fprintf(&b, "smsd_store_misses_total %d\n", stats.Misses)
-		fmt.Fprintf(&b, "smsd_store_mem_hits_total %d\n", stats.MemHits)
-		fmt.Fprintf(&b, "smsd_store_disk_hits_total %d\n", stats.DiskHits)
-		fmt.Fprintf(&b, "smsd_store_writes_total %d\n", stats.Writes)
-		fmt.Fprintf(&b, "smsd_store_corrupt_total %d\n", stats.Corrupt)
-		fmt.Fprintf(&b, "smsd_store_bytes_read_total %d\n", stats.BytesRead)
-		fmt.Fprintf(&b, "smsd_store_bytes_written_total %d\n", stats.BytesWritten)
-		fmt.Fprintf(&b, "smsd_trace_tier_artifact_hits_total %d\n", stats.TraceHits)
-		fmt.Fprintf(&b, "smsd_trace_tier_artifact_misses_total %d\n", stats.TraceMisses)
-		fmt.Fprintf(&b, "smsd_trace_tier_writes_total %d\n", stats.TraceWrites)
-		fmt.Fprintf(&b, "smsd_trace_tier_bytes_read_total %d\n", stats.TraceBytesRead)
-		fmt.Fprintf(&b, "smsd_trace_tier_bytes_written_total %d\n", stats.TraceBytesWritten)
-	}
-	_, _ = w.Write([]byte(b.String()))
 }

@@ -158,9 +158,9 @@ func TestSingleflightDeduplicatesConcurrentFigureRequests(t *testing.T) {
 	// before a follower blocks), so the gate cannot open while a
 	// straggler could still start a second computation.
 	deadline := time.Now().Add(10 * time.Second)
-	for computations.Load() < 1 || s.deduped.Load() < n-1 {
+	for computations.Load() < 1 || s.metrics.deduped.Value() < n-1 {
 		if time.Now().After(deadline) {
-			t.Fatalf("joined %d/%d followers, %d computations", s.deduped.Load(), n-1, computations.Load())
+			t.Fatalf("joined %d/%d followers, %d computations", s.metrics.deduped.Value(), n-1, computations.Load())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -175,7 +175,7 @@ func TestSingleflightDeduplicatesConcurrentFigureRequests(t *testing.T) {
 			t.Fatalf("request %d: status %d body %q", i, codes[i], bodies[i])
 		}
 	}
-	if got := s.deduped.Load(); got != n-1 {
+	if got := s.metrics.deduped.Value(); got != n-1 {
 		t.Errorf("deduplicated = %d, want %d", got, n-1)
 	}
 
@@ -223,7 +223,7 @@ func TestQueueFullShedsLoad(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d body %q, want 503", code, body)
 	}
-	if s.rejected.Load() == 0 {
+	if s.metrics.rejected.Value() == 0 {
 		t.Error("rejection not counted")
 	}
 
@@ -646,9 +646,9 @@ func TestDuplicateFigureJobsSingleflight(t *testing.T) {
 	// Wait until the leader is computing and both followers joined the
 	// flight before releasing it.
 	deadline := time.Now().Add(10 * time.Second)
-	for computations.Load() < 1 || s.deduped.Load() < n-1 {
+	for computations.Load() < 1 || s.metrics.deduped.Value() < n-1 {
 		if time.Now().After(deadline) {
-			t.Fatalf("followers joined: %d, computations: %d", s.deduped.Load(), computations.Load())
+			t.Fatalf("followers joined: %d, computations: %d", s.metrics.deduped.Value(), computations.Load())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -701,7 +701,7 @@ func TestSyncGetJoinsAsyncFigureJobWithoutDeadlock(t *testing.T) {
 		got <- b
 	}()
 	deadline := time.Now().Add(10 * time.Second)
-	for s.deduped.Load() == 0 {
+	for s.metrics.deduped.Value() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("GET never joined the in-flight figure job")
 		}
@@ -743,7 +743,7 @@ func TestSyncFigureGetDuringShutdownFailsFast(t *testing.T) {
 	})
 	s.CancelJobs()
 
-	before := s.jobsCreated.Load()
+	before := s.metrics.jobsCreated.Value()
 	done := make(chan int, 1)
 	go func() {
 		code, _ := get(t, ts.URL+"/v1/figures/fig")
@@ -757,7 +757,7 @@ func TestSyncFigureGetDuringShutdownFailsFast(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("GET during shutdown never returned")
 	}
-	if created := s.jobsCreated.Load() - before; created > 2 {
+	if created := s.metrics.jobsCreated.Value() - before; created > 2 {
 		t.Errorf("shutdown GET churned %d jobs", created)
 	}
 }

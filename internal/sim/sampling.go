@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -330,7 +331,9 @@ func (r *Runner) warmStep(rec trace.Record) {
 // configuration WindowRecords == IntervalRecords == trace length
 // therefore runs every record through Step, reproducing the exact-mode
 // Result byte for byte (minus the Sampling block).
-func (r *Runner) runSampled(ctx context.Context, src trace.Source) (*Result, error) {
+// ph receives gap/warm/window phase transitions (nil-safe): one Enter
+// per batch, so the per-record loops stay untouched.
+func (r *Runner) runSampled(ctx context.Context, src trace.Source, ph *obs.PhaseTracker) (*Result, error) {
 	st := r.sampled
 	st.snapValid = false
 	window, interval := st.cfg.WindowRecords, st.cfg.IntervalRecords
@@ -378,6 +381,7 @@ func (r *Runner) runSampled(ctx context.Context, src trace.Source) (*Result, err
 		case pos < warmStart:
 			// Cold gap: skip on seekable sources, stream-and-discard on
 			// generators.
+			ph.Enter("gap")
 			if canSeek {
 				target := warmStart
 				if total := seeker.Records(); target >= total {
@@ -401,6 +405,7 @@ func (r *Runner) runSampled(ctx context.Context, src trace.Source) (*Result, err
 
 		case pos < windowStart:
 			// Functional warming. warmStep advances r.counted itself.
+			ph.Enter("warm")
 			batch := fetch(windowStart - pos)
 			if len(batch) == 0 {
 				eof = true
@@ -417,6 +422,11 @@ func (r *Runner) runSampled(ctx context.Context, src trace.Source) (*Result, err
 			// statistics (every record would be pre-warm), so they are
 			// demoted to warming.
 			demoted := base+intervalEnd <= r.cfg.WarmupAccesses
+			if demoted {
+				ph.Enter("warm")
+			} else {
+				ph.Enter("window")
+			}
 			if pos == windowStart && !demoted {
 				st.snap = r.currentSampleCounters()
 				st.snapValid = true

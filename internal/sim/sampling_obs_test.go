@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestSampledRunEmitsPhaseSpans: a tracer on the run context collects
+// gap/warm/window spans from the sampling driver — and the Result is
+// byte-identical to an untraced run, since spans never touch it.
+func TestSampledRunEmitsPhaseSpans(t *testing.T) {
+	cfg := Config{
+		Coherence:      tinyCoherence(1),
+		WarmupAccesses: 1,
+		Sampling: SamplingConfig{
+			WindowRecords:   500,
+			IntervalRecords: 5_000,
+			WarmupRecords:   1_000,
+		},
+	}
+	wcfg := workload.Config{CPUs: 1, Seed: 7, Length: 50_000}
+	w, err := workload.ByName("sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(ctx context.Context) []byte {
+		t.Helper()
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunContext(ctx, trace.Batched(w.Make(wcfg)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+
+	tr := obs.NewTracer()
+	traced := run(obs.WithTracer(context.Background(), tr))
+	plain := run(context.Background())
+
+	byName := map[string]int{}
+	for _, s := range tr.Spans() {
+		if s.Cat != "sim" {
+			t.Errorf("span %s has cat %q, want sim", s.Name, s.Cat)
+		}
+		byName[s.Name]++
+	}
+	for _, want := range []string{"gap", "warm", "window"} {
+		if byName[want] == 0 {
+			t.Errorf("missing %q phase span (have %v)", want, byName)
+		}
+	}
+	if !bytes.Equal(traced, plain) {
+		t.Error("tracing changed the Result JSON")
+	}
+}
+
+// TestExactRunEmitsWindowSpan: exact mode reports one all-window span.
+func TestExactRunEmitsWindowSpan(t *testing.T) {
+	r, err := NewRunner(Config{Coherence: tinyCoherence(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName("sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	if _, err := r.RunContext(ctx, trace.Batched(w.Make(workload.Config{CPUs: 1, Seed: 7, Length: 10_000}))); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "window" {
+		t.Fatalf("spans = %+v, want exactly one window span", spans)
+	}
+}

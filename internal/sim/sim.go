@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ghb"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sectored"
 	"repro/internal/stride"
 	"repro/internal/trace"
@@ -303,9 +304,15 @@ const DefaultBatchRecords = 4096
 // batch natively (all workload generators, trace.Reader) feed the
 // simulator with no per-record interface calls.
 func (r *Runner) RunContext(ctx context.Context, src trace.Source) (*Result, error) {
+	// Phase spans flow to any tracer on ctx (nil-safe no-ops otherwise);
+	// they never touch the Result, so sampled and exact outputs stay
+	// bit-identical with or without a tracer attached.
+	ph := obs.TracerFrom(ctx).Phases("sim", obs.TrackFrom(ctx))
+	defer ph.Close()
 	if r.sampled != nil {
-		return r.runSampled(ctx, src)
+		return r.runSampled(ctx, src, ph)
 	}
+	ph.Enter("window")
 	every := r.progressEvery
 	if every == 0 {
 		every = DefaultProgressInterval

@@ -27,6 +27,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -292,6 +293,7 @@ func (s *Store) get(kind, key string, out any, countMiss bool) bool {
 		// Corrupt object (torn write from a pre-rename crash, disk
 		// damage, or a foreign file): treat as a miss rather than an
 		// error; the caller will recompute and overwrite it.
+		slog.Warn("store: corrupt object treated as a miss", "kind", kind, "key", key, "err", err)
 		s.mu.Lock()
 		if fromMem && s.lru != nil {
 			s.lru.remove(cacheKey)
