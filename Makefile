@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci nightly fmt vet staticcheck build test test-full bench bench-smoke bench-allocs bench-record fuzz-smoke fuzz-nightly smoke
+.PHONY: ci nightly fmt vet staticcheck build test test-full bench bench-smoke bench-allocs bench-record fuzz-smoke fuzz-nightly smoke smoke-cluster
 
-ci: fmt vet staticcheck build test fuzz-smoke bench-smoke bench-allocs smoke
+ci: fmt vet staticcheck build test fuzz-smoke bench-smoke bench-allocs smoke smoke-cluster
 
 nightly: test-full fuzz-nightly
 
@@ -80,3 +80,9 @@ fuzz-nightly:
 # completion, cancel a second one.
 smoke:
 	./scripts/smoke_smsd.sh
+
+# Distributed smoke: coordinator + two workers, a figure grid scattered
+# across them, one worker SIGKILLed mid-grid; the grid must settle and
+# the coordinator's /metrics must stay a valid exposition.
+smoke-cluster:
+	./scripts/smoke_cluster.sh

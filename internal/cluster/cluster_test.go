@@ -1,0 +1,502 @@
+// Cluster integration tests: real coordinator + real worker daemons
+// (httptest servers over the full smsd handler stack), exercising
+// scatter/gather, byte-identical results, exactly-once execution, work
+// stealing, retry/failover, heartbeat death, quarantine and artifact
+// sync. External test package: the server imports cluster, so these
+// tests import both.
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/coherence"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// testOpts is the simulation geometry every node in a test cluster
+// shares; small enough that a full grid settles in well under a second.
+var testOpts = exp.Options{CPUs: 1, Seed: 1, Length: 10_000}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newSession builds a session, optionally store-backed.
+func newSession(t *testing.T, dir string, opts exp.Options) *exp.Session {
+	t.Helper()
+	s := exp.NewSession(opts)
+	if dir != "" {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetStore(st)
+	}
+	return s
+}
+
+// workerNode is one worker daemon under test.
+type workerNode struct {
+	session *exp.Session
+	ts      *httptest.Server
+}
+
+// newWorkerNode spins up a full smsd worker (session + server + HTTP).
+func newWorkerNode(t *testing.T, dir string, opts exp.Options) *workerNode {
+	t.Helper()
+	sess := newSession(t, dir, opts)
+	srv, err := server.New(server.Config{Session: sess, Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return &workerNode{session: sess, ts: ts}
+}
+
+// newCoordinator builds a coordinator bound to a fresh session's engine
+// (SetScheduler installed) so plans executed through the session
+// scatter across whatever the test registers.
+func newCoordinator(t *testing.T, dir string, opts exp.Options, cfg cluster.Config) (*exp.Session, *cluster.Coordinator) {
+	t.Helper()
+	sess := newSession(t, dir, opts)
+	cfg.Local = sess.Engine().LocalScheduler()
+	if cfg.Store == nil {
+		cfg.Store = sess.Store()
+	}
+	cfg.Workload = sess.Engine().Config().Workload
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger()
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	sess.Engine().SetScheduler(c)
+	return sess, c
+}
+
+// register enrolls a worker URL and returns its id.
+func register(t *testing.T, c *cluster.Coordinator, url string, capacity int) string {
+	t.Helper()
+	resp, err := c.Register(cluster.RegisterRequest{URL: url, Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.WorkerID
+}
+
+// beat keeps one worker id alive until the test ends.
+func beat(t *testing.T, c *cluster.Coordinator, id string, every time.Duration) {
+	t.Helper()
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	go func() {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				c.Heartbeat(id)
+			}
+		}
+	}()
+}
+
+func memSys() coherence.Config {
+	return coherence.Config{
+		CPUs: 1,
+		L1:   cache.Config{Size: 32 << 10, Assoc: 2, BlockSize: 64},
+		L2:   cache.Config{Size: 256 << 10, Assoc: 8, BlockSize: 64},
+	}
+}
+
+// testPlan is a 2×2 grid (4 distinct cells).
+func testPlan() engine.Plan {
+	return engine.Plan{
+		Name:      "cluster-test",
+		Workloads: []string{"sparse", "oltp-db2"},
+		Variants: []engine.Variant{
+			{Key: "base", Config: sim.Config{Coherence: memSys()}},
+			{Key: "sms", Config: sim.Config{Coherence: memSys(), PrefetcherName: "sms"}},
+		},
+	}
+}
+
+// resultJSON canonicalizes a result for byte comparison.
+func resultJSON(t *testing.T, res *sim.Result) string {
+	t.Helper()
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// requireGridsEqual asserts two executed grids carry byte-identical
+// results cell by cell.
+func requireGridsEqual(t *testing.T, plan engine.Plan, got, want *engine.Grid) {
+	t.Helper()
+	for _, wl := range plan.Workloads {
+		for _, v := range plan.Variants {
+			g, w := got.Result(wl, v.Key), want.Result(wl, v.Key)
+			if gj, wj := resultJSON(t, g), resultJSON(t, w); gj != wj {
+				t.Errorf("%s/%s: cluster result differs from local\ncluster: %s\nlocal:   %s", wl, v.Key, gj, wj)
+			}
+		}
+	}
+}
+
+// TestGridMatchesLocalExactlyOnce is the core acceptance test: a grid
+// scattered across two workers is byte-identical to single-node
+// execution, every cell is computed exactly once cluster-wide, and the
+// coordinator itself simulates nothing.
+func TestGridMatchesLocalExactlyOnce(t *testing.T) {
+	local := newSession(t, "", testOpts)
+	plan := testPlan()
+	wantGrid, err := local.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1 := newWorkerNode(t, t.TempDir(), testOpts)
+	w2 := newWorkerNode(t, t.TempDir(), testOpts)
+	coordDir := t.TempDir()
+	coordSess, coord := newCoordinator(t, coordDir, testOpts, cluster.Config{})
+	register(t, coord, w1.ts.URL, 2)
+	register(t, coord, w2.ts.URL, 2)
+
+	gotGrid, err := coordSess.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGridsEqual(t, plan, gotGrid, wantGrid)
+
+	cells := uint64(len(plan.Workloads) * len(plan.Variants))
+	if sims := w1.session.Simulations() + w2.session.Simulations(); sims != cells {
+		t.Errorf("cluster simulated %d cells, want exactly %d (no duplicates, no gaps)", sims, cells)
+	}
+	if sims := coordSess.Simulations(); sims != 0 {
+		t.Errorf("coordinator simulated %d cells locally, want 0", sims)
+	}
+	var done uint64
+	for _, w := range coord.Workers() {
+		done += w.Done
+	}
+	if done != cells {
+		t.Errorf("workers report %d done cells, want %d", done, cells)
+	}
+
+	// Re-executing through a fresh coordinator process over the same
+	// store is pure cache: every result was written through to the
+	// coordinator's store as it was gathered, so nothing resimulates —
+	// not on the coordinator, not on any worker.
+	coordSess2, coord2 := newCoordinator(t, coordDir, testOpts, cluster.Config{})
+	register(t, coord2, w1.ts.URL, 2)
+	register(t, coord2, w2.ts.URL, 2)
+	if _, err := coordSess2.Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if sims := w1.session.Simulations() + w2.session.Simulations(); sims != cells {
+		t.Errorf("re-execution resimulated: %d total sims, want still %d", sims, cells)
+	}
+	if sims := coordSess2.Simulations(); sims != 0 {
+		t.Errorf("warm coordinator simulated %d cells, want 0", sims)
+	}
+}
+
+// TestNoWorkersFallsBackLocal: a coordinator with an empty cluster is
+// exactly a single node.
+func TestNoWorkersFallsBackLocal(t *testing.T) {
+	local := newSession(t, "", testOpts)
+	plan := testPlan()
+	want, err := local.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coordSess, _ := newCoordinator(t, "", testOpts, cluster.Config{})
+	got, err := coordSess.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGridsEqual(t, plan, got, want)
+	cells := uint64(len(plan.Workloads) * len(plan.Variants))
+	if sims := coordSess.Simulations(); sims != cells {
+		t.Errorf("local fallback simulated %d cells, want %d", sims, cells)
+	}
+}
+
+// TestWorkerDeathRescatters kills one worker mid-grid — it holds cells
+// (a black-hole handler never answers) and stops heartbeating — and
+// asserts the grid still settles, with every cell computed exactly once
+// on the survivor.
+func TestWorkerDeathRescatters(t *testing.T) {
+	survivor := newWorkerNode(t, t.TempDir(), testOpts)
+	// The victim accepts cells and sits on them until the coordinator
+	// cancels the attempt (worker-death re-scatter path).
+	var swallowed atomic.Int64
+	victim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		swallowed.Add(1)
+		// Drain the body so net/http starts its background connection
+		// read; only then does r.Context() fire when the coordinator
+		// cancels the attempt and closes the connection.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	t.Cleanup(victim.Close)
+
+	coordSess, coord := newCoordinator(t, "", testOpts, cluster.Config{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatMisses:   2,
+	})
+	idSurvivor := register(t, coord, survivor.ts.URL, 2)
+	beat(t, coord, idSurvivor, 20*time.Millisecond)
+	register(t, coord, victim.URL, 2) // never beats → declared dead
+
+	local := newSession(t, "", testOpts)
+	plan := testPlan()
+	want, err := local.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, err := coordSess.Execute(ctx, plan)
+	if err != nil {
+		t.Fatal("grid did not settle after worker death:", err)
+	}
+	requireGridsEqual(t, plan, got, want)
+
+	if swallowed.Load() == 0 {
+		t.Error("victim never received a cell; the test exercised nothing")
+	}
+	cells := uint64(len(plan.Workloads) * len(plan.Variants))
+	if sims := survivor.session.Simulations(); sims != cells {
+		t.Errorf("survivor simulated %d cells, want exactly %d (no duplicates from re-scatter)", sims, cells)
+	}
+	var victimAlive bool
+	for _, w := range coord.Workers() {
+		if w.URL == victim.URL {
+			victimAlive = w.Alive
+		}
+	}
+	if victimAlive {
+		t.Error("victim still listed alive after missing every heartbeat")
+	}
+}
+
+// TestRetryFailsOver: a worker that always 500s is retried away from;
+// the healthy worker answers and the flake is recorded, not fatal.
+func TestRetryFailsOver(t *testing.T) {
+	healthy := newWorkerNode(t, t.TempDir(), testOpts)
+	var flakes atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		flakes.Add(1)
+		http.Error(w, "synthetic failure", http.StatusInternalServerError)
+	}))
+	t.Cleanup(flaky.Close)
+
+	coordSess, coord := newCoordinator(t, "", testOpts, cluster.Config{
+		RetryBaseDelay: 5 * time.Millisecond,
+		RetryMaxDelay:  20 * time.Millisecond,
+	})
+	register(t, coord, flaky.URL, 2)
+	register(t, coord, healthy.ts.URL, 2)
+
+	plan := testPlan()
+	local := newSession(t, "", testOpts)
+	want, err := local.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coordSess.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGridsEqual(t, plan, got, want)
+	if flakes.Load() > 0 {
+		// The flaky worker was tried and failed over; every cell must
+		// still have been computed exactly once, on the healthy node.
+		cells := uint64(len(plan.Workloads) * len(plan.Variants))
+		if sims := healthy.session.Simulations(); sims != cells {
+			t.Errorf("healthy worker simulated %d, want %d", sims, cells)
+		}
+	}
+}
+
+// TestKeyMismatchQuarantines: a worker launched with different options
+// computes different content addresses; it must be quarantined (409),
+// and the run must settle locally, never through it.
+func TestKeyMismatchQuarantines(t *testing.T) {
+	foreign := newWorkerNode(t, t.TempDir(), exp.Options{CPUs: 1, Seed: 99, Length: 10_000})
+	coordSess, coord := newCoordinator(t, "", testOpts, cluster.Config{})
+	register(t, coord, foreign.ts.URL, 2)
+
+	res, err := coordSess.Run(context.Background(), "sparse", sim.Config{Coherence: memSys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if sims := foreign.session.Simulations(); sims != 0 {
+		t.Errorf("mismatched worker simulated %d cells; its results would poison the grid", sims)
+	}
+	if sims := coordSess.Simulations(); sims != 1 {
+		t.Errorf("coordinator ran %d local fallback sims, want 1", sims)
+	}
+	ws := coord.Workers()
+	if len(ws) != 1 || !ws[0].Quarantined {
+		t.Errorf("worker not quarantined after key mismatch: %+v", ws)
+	}
+}
+
+// TestWorkStealing: all variants of one workload hash to one worker
+// (affinity); with per-worker capacity 1 the second worker must steal
+// from the first one's queue instead of idling.
+func TestWorkStealing(t *testing.T) {
+	w1 := newWorkerNode(t, t.TempDir(), testOpts)
+	w2 := newWorkerNode(t, t.TempDir(), testOpts)
+	coordSess, coord := newCoordinator(t, "", testOpts, cluster.Config{})
+	register(t, coord, w1.ts.URL, 1)
+	register(t, coord, w2.ts.URL, 1)
+
+	plan := engine.Plan{
+		Name:      "steal-test",
+		Workloads: []string{"sparse"}, // one workload → one affinity target
+		Variants: []engine.Variant{
+			{Key: "none", Config: sim.Config{Coherence: memSys()}},
+			{Key: "sms", Config: sim.Config{Coherence: memSys(), PrefetcherName: "sms"}},
+			{Key: "ghb", Config: sim.Config{Coherence: memSys(), PrefetcherName: "ghb"}},
+			{Key: "stride", Config: sim.Config{Coherence: memSys(), PrefetcherName: "stride"}},
+			{Key: "ls", Config: sim.Config{Coherence: memSys(), PrefetcherName: "ls"}},
+		},
+	}
+	if _, err := coordSess.Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	var stolen, done uint64
+	for _, w := range coord.Workers() {
+		stolen += w.Stolen
+		done += w.Done
+	}
+	if stolen == 0 {
+		t.Error("no cells were stolen; the idle worker sat out the grid")
+	}
+	if done != uint64(len(plan.Variants)) {
+		t.Errorf("workers done %d cells, want %d", done, len(plan.Variants))
+	}
+	if sims := w1.session.Simulations() + w2.session.Simulations(); sims != uint64(len(plan.Variants)) {
+		t.Errorf("cluster simulated %d cells, want %d", sims, len(plan.Variants))
+	}
+}
+
+// TestTraceArtifactSync: a worker that generated a workload trace
+// publishes it in its store; the coordinator pulls the artifact by
+// content address in the background after gathering the cell.
+func TestTraceArtifactSync(t *testing.T) {
+	w := newWorkerNode(t, t.TempDir(), testOpts)
+	coordSess, coord := newCoordinator(t, t.TempDir(), testOpts, cluster.Config{})
+	register(t, coord, w.ts.URL, 2)
+
+	if _, err := coordSess.Run(context.Background(), "sparse", sim.Config{Coherence: memSys()}); err != nil {
+		t.Fatal(err)
+	}
+	key := store.ForTrace("sparse", coordSess.Engine().Config().Workload)
+	if !w.session.Store().HasTrace(key) {
+		t.Fatal("worker store has no trace artifact after simulating; nothing to sync")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !coordSess.Store().HasTrace(key) {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never pulled the trace artifact")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunWorkerRegistersAndHeartbeats exercises the worker-side loop
+// against a real coordinator daemon (registration over HTTP, heartbeats
+// at the returned interval, exit on ctx cancel).
+func TestRunWorkerRegistersAndHeartbeats(t *testing.T) {
+	coordSess := newSession(t, "", testOpts)
+	coord, err := cluster.New(cluster.Config{
+		Local:             coordSess.Engine().LocalScheduler(),
+		Workload:          coordSess.Engine().Config().Workload,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Logger:            discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	srv, err := server.New(server.Config{Session: coordSess, Logger: discardLogger(), Coordinator: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- cluster.RunWorker(ctx, cluster.WorkerConfig{
+			Coordinator: ts.URL,
+			Advertise:   "http://127.0.0.1:1", // never dialed in this test
+			Capacity:    1,
+			Logger:      discardLogger(),
+		})
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ws := coord.Workers()
+		if len(ws) == 1 && ws[0].Alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Survive several heartbeat intervals without being declared dead.
+	time.Sleep(150 * time.Millisecond)
+	if ws := coord.Workers(); len(ws) != 1 || !ws[0].Alive {
+		t.Fatalf("worker lost liveness while heartbeating: %+v", ws)
+	}
+	cancel()
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunWorker did not exit on ctx cancel")
+	}
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+)
+
+// coordMetrics is the coordinator's instrument panel. Everything is
+// registered up front on one registry (the daemon's, normally), so the
+// hot paths are pure atomics.
+type coordMetrics struct {
+	cellsScattered     *obs.Counter
+	cellsStolen        *obs.Counter
+	cellsRetried       *obs.Counter
+	cellsRescattered   *obs.Counter
+	cellsLocal         *obs.Counter
+	cellsRemoteCached  *obs.Counter
+	workersRegistered  *obs.Counter
+	workersLost        *obs.Counter
+	workersQuarantined *obs.Counter
+	artifactsSynced    *obs.Counter
+	artifactSyncBytes  *obs.Counter
+
+	scatterLatency *obs.Histogram
+	cellDuration   *obs.Histogram
+
+	workerQueued   *obs.GaugeVec
+	workerInflight *obs.GaugeVec
+	workerAlive    *obs.GaugeVec
+}
+
+func newCoordMetrics(reg *obs.Registry, c *Coordinator) *coordMetrics {
+	m := &coordMetrics{
+		cellsScattered:     reg.Counter("smsd_cluster_cells_scattered_total", "Cell dispatch attempts sent to workers."),
+		cellsStolen:        reg.Counter("smsd_cluster_cells_stolen_total", "Cells a drained worker stole from another worker's queue."),
+		cellsRetried:       reg.Counter("smsd_cluster_cells_retried_total", "Cell attempts that failed and were rescheduled with backoff."),
+		cellsRescattered:   reg.Counter("smsd_cluster_cells_rescattered_total", "Cells re-scattered because their worker died or was retired."),
+		cellsLocal:         reg.Counter("smsd_cluster_cells_local_total", "Cells executed on the coordinator's local scheduler (no live workers)."),
+		cellsRemoteCached:  reg.Counter("smsd_cluster_cells_remote_cached_total", "Cells a worker answered from its own memo or store."),
+		workersRegistered:  reg.Counter("smsd_cluster_workers_registered_total", "Worker registrations accepted (re-registrations included)."),
+		workersLost:        reg.Counter("smsd_cluster_workers_lost_total", "Workers declared dead after missed heartbeats."),
+		workersQuarantined: reg.Counter("smsd_cluster_workers_quarantined_total", "Workers quarantined for cell key mismatches."),
+		artifactsSynced:    reg.Counter("smsd_cluster_artifacts_synced_total", "Trace artifacts pulled from workers into the coordinator's store."),
+		artifactSyncBytes:  reg.Counter("smsd_cluster_artifact_sync_bytes_total", "Bytes of trace artifacts pulled from workers."),
+
+		scatterLatency: reg.Histogram("smsd_cluster_scatter_latency_seconds",
+			"Time from a cell entering the scheduler to its first dispatch.",
+			obs.ExpBuckets(0.0005, 4, 10)), // 0.5ms .. ~131s
+		cellDuration: reg.Histogram("smsd_cluster_cell_duration_seconds",
+			"Time from a cell entering the scheduler to settlement (all attempts).",
+			obs.ExpBuckets(0.005, 4, 10)), // 5ms .. ~1311s
+
+		workerQueued:   reg.GaugeVec("smsd_cluster_worker_queued", "Cells queued for one worker.", "worker"),
+		workerInflight: reg.GaugeVec("smsd_cluster_worker_inflight", "Cells in flight on one worker.", "worker"),
+		workerAlive:    reg.GaugeVec("smsd_cluster_worker_alive", "1 while the worker is accepting cells, 0 once dead or quarantined.", "worker"),
+	}
+	reg.GaugeFunc("smsd_cluster_workers_alive", "Workers currently alive and accepting cells.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, w := range c.workers {
+			if w.alive && !w.quarantined {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	return m
+}
+
+// refreshWorkerGaugesLocked republishes the per-worker gauges; called
+// from dispatchLocked, the chokepoint every scheduling change funnels
+// through.
+func (m *coordMetrics) refreshWorkerGaugesLocked(c *Coordinator) {
+	for _, w := range c.workers {
+		m.workerQueued.With(w.id).Set(int64(len(w.queue)))
+		m.workerInflight.With(w.id).Set(int64(len(w.inflight)))
+		alive := int64(0)
+		if w.alive && !w.quarantined {
+			alive = 1
+		}
+		m.workerAlive.With(w.id).Set(alive)
+	}
+}

@@ -1,0 +1,94 @@
+package cluster
+
+// The cluster wire protocol: the JSON bodies exchanged between
+// coordinator and workers over the smsd HTTP API. internal/server
+// implements the endpoints; this package implements both clients (the
+// coordinator's cell dispatch and the worker's registration loop), so
+// the types live here where both sides can import them.
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RegisterRequest announces a worker to the coordinator
+// (POST /v1/cluster/workers).
+type RegisterRequest struct {
+	// URL is the worker's base URL as reachable from the coordinator
+	// (the worker's -advertise address).
+	URL string `json:"url"`
+	// Capacity is the number of cells the worker wants in flight at
+	// once — its in-flight window, conventionally its simulation
+	// parallelism.
+	Capacity int `json:"capacity"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	// WorkerID names the worker for heartbeats and listings.
+	WorkerID string `json:"worker_id"`
+	// HeartbeatMillis is the interval the coordinator expects beats at;
+	// missing several marks the worker dead.
+	HeartbeatMillis int64 `json:"heartbeat_ms"`
+}
+
+// CellRequest asks a worker to execute one run cell (POST /v1/cells).
+type CellRequest struct {
+	// Workload is the registered workload name.
+	Workload string `json:"workload"`
+	// Config is the resolved simulator configuration.
+	Config sim.Config `json:"config"`
+	// Key is the cell's content address under the coordinator's
+	// conventions. The worker recomputes the address under its own and
+	// refuses the cell (409) on mismatch: a disagreement means the
+	// daemons were launched with different options and the worker's
+	// result would be a different simulation entirely.
+	Key string `json:"key"`
+	// TraceFrom optionally names a base URL holding the cell's
+	// workload trace artifact (conventionally the coordinator, which
+	// checks its own tier before dispatching). A worker without the
+	// artifact pulls it from here instead of regenerating.
+	TraceFrom string `json:"trace_from,omitempty"`
+	// TraceKey is the artifact's content address when TraceFrom is set.
+	TraceKey string `json:"trace_key,omitempty"`
+}
+
+// CellResponse carries one executed cell back to the coordinator.
+type CellResponse struct {
+	// Key echoes the cell's content address.
+	Key string `json:"key"`
+	// Cached reports that the worker served the result without
+	// simulating (its memo or store already had the key).
+	Cached bool `json:"cached"`
+	// TraceKey is the content address of the workload's trace artifact
+	// if the worker's store holds it after the run — the coordinator
+	// pulls artifacts it is missing by this key.
+	TraceKey string `json:"trace_key,omitempty"`
+	// Result is the simulation outcome.
+	Result *sim.Result `json:"result"`
+}
+
+// WorkerInfo describes one registered worker (GET /v1/cluster/workers).
+type WorkerInfo struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	Capacity int    `json:"capacity"`
+	// Alive is false once the worker misses enough heartbeats; its
+	// cells have been re-scattered and it receives no new ones until it
+	// re-registers.
+	Alive bool `json:"alive"`
+	// Quarantined marks a worker that refused a cell with a key
+	// mismatch (launched with different options); it receives no cells.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Queued and Inflight are the worker's backlog right now.
+	Queued   int `json:"queued"`
+	Inflight int `json:"inflight"`
+	// Done / Failed / Stolen count settled dispatches: completed cells,
+	// failed attempts, and cells this worker stole from another's queue.
+	Done   uint64 `json:"cells_done"`
+	Failed uint64 `json:"cells_failed"`
+	Stolen uint64 `json:"cells_stolen"`
+	// LastHeartbeat is the last registration or heartbeat time.
+	LastHeartbeat time.Time `json:"last_heartbeat"`
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// WorkerConfig parameterizes RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Advertise is this worker's base URL as reachable from the
+	// coordinator.
+	Advertise string
+	// Capacity is the in-flight window to request (conventionally the
+	// daemon's simulation parallelism).
+	Capacity int
+	// Client performs the HTTP calls (nil: a short-timeout client —
+	// registration and heartbeats are tiny).
+	Client *http.Client
+	// Logger receives membership transitions (nil: slog.Default()).
+	Logger *slog.Logger
+}
+
+// RunWorker keeps one worker daemon enrolled with its coordinator:
+// register (with backoff while the coordinator is unreachable), then
+// heartbeat at the interval the coordinator dictates, re-registering
+// whenever the coordinator stops recognizing us — after a coordinator
+// restart, or after we were declared dead during a long GC-of-the-world
+// stall. Blocks until ctx is cancelled; cells themselves arrive on the
+// worker's ordinary HTTP API, not through this loop.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Coordinator == "" || cfg.Advertise == "" {
+		return fmt.Errorf("cluster: worker needs both coordinator and advertise URLs")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	for {
+		id, interval, err := registerWorker(ctx, client, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			logger.Warn("cluster: registration failed; retrying", "coordinator", cfg.Coordinator, "err", err)
+			if !sleepCtx(ctx, time.Second+time.Duration(rand.Int64N(int64(time.Second)))) {
+				return ctx.Err()
+			}
+			continue
+		}
+		logger.Info("cluster: registered with coordinator",
+			"coordinator", cfg.Coordinator, "worker", id, "heartbeat", interval)
+		if err := heartbeatLoop(ctx, client, cfg, id, interval); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			logger.Warn("cluster: heartbeat lapsed; re-registering", "worker", id, "err", err)
+		}
+	}
+}
+
+// registerWorker performs one registration attempt.
+func registerWorker(ctx context.Context, client *http.Client, cfg WorkerConfig) (string, time.Duration, error) {
+	body, err := json.Marshal(RegisterRequest{URL: cfg.Advertise, Capacity: cfg.Capacity})
+	if err != nil {
+		return "", 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		cfg.Coordinator+"/v1/cluster/workers", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return "", 0, fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var rr RegisterResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&rr); err != nil {
+		return "", 0, fmt.Errorf("decoding registration: %w", err)
+	}
+	if rr.WorkerID == "" {
+		return "", 0, fmt.Errorf("registration returned no worker id")
+	}
+	interval := time.Duration(rr.HeartbeatMillis) * time.Millisecond
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	return rr.WorkerID, interval, nil
+}
+
+// heartbeatLoop beats until ctx ends or the coordinator stops
+// recognizing the worker (a nil return means ctx ended). A transient
+// network error is tolerated — the coordinator only declares death
+// after several missed beats — but a 404/410 means our identity is
+// gone and we must re-register.
+func heartbeatLoop(ctx context.Context, client *http.Client, cfg WorkerConfig, id string, interval time.Duration) error {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	misses := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.Coordinator+"/v1/cluster/workers/"+id+"/heartbeat", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			misses++
+			if misses >= DefaultHeartbeatMisses {
+				return fmt.Errorf("lost contact with coordinator: %w", err)
+			}
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNoContent:
+			misses = 0
+		default:
+			return fmt.Errorf("coordinator no longer recognizes worker %s (status %d)", id, resp.StatusCode)
+		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx ends; false means ctx ended.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -14,11 +14,9 @@ package engine
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -66,7 +64,8 @@ type Config struct {
 type Engine struct {
 	cfg    Config
 	sem    chan struct{}
-	traces *traceCache // nil when disabled
+	sched  CellScheduler // where cells execute; localScheduler by default
+	traces *traceCache   // nil when disabled
 
 	// The disk trace tier keeps one shared mapping per replayed
 	// artifact; every run gets its own decoding stream over it.
@@ -115,6 +114,7 @@ func New(cfg Config) *Engine {
 		sem:  make(chan struct{}, cfg.Parallel),
 		memo: make(map[string]*entry),
 	}
+	e.sched = localScheduler{e}
 	if cfg.TraceCacheBytes >= 0 {
 		budget := cfg.TraceCacheBytes
 		if budget == 0 {
@@ -274,8 +274,10 @@ func (e *Engine) run(ctx context.Context, workloadName string, cfg sim.Config, k
 	}
 }
 
-// simulate performs the store lookup and, on a miss, the actual
-// simulation under the worker-pool bound.
+// simulate performs the store lookup and, on a miss, hands the cell to
+// the scheduler (the local pool by default, a cluster coordinator when
+// one is installed). The settling events and store write-through happen
+// here, above the scheduler, so every placement policy shares them.
 func (e *Engine) simulate(ctx context.Context, workloadName string, cfg sim.Config, key string, emit func(Event)) (*sim.Result, error) {
 	tr := obs.TracerFrom(ctx)
 	// Each run gets its own trace row: workload/prefetcher plus a key
@@ -306,47 +308,27 @@ func (e *Engine) simulate(ctx context.Context, workloadName string, cfg sim.Conf
 		}
 	}
 
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-	defer func() { <-e.sem }()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	w, err := workload.ByName(workloadName)
-	if err != nil {
-		return nil, err
-	}
-	runner, err := sim.NewRunner(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("engine: %s: %w", workloadName, err)
-	}
-	emit(Event{Kind: RunStarted})
-	runner.OnProgress(e.cfg.ProgressInterval, func(records uint64) {
-		emit(Event{Kind: RunProgress, Records: records})
-	})
-	e.sims.Add(1)
-	t0 := time.Now()
-	src, generated := e.traceSource(w)
-	if generated {
-		e.generations.Add(1)
-		tr.Add("trace-generate", "engine", track, t0, time.Now())
-	} else {
-		// Memo/mmap replay: the source opens here in O(1); decode time
-		// lands inside the run span (and the sim phase spans).
-		tr.Add("trace-open", "engine", track, t0, time.Now())
-	}
-	runSpan := tr.Start("run", "engine", track)
-	res, err := runner.RunContext(runCtx, src)
-	runSpan.End()
-	if err != nil {
-		if isCtxErr(err) {
-			e.cancelled.Add(1)
+	// started mirrors whether the scheduler committed execution
+	// somewhere: pre-start failures (cancelled while queued, unknown
+	// workload) settle silently so Execute can report RunSkipped, while
+	// post-start ones emit RunFailed — the pre-scheduler semantics.
+	// Schedulers never emit after Schedule returns, so the flag is safe
+	// to read here.
+	started := false
+	wrapped := func(ev Event) {
+		if ev.Kind == RunStarted {
+			started = true
 		}
-		emit(Event{Kind: RunFailed, Err: err})
+		emit(ev)
+	}
+	res, err := e.sched.Schedule(runCtx, RunSpec{Workload: workloadName, Config: cfg, Key: key}, wrapped)
+	if err != nil {
+		if started {
+			if isCtxErr(err) {
+				e.cancelled.Add(1)
+			}
+			emit(Event{Kind: RunFailed, Err: err})
+		}
 		return nil, err
 	}
 	if e.cfg.Store != nil {

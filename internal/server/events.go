@@ -166,6 +166,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		s.metrics.subscribers.Add(-1)
 	}()
 
+	// An event stream lives as long as its job; exempt it from the
+	// daemon-wide write timeout.
+	clearWriteDeadline(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")

@@ -36,8 +36,13 @@ type serverMetrics struct {
 }
 
 // newMetrics wires the registry against a fully-constructed Server.
-func newMetrics(s *Server) *serverMetrics {
-	r := obs.NewRegistry()
+// reg lets the daemon share one registry with other subsystems (the
+// cluster coordinator); nil gets a private one.
+func newMetrics(s *Server, reg *obs.Registry) *serverMetrics {
+	r := reg
+	if r == nil {
+		r = obs.NewRegistry()
+	}
 	m := &serverMetrics{reg: r}
 
 	r.GaugeFunc("smsd_up", "Whether the daemon is serving.", func() float64 { return 1 })

@@ -7,10 +7,18 @@
 //	GET    /v1/figures/{name}  rendered figure text (synchronous; cached figures bypass the pool)
 //	POST   /v1/figures/{name}  async figure job → 202 + job id
 //	POST   /v1/runs            async simulation job → 202 + job id
-//	GET    /v1/jobs            all jobs, newest first
+//	GET    /v1/jobs            all jobs, newest first (?state=, ?kind= filters)
 //	GET    /v1/jobs/{id}       job status, progress, phase timings, and (when done) result
 //	GET    /v1/jobs/{id}/events  live engine events as Server-Sent Events
 //	DELETE /v1/jobs/{id}       cancel the job's in-flight simulations
+//	POST   /v1/cells           execute one cluster run cell (worker side; synchronous)
+//	POST   /v1/cluster/workers            register a worker (coordinator side)
+//	POST   /v1/cluster/workers/{id}/heartbeat  worker liveness beat
+//	GET    /v1/cluster/workers            registered workers and their queues
+//	GET    /v1/store/results/{key}        stored result JSON by content address
+//	PUT    /v1/store/results/{key}        store a result (cluster artifact sync)
+//	GET    /v1/store/traces/{key}         raw trace artifact by content address
+//	PUT    /v1/store/traces/{key}         store a trace artifact (validated before publish)
 //	GET    /v1/prefetchers     registered prefetcher names
 //	GET    /v1/workloads       registered workloads (name, group, description)
 //	GET    /v1/traces          trace artifacts cached in the store's disk trace tier
@@ -44,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/mem"
@@ -77,6 +86,15 @@ type Config struct {
 	EventHeartbeat time.Duration
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
 	Pprof bool
+	// Coordinator, when set, makes this daemon a cluster coordinator: the
+	// /v1/cluster/* endpoints accept worker registrations and heartbeats
+	// for it. Workers and single-node daemons leave it nil (the endpoints
+	// then answer 404).
+	Coordinator *cluster.Coordinator
+	// Metrics is the registry behind /metrics (nil = a fresh private
+	// registry). A coordinator daemon shares one registry between the
+	// server and the cluster scheduler so one scrape covers both.
+	Metrics *obs.Registry
 }
 
 // DefaultQueue is the default job-queue bound.
@@ -253,9 +271,12 @@ type Server struct {
 	wg      sync.WaitGroup
 	workers int
 
-	logger    *slog.Logger
-	heartbeat time.Duration
-	pprof     bool
+	logger      *slog.Logger
+	heartbeat   time.Duration
+	pprof       bool
+	coordinator *cluster.Coordinator
+	// syncClient fetches trace artifacts from peers (worker pull-through).
+	syncClient *http.Client
 	// metrics is the obs registry behind /metrics plus every instrument
 	// the daemon records into (see metrics.go).
 	metrics *serverMetrics
@@ -320,10 +341,12 @@ func New(cfg Config) (*Server, error) {
 		logger:      logger,
 		heartbeat:   heartbeat,
 		pprof:       cfg.Pprof,
+		coordinator: cfg.Coordinator,
+		syncClient:  &http.Client{Timeout: 5 * time.Minute},
 		jobs:        make(map[string]*job),
 		activeByKey: make(map[string]*job),
 	}
-	s.metrics = newMetrics(s)
+	s.metrics = newMetrics(s, cfg.Metrics)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -605,6 +628,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /v1/cells", s.handleCell)
+	mux.HandleFunc("POST /v1/cluster/workers", s.handleWorkerRegister)
+	mux.HandleFunc("POST /v1/cluster/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	mux.HandleFunc("GET /v1/cluster/workers", s.handleWorkerList)
+	mux.HandleFunc("GET /v1/store/results/{key}", s.handleStoreResultGet)
+	mux.HandleFunc("PUT /v1/store/results/{key}", s.handleStoreResultPut)
+	mux.HandleFunc("GET /v1/store/traces/{key}", s.handleStoreTraceGet)
+	mux.HandleFunc("PUT /v1/store/traces/{key}", s.handleStoreTracePut)
 	if s.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -637,6 +668,20 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 type errorDoc struct {
 	Error string   `json:"error"`
 	Known []string `json:"known,omitempty"`
+}
+
+// clearWriteDeadline exempts one response from the daemon-wide write
+// timeout: SSE streams, synchronous figure/cell waits and artifact
+// transfers are legitimately long-lived, while the timeout stays on to
+// bound every ordinary response.
+func clearWriteDeadline(w http.ResponseWriter) {
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+}
+
+// clearReadDeadline exempts one request body from the daemon-wide read
+// timeout (large artifact uploads).
+func clearReadDeadline(w http.ResponseWriter) {
+	_ = http.NewResponseController(w).SetReadDeadline(time.Time{})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -688,6 +733,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	// The wait below can exceed the daemon's write timeout; the figure
+	// computation itself is the bound.
+	clearWriteDeadline(w)
 	for {
 		// Fast path: a figure already persisted in the store is one disk
 		// read — serve it without burning a worker slot, so cached
@@ -901,7 +949,39 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.doc())
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+// jobStateFilter translates the ?state= query value into a predicate.
+// Besides the five lifecycle states it accepts the aggregates "active"
+// (queued or running) and "settled" (any terminal state).
+func jobStateFilter(value string) (func(JobState) bool, bool) {
+	switch JobState(value) {
+	case "":
+		return func(JobState) bool { return true }, true
+	case JobQueued, JobRunning, JobDone, JobFailed, JobCancelled:
+		want := JobState(value)
+		return func(st JobState) bool { return st == want }, true
+	}
+	switch value {
+	case "active":
+		return func(st JobState) bool { return !st.terminal() }, true
+	case "settled":
+		return func(st JobState) bool { return st.terminal() }, true
+	}
+	return nil, false
+}
+
+// handleJobs lists jobs newest-first, optionally filtered with
+// ?state= (queued|running|done|failed|cancelled|active|settled) and
+// ?kind= (run|figure|cell).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	stateOK, ok := jobStateFilter(r.URL.Query().Get("state"))
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorDoc{
+			Error: fmt.Sprintf("unknown state filter %q", r.URL.Query().Get("state")),
+			Known: []string{"queued", "running", "done", "failed", "cancelled", "active", "settled"},
+		})
+		return
+	}
+	kind := r.URL.Query().Get("kind")
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
@@ -910,7 +990,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	docs := make([]JobDoc, 0, len(jobs))
 	for _, j := range jobs {
-		docs = append(docs, j.doc())
+		d := j.doc()
+		if !stateOK(d.State) || (kind != "" && d.Kind != kind) {
+			continue
+		}
+		docs = append(docs, d)
 	}
 	sort.Slice(docs, func(i, k int) bool { return docs[i].Created.After(docs[k].Created) })
 	writeJSON(w, http.StatusOK, docs)

@@ -21,6 +21,7 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -163,6 +164,74 @@ func (ts *TraceSink) Abort() {
 	}
 	ts.f.Close()
 	os.Remove(ts.f.Name())
+}
+
+// OpenTraceRaw opens the raw artifact bytes at key for replication to
+// another node (the cluster's artifact sync). The caller closes the
+// reader; size is the artifact's byte length. Unlike OpenTrace, no
+// decoding or validation happens here — the receiver validates before
+// publishing (PutTraceRaw), and the content address lets it verify what
+// it asked for.
+func (s *Store) OpenTraceRaw(key string) (io.ReadCloser, int64, bool) {
+	f, err := os.Open(s.tracePath(key))
+	if err != nil {
+		return nil, 0, false
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, false
+	}
+	s.mu.Lock()
+	s.stats.TraceBytesRead += uint64(fi.Size())
+	s.mu.Unlock()
+	return f, fi.Size(), true
+}
+
+// PutTraceRaw atomically publishes artifact bytes streamed from another
+// node at key. The bytes are validated as a well-formed v2 trace
+// (header, index, CRC — trace.Stat) before the rename, so a truncated
+// or corrupted transfer never becomes visible; replays would otherwise
+// treat it as corruption, but rejecting it here keeps the tier's
+// "a key either exists or it doesn't" contract honest. Returns the
+// byte count written.
+func (s *Store) PutTraceRaw(key string, r io.Reader) (int64, error) {
+	path := s.tracePath(key)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	n, err := io.Copy(f, r)
+	if err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return 0, fmt.Errorf("store: receiving trace %s: %w", key, err)
+	}
+	if _, err := trace.Stat(f.Name()); err != nil {
+		os.Remove(f.Name())
+		return 0, fmt.Errorf("store: received trace %s is not a valid artifact: %w", key, err)
+	}
+	if err := os.Chmod(f.Name(), 0o644); err != nil {
+		os.Remove(f.Name())
+		return 0, fmt.Errorf("store: publishing trace %s: %w", key, err)
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return 0, fmt.Errorf("store: publishing trace %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.stats.TraceWrites++
+	s.stats.TraceBytesWritten += uint64(n)
+	s.mu.Unlock()
+	return n, nil
 }
 
 // PutTraceRecords writes a fully in-memory trace at key in one call.

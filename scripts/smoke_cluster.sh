@@ -1,0 +1,185 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for the distributed smsd cell scheduler: start a
+# coordinator and two workers (same simulation options — the cluster
+# contract), regenerate a full figure grid so its cells scatter across
+# both, SIGKILL one worker mid-grid, and assert the grid still settles
+# (worker-death detection + re-scatter), the membership plane reports
+# the death, and the coordinator's /metrics — cluster series included —
+# still passes the exposition checker. Run from the repository root;
+# needs curl.
+#
+# Every daemon binds -addr 127.0.0.1:0 and the script reads the
+# kernel-assigned port back from the startup log line, so concurrent
+# runs never collide.
+set -eu
+
+BIN=${BIN:-./smsd-cluster-smoke-bin}
+
+# The shared simulation options: every daemon in the cluster must agree
+# on them or the workers are quarantined for key mismatches.
+SIMOPTS="-cpus 1 -seed 1 -length 120000"
+
+say() { echo "cluster-smoke: $*"; }
+fail() { echo "cluster-smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o "$BIN" ./cmd/smsd
+
+COORD_PID=""
+W1_PID=""
+W2_PID=""
+TMP=""
+cleanup() {
+    [ -n "$COORD_PID" ] && kill "$COORD_PID" 2>/dev/null || true
+    [ -n "$W1_PID" ] && kill "$W1_PID" 2>/dev/null || true
+    [ -n "$W2_PID" ] && kill "$W2_PID" 2>/dev/null || true
+    rm -f "$BIN"
+    [ -n "$TMP" ] && rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+# json_field FILE KEY → the first "KEY": "value" in the (indented) JSON.
+json_field() {
+    sed -n "s/^.*\"$2\": \"\([^\"]*\)\".*$/\1/p" "$1" | head -n 1
+}
+
+# wait_port LOGFILE → the port from the structured startup line.
+wait_port() {
+    i=0
+    while :; do
+        port=$(sed -n 's/.*msg="smsd listening" addr=[^ ]*:\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1)
+        [ -n "$port" ] && { echo "$port"; return 0; }
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "cluster-smoke: FAIL: daemon never logged its listen address; log follows" >&2
+            sed 's/^/cluster-smoke:   | /' "$1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+wait_healthy() {
+    i=0
+    while ! curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "cluster-smoke: FAIL: daemon on :$1 never became healthy; log follows" >&2
+            sed 's/^/cluster-smoke:   | /' "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+TMP=$(mktemp -d)
+
+# --- Coordinator + two workers, each with its own store --------------------
+# A short heartbeat makes worker-death detection fast enough to observe
+# inside the smoke budget.
+"$BIN" -cluster -addr 127.0.0.1:0 $SIMOPTS -heartbeat 250ms \
+    -store "$TMP/store-coord" >"$TMP/coord.log" 2>&1 &
+COORD_PID=$!
+PORT_COORD=$(wait_port "$TMP/coord.log")
+wait_healthy "$PORT_COORD" "$TMP/coord.log"
+say "coordinator on :$PORT_COORD"
+
+"$BIN" -worker -coordinator "http://127.0.0.1:$PORT_COORD" -addr 127.0.0.1:0 \
+    $SIMOPTS -store "$TMP/store-w1" >"$TMP/w1.log" 2>&1 &
+W1_PID=$!
+"$BIN" -worker -coordinator "http://127.0.0.1:$PORT_COORD" -addr 127.0.0.1:0 \
+    $SIMOPTS -store "$TMP/store-w2" >"$TMP/w2.log" 2>&1 &
+W2_PID=$!
+PORT_W1=$(wait_port "$TMP/w1.log")
+PORT_W2=$(wait_port "$TMP/w2.log")
+wait_healthy "$PORT_W1" "$TMP/w1.log"
+wait_healthy "$PORT_W2" "$TMP/w2.log"
+say "workers on :$PORT_W1 and :$PORT_W2"
+
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_COORD/v1/cluster/workers" >"$TMP/workers.json" 2>/dev/null || true
+    n=$(grep -c '"alive": true' "$TMP/workers.json" 2>/dev/null || true)
+    [ "$n" = "2" ] && break
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "workers never registered: $(cat "$TMP/workers.json" 2>/dev/null)"
+    sleep 0.1
+done
+say "both workers registered and alive"
+
+# --- Scatter a figure grid, kill one worker mid-grid -----------------------
+curl -fsS -X POST "http://127.0.0.1:$PORT_COORD/v1/figures/fig8" >"$TMP/submit.json"
+JOB=$(json_field "$TMP/submit.json" id)
+[ -n "$JOB" ] || fail "no job id in figure submit: $(cat "$TMP/submit.json")"
+say "submitted figure grid job $JOB"
+
+# Wait until the grid is demonstrably in flight on the cluster (cells
+# scattered), then SIGKILL the second worker: no goodbye, no final
+# heartbeat — the coordinator must notice on its own and re-scatter.
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_COORD/metrics" >"$TMP/m.txt"
+    scattered=$(sed -n 's/^smsd_cluster_cells_scattered_total \([0-9][0-9]*\).*/\1/p' "$TMP/m.txt")
+    [ -n "$scattered" ] && [ "$scattered" -ge 2 ] && break
+    i=$((i + 1))
+    [ "$i" -gt 200 ] && fail "grid never scattered cells to the workers"
+    sleep 0.05
+done
+kill -9 "$W2_PID"
+W2_PID=""
+say "SIGKILLed worker on :$PORT_W2 with $scattered cells scattered"
+
+# The grid must settle anyway: orphaned cells re-scatter to the
+# survivor after the missed heartbeats.
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_COORD/v1/jobs/$JOB" >"$TMP/poll.json"
+    STATE=$(json_field "$TMP/poll.json" state)
+    case "$STATE" in
+    done) break ;;
+    failed | cancelled) fail "figure job settled as $STATE: $(cat "$TMP/poll.json")" ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -gt 900 ] && fail "figure job stuck in state $STATE after the worker kill"
+    sleep 0.2
+done
+grep -q '"figure"' "$TMP/poll.json" || fail "done figure job carries no rendered figure"
+say "figure grid settled as done despite the worker kill"
+
+# --- Membership and metrics reflect the death ------------------------------
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_COORD/v1/cluster/workers" >"$TMP/workers.json"
+    grep -q '"alive": false' "$TMP/workers.json" && break
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "killed worker never declared dead: $(cat "$TMP/workers.json")"
+    sleep 0.1
+done
+say "membership lists the killed worker as dead"
+
+curl -fsS "http://127.0.0.1:$PORT_COORD/metrics" >"$TMP/metrics.txt"
+go run ./internal/obs/obscheck metrics "$TMP/metrics.txt" ||
+    fail "coordinator /metrics is not valid Prometheus exposition"
+grep -q '^smsd_cluster_workers_lost_total 1$' "$TMP/metrics.txt" ||
+    fail "metrics do not count the lost worker"
+scattered=$(sed -n 's/^smsd_cluster_cells_scattered_total \([0-9][0-9]*\).*/\1/p' "$TMP/metrics.txt")
+[ -n "$scattered" ] && [ "$scattered" -ge 2 ] ||
+    fail "metrics do not count the scattered cells"
+say "coordinator /metrics passes the exposition checker with the cluster series"
+
+# The coordinator's store holds the grid's results (write-through from
+# the scatter path): a re-run of the same figure must be pure cache.
+curl -fsS -X POST "http://127.0.0.1:$PORT_COORD/v1/figures/fig8" >"$TMP/submit2.json"
+JOB2=$(json_field "$TMP/submit2.json" id)
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_COORD/v1/jobs/$JOB2" >"$TMP/poll2.json"
+    STATE=$(json_field "$TMP/poll2.json" state)
+    [ "$STATE" = "done" ] && break
+    case "$STATE" in failed | cancelled) fail "warm figure job settled as $STATE" ;; esac
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && fail "warm figure job stuck in state $STATE"
+    sleep 0.2
+done
+say "warm re-run of the figure settled from the synced store"
+
+say "PASS"
