@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: ci nightly fmt vet staticcheck build test test-full bench bench-smoke bench-allocs bench-record fuzz-smoke fuzz-nightly smoke smoke-cluster
+.PHONY: ci nightly fmt vet staticcheck build test test-full test-chaos bench bench-smoke bench-allocs bench-record fuzz-smoke fuzz-nightly smoke smoke-cluster smoke-chaos
 
-ci: fmt vet staticcheck build test fuzz-smoke bench-smoke bench-allocs smoke smoke-cluster
+ci: fmt vet staticcheck build test fuzz-smoke bench-smoke bench-allocs smoke smoke-cluster smoke-chaos
 
-nightly: test-full fuzz-nightly
+nightly: test-full test-chaos fuzz-nightly
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -44,6 +44,12 @@ test:
 # sampled-vs-exact statistical validation grid (~minutes).
 test-full:
 	$(GO) test -timeout 50m ./...
+
+# The full crash-point table, repeated: every journal/restart-recovery
+# test and the cluster chaos suite under -race, -count=3 to shake out
+# timing-dependent survivors the single-shot CI run can miss.
+test-chaos:
+	$(GO) test -race -count=3 -run 'TestJournal|TestRestart|TestRecovery|TestBreaker|TestStaleSuccess|Blackout' ./internal/server ./internal/cluster
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -86,3 +92,10 @@ smoke:
 # the coordinator's /metrics must stay a valid exposition.
 smoke-cluster:
 	./scripts/smoke_cluster.sh
+
+# Chaos smoke: a journaled coordinator is SIGKILLed mid-grid and
+# restarted against the same -store and -journal; the pre-kill jobs
+# must settle done under the same ids and the recovered figure must be
+# byte-identical to a single-node reference.
+smoke-chaos:
+	./scripts/smoke_chaos.sh

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	smsd -store /var/lib/smsd [-addr :8344] [-quick]
+//	smsd -store /var/lib/smsd [-journal /var/lib/smsd/journal] [-addr :8344] [-quick]
 //
 // One binary serves three roles:
 //
@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/server"
 
@@ -70,6 +71,9 @@ type options struct {
 	parallel int
 	quick    bool
 	grace    time.Duration
+
+	journalPath string
+	faultPlan   string
 
 	clusterOn   bool
 	workerOn    bool
@@ -96,6 +100,8 @@ func main() {
 	flag.IntVar(&o.parallel, "parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.quick, "quick", false, "abbreviated runs (overrides -cpus/-length)")
 	flag.DurationVar(&o.grace, "shutdown-deadline", 15*time.Second, "bound on graceful shutdown: in-flight simulations are cancelled, not drained")
+	flag.StringVar(&o.journalPath, "journal", "", "durable job journal path: jobs survive a kill and are recovered on restart (empty: journaling off)")
+	flag.StringVar(&o.faultPlan, "fault-plan", "", "deterministic fault plan, inline JSON or @/path/to/plan.json (also "+fault.EnvPlan+"); chaos testing only")
 
 	flag.BoolVar(&o.clusterOn, "cluster", false, "coordinator mode: scatter run cells across registered workers")
 	flag.BoolVar(&o.workerOn, "worker", false, "worker mode: register with -coordinator and execute its cells")
@@ -170,11 +176,34 @@ func run(logger *slog.Logger, o options) error {
 		return fmt.Errorf("-worker needs -coordinator URL")
 	}
 
+	// The fault injector is nil unless a plan is given (-fault-plan or
+	// SMSD_FAULT_PLAN), so production paths pay one pointer test per
+	// instrumented site. A crash rule kills the daemon for real: exit
+	// 137, the same face SIGKILL shows a supervisor.
+	inj, err := fault.Load(o.faultPlan)
+	if err != nil {
+		return err
+	}
+	if inj == nil {
+		if inj, err = fault.FromEnv(); err != nil {
+			return err
+		}
+	}
+	if inj != nil {
+		inj.OnCrash(func(site string) {
+			logger.Error("fault plan crashed the daemon", "site", site)
+			os.Exit(137)
+		})
+		logger.Warn("fault injection enabled", "plan", o.faultPlan)
+	}
+
 	session := exp.NewSession(exp.CLIOptions(o.cpus, o.seed, o.length, o.parallel, o.quick))
 	if err := exp.AttachStore(session, o.storeDir); err != nil {
 		return err
 	}
+	session.Engine().SetFault(inj)
 	if st := session.Store(); st != nil {
+		st.SetFault(inj)
 		logger.Info("result store attached", "dir", st.Dir())
 	} else {
 		logger.Info("no -store directory: results cached in memory only")
@@ -207,6 +236,7 @@ func run(logger *slog.Logger, o options) error {
 			Metrics:           reg,
 			HeartbeatInterval: o.heartbeat,
 			Logger:            logger,
+			Fault:             inj,
 		})
 		if err != nil {
 			ln.Close()
@@ -228,6 +258,8 @@ func run(logger *slog.Logger, o options) error {
 		Pprof:       o.pprofOn,
 		Coordinator: coord,
 		Metrics:     reg,
+		JournalPath: o.journalPath,
+		Fault:       inj,
 	})
 	if err != nil {
 		ln.Close()
@@ -246,7 +278,7 @@ func run(logger *slog.Logger, o options) error {
 	logger.Info("smsd listening",
 		"addr", ln.Addr().String(), "cpus", sessOpts.CPUs, "seed", sessOpts.Seed,
 		"length", sessOpts.Length, "cluster", o.clusterOn, "worker", o.workerOn,
-		"pprof", o.pprofOn)
+		"journal", o.journalPath != "", "pprof", o.pprofOn)
 
 	workerDone := make(chan struct{})
 	if o.workerOn {
@@ -261,6 +293,7 @@ func run(logger *slog.Logger, o options) error {
 				Advertise:   selfURL,
 				Capacity:    capacity,
 				Logger:      logger,
+				Fault:       inj,
 			})
 		}()
 	} else {

@@ -1,0 +1,413 @@
+// Chaos tests: deterministic fault injection against a real cluster —
+// circuit-breaker probation and canary recovery, the stale-success
+// double-settlement race, and heartbeat blackouts on both sides of the
+// wire. Every test asserts the grid still settles byte-identical to
+// local execution with exactly-once accounting.
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// metricValue scrapes one un-labeled series from a registry's
+// Prometheus rendering.
+func metricValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("parsing %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in registry", name)
+	return 0
+}
+
+// newCoordServer exposes a coordinator session over HTTP (the daemon
+// stack RunWorker talks to).
+func newCoordServer(t *testing.T, sess *exp.Session, coord *cluster.Coordinator) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{Session: sess, Logger: discardLogger(), Coordinator: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+// flakyProxy fronts a real worker: the first failN cell posts are
+// answered 500, everything after (and every non-cell request) is
+// forwarded. This is a worker that heals.
+func flakyProxy(t *testing.T, backend string, failN int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	u, err := url.Parse(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(u)
+	var posts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/cells" && posts.Add(1) <= failN {
+			http.Error(w, "synthetic failure", http.StatusInternalServerError)
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &posts
+}
+
+// TestBreakerTripsAndCanaryRecovers: a worker that fails its first few
+// cells trips the circuit breaker onto probation; once it heals, a
+// canary cell succeeds and probation lifts. The grid settles
+// byte-identical with no cell computed twice. Capacity 1 keeps the
+// attempts serial, so the failure/trip/canary sequence is deterministic.
+func TestBreakerTripsAndCanaryRecovers(t *testing.T) {
+	node := newWorkerNode(t, t.TempDir(), testOpts)
+	// Fail the first 3 posts — exactly the breaker threshold — then heal.
+	proxy, posts := flakyProxy(t, node.ts.URL, 3)
+
+	reg := obs.NewRegistry()
+	coordSess, coord := newCoordinator(t, "", testOpts, cluster.Config{
+		Metrics:          reg,
+		BreakerThreshold: 3,
+		MaxAttempts:      10, // the breaker must trip before any cell's budget runs out
+		RetryBaseDelay:   5 * time.Millisecond,
+		RetryMaxDelay:    20 * time.Millisecond,
+	})
+	register(t, coord, proxy.URL, 1)
+
+	plan := testPlan()
+	local := newSession(t, "", testOpts)
+	want, err := local.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coordSess.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGridsEqual(t, plan, got, want)
+
+	if posts.Load() <= 3 {
+		t.Fatalf("proxy saw %d cell posts; the failure phase never completed", posts.Load())
+	}
+	if v := metricValue(t, reg, "smsd_cluster_breaker_trips_total"); v != 1 {
+		t.Errorf("breaker trips = %g, want 1", v)
+	}
+	if v := metricValue(t, reg, "smsd_cluster_breaker_recoveries_total"); v != 1 {
+		t.Errorf("breaker recoveries = %g, want 1 (canary success must lift probation)", v)
+	}
+	if v := metricValue(t, reg, "smsd_cluster_cells_canary_total"); v < 1 {
+		t.Errorf("canary cells = %g, want >= 1", v)
+	}
+	cells := uint64(len(plan.Workloads) * len(plan.Variants))
+	if sims := node.session.Simulations(); sims != cells {
+		t.Errorf("worker simulated %d cells, want exactly %d", sims, cells)
+	}
+	if sims := coordSess.Simulations(); sims != 0 {
+		t.Errorf("coordinator fell back to %d local sims; probation should keep the cluster usable", sims)
+	}
+	ws := coord.Workers()
+	if len(ws) != 1 || ws[0].Probation {
+		t.Errorf("worker still on probation after recovery: %+v", ws)
+	}
+}
+
+// TestBreakerProbationPrefersHealthyWorker: with one persistently
+// failing worker and one healthy one, the breaker trips once, moves the
+// failing worker's backlog, and the whole grid lands on the healthy
+// worker instead of burning each cell's retry budget against the flake.
+func TestBreakerProbationPrefersHealthyWorker(t *testing.T) {
+	healthy := newWorkerNode(t, t.TempDir(), testOpts)
+	var flakes atomic.Int64
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		flakes.Add(1)
+		http.Error(w, "synthetic failure", http.StatusInternalServerError)
+	}))
+	t.Cleanup(broken.Close)
+
+	reg := obs.NewRegistry()
+	coordSess, coord := newCoordinator(t, "", testOpts, cluster.Config{
+		Metrics:          reg,
+		BreakerThreshold: 2,
+		RetryBaseDelay:   5 * time.Millisecond,
+		RetryMaxDelay:    20 * time.Millisecond,
+	})
+	// Broken gets the wide window, healthy the narrow one, so whichever
+	// way affinity splits the plan, broken sees (or steals) cells.
+	register(t, coord, broken.URL, 4)
+	register(t, coord, healthy.ts.URL, 1)
+
+	plan := testPlan()
+	local := newSession(t, "", testOpts)
+	want, err := local.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coordSess.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGridsEqual(t, plan, got, want)
+
+	if flakes.Load() < 2 {
+		t.Fatalf("broken worker saw %d posts; the breaker threshold was never reached", flakes.Load())
+	}
+	if v := metricValue(t, reg, "smsd_cluster_breaker_trips_total"); v != 1 {
+		t.Errorf("breaker trips = %g, want exactly 1 (probation must not re-trip)", v)
+	}
+	cells := uint64(len(plan.Workloads) * len(plan.Variants))
+	if sims := healthy.session.Simulations(); sims != cells {
+		t.Errorf("healthy worker simulated %d cells, want all %d", sims, cells)
+	}
+	var probation bool
+	for _, w := range coord.Workers() {
+		if w.URL == broken.URL {
+			probation = w.Probation
+		}
+	}
+	if !probation {
+		t.Error("persistently failing worker is not on probation")
+	}
+}
+
+// TestStaleSuccessSettlesExactlyOnce is the duplicate-settlement
+// regression test. Worker A answers instantly (its store is pre-warmed)
+// but a latency rule on cluster.cell.result holds one finished response
+// in limbo past A's heartbeat death: the coordinator re-scatters the
+// cell to worker B, which settles it, and A's success then lands stale.
+// It must be counted as a duplicate — not as fresh done work — and the
+// duration histogram must observe exactly one settlement per cell.
+func TestStaleSuccessSettlesExactlyOnce(t *testing.T) {
+	plan := testPlan()
+	local := newSession(t, "", testOpts)
+	want, err := local.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-warm A's store with the whole grid so it answers cells in
+	// microseconds — long before its heartbeat death — keeping the
+	// response-before-reap ordering deterministic.
+	adir := t.TempDir()
+	warm := newSession(t, adir, testOpts)
+	if _, err := warm.Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	a := newWorkerNode(t, adir, testOpts)
+	b := newWorkerNode(t, t.TempDir(), testOpts)
+
+	inj := fault.MustNew(fault.Plan{Rules: []fault.Rule{
+		// Hold exactly one of A's finished responses in limbo, well past
+		// the reap cutoff (2 × 150ms) plus B's re-simulation time.
+		{Site: "cluster.cell.result", Kind: fault.KindLatency, DelayMS: 3000, Times: 1},
+	}})
+	reg := obs.NewRegistry()
+	coordSess, coord := newCoordinator(t, "", testOpts, cluster.Config{
+		Metrics:           reg,
+		Fault:             inj,
+		HeartbeatInterval: 150 * time.Millisecond,
+		HeartbeatMisses:   2,
+	})
+	register(t, coord, a.ts.URL, 2) // never beats → declared dead mid-limbo
+
+	// Register B (and keep it alive) once A holds the cells, so the
+	// re-scatter has somewhere healthy to land.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		resp, err := coord.Register(cluster.RegisterRequest{URL: b.ts.URL, Capacity: 4})
+		if err != nil {
+			return
+		}
+		ticker := time.NewTicker(40 * time.Millisecond)
+		defer ticker.Stop()
+		for range ticker.C {
+			if !coord.Heartbeat(resp.WorkerID) {
+				return
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, err := coordSess.Execute(ctx, plan)
+	if err != nil {
+		t.Fatal("grid did not settle:", err)
+	}
+	requireGridsEqual(t, plan, got, want)
+
+	// The grid settles through B while A's response is still in limbo;
+	// the stale success only lands when the injected delay expires.
+	deadline := time.Now().Add(15 * time.Second)
+	for metricValue(t, reg, "smsd_cluster_cells_duplicate_results_total") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate results never recorded; the stale-success path never fired and the test proved nothing")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Exactly-once settlement accounting: one duration observation per
+	// cell, no matter how many attempts landed.
+	cells := len(plan.Workloads) * len(plan.Variants)
+	if v := metricValue(t, reg, "smsd_cluster_cell_duration_seconds_count"); v != float64(cells) {
+		t.Errorf("cell duration observations = %g, want exactly %d (stale successes must not re-settle)", v, cells)
+	}
+	var done uint64
+	for _, w := range coord.Workers() {
+		done += w.Done
+	}
+	if done != uint64(cells) {
+		t.Errorf("workers report %d done cells, want exactly %d", done, cells)
+	}
+}
+
+// TestHeartbeatBlackoutRescatters: the worker beats faithfully but an
+// injected blackout swallows every beat coordinator-side (an asymmetric
+// partition). The reaper must declare it dead on its own and the grid
+// must settle through the local fallback, byte-identical.
+func TestHeartbeatBlackoutRescatters(t *testing.T) {
+	// The victim swallows cells until the attempt is cancelled, so
+	// settlement can only come from the post-reap re-scatter.
+	var swallowed atomic.Int64
+	victim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		swallowed.Add(1)
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	t.Cleanup(victim.Close)
+
+	// Compute the reference grid before the victim registers: its reap
+	// clock starts at registration (the blackout swallows every beat), so
+	// it must still be alive when the cells scatter.
+	plan := testPlan()
+	local := newSession(t, "", testOpts)
+	want, err := local.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := fault.MustNew(fault.Plan{Rules: []fault.Rule{
+		{Site: "cluster.heartbeat", Kind: fault.KindError}, // every beat vanishes
+	}})
+	coordSess, coord := newCoordinator(t, "", testOpts, cluster.Config{
+		Fault:             inj,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatMisses:   2,
+	})
+	id := register(t, coord, victim.URL, 4)
+	beat(t, coord, id, 20*time.Millisecond) // beating into the void
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, err := coordSess.Execute(ctx, plan)
+	if err != nil {
+		t.Fatal("grid did not settle through the blackout:", err)
+	}
+	requireGridsEqual(t, plan, got, want)
+
+	if swallowed.Load() == 0 {
+		t.Error("victim never received a cell; the blackout was not exercised")
+	}
+	if inj.Injections() == 0 {
+		t.Error("no heartbeats were swallowed; the fault plan never fired")
+	}
+	for _, w := range coord.Workers() {
+		if w.URL == victim.URL && w.Alive {
+			t.Error("victim still alive: the coordinator heard beats the blackout should have swallowed")
+		}
+	}
+}
+
+// TestWorkerSendBlackoutReregisters: the worker-side blackout — beats
+// are never sent for a window, the coordinator retires the identity,
+// and when the blackout lifts the worker notices it is unknown and
+// re-registers under a fresh id.
+func TestWorkerSendBlackoutReregisters(t *testing.T) {
+	coordSess := newSession(t, "", testOpts)
+	coord, err := cluster.New(cluster.Config{
+		Local:             coordSess.Engine().LocalScheduler(),
+		Workload:          coordSess.Engine().Config().Workload,
+		HeartbeatInterval: 30 * time.Millisecond,
+		HeartbeatMisses:   2,
+		Logger:            discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	srv := newCoordServer(t, coordSess, coord)
+
+	inj := fault.MustNew(fault.Plan{Rules: []fault.Rule{
+		// Swallow beats 1..8 worker-side: long enough for the coordinator
+		// to reap the identity, short enough that beat 9 discovers it.
+		{Site: "cluster.heartbeat.send", Kind: fault.KindError, Times: 8},
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- cluster.RunWorker(ctx, cluster.WorkerConfig{
+			Coordinator: srv.URL,
+			Advertise:   "http://127.0.0.1:1", // never dialed in this test
+			Capacity:    1,
+			Logger:      discardLogger(),
+			Fault:       inj,
+		})
+	}()
+	defer func() {
+		cancel()
+		select {
+		case <-workerDone:
+		case <-time.After(10 * time.Second):
+			t.Error("RunWorker did not exit on ctx cancel")
+		}
+	}()
+
+	// Wait for the second identity: registration happened, the blackout
+	// got the first id reaped, and the worker re-registered afresh.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ws := coord.Workers()
+		alive := 0
+		for _, w := range ws {
+			if w.Alive {
+				alive++
+			}
+		}
+		if len(ws) >= 2 && alive == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never re-registered after the send blackout: %+v", ws)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if inj.Injections() == 0 {
+		t.Fatal("no beats were suppressed; the blackout never fired")
+	}
+}

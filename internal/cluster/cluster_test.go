@@ -269,6 +269,16 @@ func TestWorkerDeathRescatters(t *testing.T) {
 	}))
 	t.Cleanup(victim.Close)
 
+	// Compute the reference grid before the victim registers: it never
+	// beats, so every moment between registration and dispatch brings its
+	// reaping closer, and it must still be alive when cells scatter.
+	local := newSession(t, "", testOpts)
+	plan := testPlan()
+	want, err := local.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	coordSess, coord := newCoordinator(t, "", testOpts, cluster.Config{
 		HeartbeatInterval: 50 * time.Millisecond,
 		HeartbeatMisses:   2,
@@ -276,13 +286,6 @@ func TestWorkerDeathRescatters(t *testing.T) {
 	idSurvivor := register(t, coord, survivor.ts.URL, 2)
 	beat(t, coord, idSurvivor, 20*time.Millisecond)
 	register(t, coord, victim.URL, 2) // never beats → declared dead
-
-	local := newSession(t, "", testOpts)
-	plan := testPlan()
-	want, err := local.Execute(context.Background(), plan)
-	if err != nil {
-		t.Fatal(err)
-	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -30,6 +31,9 @@ const (
 	DefaultMaxAttempts       = 4
 	DefaultRetryBaseDelay    = 100 * time.Millisecond
 	DefaultRetryMaxDelay     = 5 * time.Second
+	// DefaultBreakerThreshold is how many consecutive failed attempts
+	// put a worker on probation (the per-worker circuit breaker).
+	DefaultBreakerThreshold = 3
 )
 
 // ErrKeyMismatch reports a worker that refused a cell because it
@@ -71,6 +75,12 @@ type Config struct {
 	// backoff between a cell's attempts.
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// worker's circuit breaker: once tripped, the worker is on
+	// probation — no new scatters, one canary cell at a time — until a
+	// canary succeeds. 0 selects DefaultBreakerThreshold; negative
+	// disables the breaker.
+	BreakerThreshold int
 	// Client performs the HTTP dispatches (nil: a client with sane
 	// dial/header timeouts and no overall timeout — cells legitimately
 	// run for minutes; death is detected by heartbeats, not deadlines).
@@ -78,6 +88,10 @@ type Config struct {
 	// Logger receives scheduling decisions worth an operator's
 	// attention (nil: slog.Default()).
 	Logger *slog.Logger
+	// Fault optionally injects deterministic faults into the transport
+	// sites (cluster.cell.post, cluster.trace.pull, cluster.heartbeat);
+	// nil in production.
+	Fault *fault.Injector
 }
 
 // task is one cell making its way through the cluster. All mutable
@@ -96,10 +110,14 @@ type task struct {
 
 	queuedOn   *worker
 	inflightOn *worker
-	settled    bool
-	res        *sim.Result
-	err        error
-	done       chan struct{}
+	// localCancel stops an in-progress local fallback run when a late
+	// remote result settles the task first, so the coordinator does not
+	// finish a simulation nobody is waiting for.
+	localCancel context.CancelFunc
+	settled     bool
+	res         *sim.Result
+	err         error
+	done        chan struct{}
 }
 
 // worker is the coordinator's view of one registered worker daemon.
@@ -111,6 +129,12 @@ type worker struct {
 	alive       bool
 	quarantined bool
 	lastBeat    time.Time
+
+	// Circuit breaker: consecFails counts attempt failures since the
+	// last success; at the threshold the worker goes on probation — no
+	// new scatters, one canary cell at a time — until a canary succeeds.
+	consecFails int
+	probation   bool
 
 	queue    []*task
 	inflight map[*task]context.CancelFunc
@@ -160,6 +184,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.RetryMaxDelay <= 0 {
 		cfg.RetryMaxDelay = DefaultRetryMaxDelay
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
 	}
 	client := cfg.Client
 	if client == nil {
@@ -239,6 +266,12 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 // Heartbeat records a beat; false tells the worker to re-register (it
 // is unknown, or was declared dead and its identity retired).
 func (c *Coordinator) Heartbeat(id string) bool {
+	if c.cfg.Fault.Point("cluster.heartbeat") != nil {
+		// Injected blackout: the beat is swallowed without being
+		// recorded, and the worker is none the wiser — an asymmetric
+		// partition. The reaper must notice on its own.
+		return true
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.workers[id]
@@ -261,6 +294,8 @@ func (c *Coordinator) Workers() []WorkerInfo {
 			Capacity:      w.capacity,
 			Alive:         w.alive,
 			Quarantined:   w.quarantined,
+			Probation:     w.probation,
+			ConsecFails:   w.consecFails,
 			Queued:        len(w.queue),
 			Inflight:      len(w.inflight),
 			Done:          w.done,
@@ -332,6 +367,12 @@ func (c *Coordinator) settleLocked(t *task, res *sim.Result, err error) {
 		}
 		t.inflightOn = nil
 	}
+	if t.localCancel != nil {
+		// A local fallback run is still simulating this cell; stop it —
+		// its result is no longer needed.
+		t.localCancel()
+		t.localCancel = nil
+	}
 	c.m.cellDuration.Observe(time.Since(t.created).Seconds())
 	close(t.done)
 }
@@ -339,21 +380,33 @@ func (c *Coordinator) settleLocked(t *task, res *sim.Result, err error) {
 // assignLocked queues the task on its affinity worker (rendezvous
 // hashing over worker id × workload, so one workload's variants share
 // one worker's trace memo), avoiding exclude when any alternative
-// exists. False means no live worker can take it.
+// exists. Workers on probation receive new cells only when no healthy
+// worker remains — and even then the dispatch window clamps them to
+// one canary at a time. False means no live worker can take it.
 func (c *Coordinator) assignLocked(t *task, exclude string) bool {
-	var best *worker
-	var bestScore uint64
-	for _, w := range c.workers {
-		if !w.alive || w.quarantined || w.id == exclude {
-			continue
+	pick := func(allowProbation bool) *worker {
+		var best *worker
+		var bestScore uint64
+		for _, w := range c.workers {
+			if !w.alive || w.quarantined || w.id == exclude {
+				continue
+			}
+			if w.probation && !allowProbation {
+				continue
+			}
+			h := fnv.New64a()
+			io.WriteString(h, w.id)
+			h.Write([]byte{0})
+			io.WriteString(h, t.spec.Workload)
+			if score := h.Sum64(); best == nil || score > bestScore {
+				best, bestScore = w, score
+			}
 		}
-		h := fnv.New64a()
-		io.WriteString(h, w.id)
-		h.Write([]byte{0})
-		io.WriteString(h, t.spec.Workload)
-		if score := h.Sum64(); best == nil || score > bestScore {
-			best, bestScore = w, score
-		}
+		return best
+	}
+	best := pick(false)
+	if best == nil {
+		best = pick(true)
 	}
 	if best == nil && exclude != "" {
 		// The excluded worker is the only one left; better it than
@@ -418,7 +471,14 @@ func (c *Coordinator) dispatchLocked() {
 	for {
 		progress := false
 		for _, w := range c.workers {
-			if !w.alive || w.quarantined || len(w.inflight) >= w.capacity {
+			capacity := w.capacity
+			if w.probation {
+				// Probation window: one canary cell at a time probes
+				// whether the worker recovered, instead of burning the
+				// retry budget of a full window.
+				capacity = 1
+			}
+			if !w.alive || w.quarantined || len(w.inflight) >= capacity {
 				continue
 			}
 			t := c.nextTaskLocked(w)
@@ -448,27 +508,80 @@ func (c *Coordinator) launchLocked(w *worker, t *task) {
 		t.emit(engine.Event{Kind: engine.RunStarted})
 	}
 	c.m.cellsScattered.Inc()
-	go c.execute(w, t, attemptCtx)
+	if w.probation {
+		c.m.cellsCanary.Inc()
+	}
+	go c.execute(w, t, attemptCtx, t.attempts)
+}
+
+// breakerSuccessLocked records a successful attempt on the breaker:
+// the failure streak resets and probation lifts (the canary came back).
+func (c *Coordinator) breakerSuccessLocked(w *worker) {
+	w.consecFails = 0
+	if w.probation {
+		w.probation = false
+		c.m.breakerRecoveries.Inc()
+		c.logger.Info("cluster: worker probation lifted (canary cell succeeded)",
+			"worker", w.id, "url", w.url)
+	}
+}
+
+// breakerFailureLocked records a failed attempt; at the threshold the
+// worker trips onto probation and its queued (not yet launched) cells
+// move to healthier homes. Returns tasks that must now run locally.
+func (c *Coordinator) breakerFailureLocked(w *worker) []*task {
+	w.consecFails++
+	if c.cfg.BreakerThreshold <= 0 || w.probation || w.quarantined || !w.alive ||
+		w.consecFails < c.cfg.BreakerThreshold {
+		return nil
+	}
+	w.probation = true
+	c.m.breakerTrips.Inc()
+	c.logger.Warn("cluster: worker on probation (circuit breaker tripped)",
+		"worker", w.id, "url", w.url, "consecutive_failures", w.consecFails)
+	moved := w.queue
+	w.queue = nil
+	for _, qt := range moved {
+		qt.queuedOn = nil
+	}
+	return c.rescatterLocked(moved)
 }
 
 // execute performs one dispatch attempt and folds its outcome back into
-// the scheduler state.
-func (c *Coordinator) execute(w *worker, t *task, ctx context.Context) {
+// the scheduler state. attempt is the launch token this goroutine was
+// started with: if the task has since been re-launched (or taken away),
+// this attempt is stale no matter what the maps say.
+func (c *Coordinator) execute(w *worker, t *task, ctx context.Context, attempt int) {
 	resp, err := c.postCell(ctx, w.url, t.spec)
+	if err == nil {
+		// Injected between the worker's answer and the coordinator folding
+		// it in: a latency rule here holds a completed response in limbo
+		// (letting a reap re-scatter the cell under it — the stale-success
+		// race), an error rule drops the response on the floor.
+		if ferr := c.cfg.Fault.Point("cluster.cell.result"); ferr != nil {
+			resp, err = nil, ferr
+		}
+	}
 
 	c.mu.Lock()
-	if _, mine := w.inflight[t]; !mine || t.inflightOn != w {
+	if _, mine := w.inflight[t]; !mine || t.inflightOn != w || t.attempts != attempt {
 		// Stale attempt: a death re-scatter (or settlement) already took
 		// the cell away. A successful result is still valid — the cell
-		// is deterministic and content-addressed — so use it; anything
-		// else is noise.
-		if err == nil && !t.settled {
-			w.done++
-			if resp.Cached {
-				c.m.cellsRemoteCached.Inc()
+		// is deterministic and content-addressed — so use it, but count
+		// it as a duplicate, not as fresh scheduler work: the cell's
+		// duration histogram and the worker's live accounting were (or
+		// will be) settled by the current attempt, and settleLocked's
+		// guard keeps this late landing from double-observing them.
+		if err == nil {
+			c.m.cellsDuplicate.Inc()
+			if !t.settled {
+				w.done++
+				if resp.Cached {
+					c.m.cellsRemoteCached.Inc()
+				}
+				c.settleLocked(t, resp.Result, nil)
+				c.maybeSyncTraceLocked(w, resp)
 			}
-			c.settleLocked(t, resp.Result, nil)
-			c.maybeSyncTraceLocked(w, resp)
 		}
 		c.dispatchLocked()
 		c.mu.Unlock()
@@ -482,6 +595,7 @@ func (c *Coordinator) execute(w *worker, t *task, ctx context.Context) {
 	case err == nil:
 		w.lastBeat = time.Now() // a responsive worker is a live worker
 		w.done++
+		c.breakerSuccessLocked(w)
 		if resp.Cached {
 			c.m.cellsRemoteCached.Inc()
 		}
@@ -500,6 +614,7 @@ func (c *Coordinator) execute(w *worker, t *task, ctx context.Context) {
 		}
 	default:
 		w.failed++
+		locals = append(locals, c.breakerFailureLocked(w)...)
 		if t.attempts >= c.cfg.MaxAttempts {
 			c.settleLocked(t, nil, fmt.Errorf("cluster: cell %s failed after %d attempts: %w",
 				shortKey(t.spec.Key), t.attempts, err))
@@ -541,9 +656,20 @@ func (c *Coordinator) requeue(t *task) {
 
 // runLocal executes a cell on the coordinator's own scheduler and
 // settles it. Events are re-guarded so nothing is emitted after a
-// concurrent settlement (cancellation) released the engine.
+// concurrent settlement (cancellation) released the engine, and the
+// run itself is cancelled if something else — a late remote result —
+// settles the task first.
 func (c *Coordinator) runLocal(t *task) {
-	res, err := c.cfg.Local.Schedule(t.ctx, t.spec, func(ev engine.Event) {
+	ctx, cancel := context.WithCancel(t.ctx)
+	defer cancel()
+	c.mu.Lock()
+	if t.settled {
+		c.mu.Unlock()
+		return
+	}
+	t.localCancel = cancel
+	c.mu.Unlock()
+	res, err := c.cfg.Local.Schedule(ctx, t.spec, func(ev engine.Event) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		if t.settled {
@@ -558,6 +684,7 @@ func (c *Coordinator) runLocal(t *task) {
 		t.emit(ev)
 	})
 	c.mu.Lock()
+	t.localCancel = nil
 	c.settleLocked(t, res, err)
 	c.mu.Unlock()
 }
@@ -658,6 +785,9 @@ func (c *Coordinator) backoff(attempt int) time.Duration {
 
 // postCell performs one cell dispatch over HTTP.
 func (c *Coordinator) postCell(ctx context.Context, baseURL string, spec engine.RunSpec) (*CellResponse, error) {
+	if err := c.cfg.Fault.Point("cluster.cell.post"); err != nil {
+		return nil, err
+	}
 	creq := CellRequest{Workload: spec.Workload, Config: spec.Config, Key: spec.Key}
 	if c.cfg.Store != nil && c.cfg.SelfURL != "" {
 		if tk := store.ForTrace(spec.Workload, c.cfg.Workload); c.cfg.Store.HasTrace(tk) {
@@ -725,6 +855,10 @@ func (c *Coordinator) pullTrace(baseURL, key string) {
 		delete(c.syncing, key)
 		c.mu.Unlock()
 	}()
+	if err := c.cfg.Fault.Point("cluster.trace.pull"); err != nil {
+		c.logger.Debug("cluster: trace pull failed", "key", shortKey(key), "err", err)
+		return
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/store/traces/"+key, nil)

@@ -14,9 +14,13 @@ type coordMetrics struct {
 	cellsRescattered   *obs.Counter
 	cellsLocal         *obs.Counter
 	cellsRemoteCached  *obs.Counter
+	cellsCanary        *obs.Counter
+	cellsDuplicate     *obs.Counter
 	workersRegistered  *obs.Counter
 	workersLost        *obs.Counter
 	workersQuarantined *obs.Counter
+	breakerTrips       *obs.Counter
+	breakerRecoveries  *obs.Counter
 	artifactsSynced    *obs.Counter
 	artifactSyncBytes  *obs.Counter
 
@@ -36,9 +40,13 @@ func newCoordMetrics(reg *obs.Registry, c *Coordinator) *coordMetrics {
 		cellsRescattered:   reg.Counter("smsd_cluster_cells_rescattered_total", "Cells re-scattered because their worker died or was retired."),
 		cellsLocal:         reg.Counter("smsd_cluster_cells_local_total", "Cells executed on the coordinator's local scheduler (no live workers)."),
 		cellsRemoteCached:  reg.Counter("smsd_cluster_cells_remote_cached_total", "Cells a worker answered from its own memo or store."),
+		cellsCanary:        reg.Counter("smsd_cluster_cells_canary_total", "Cells dispatched as canaries to workers on probation."),
+		cellsDuplicate:     reg.Counter("smsd_cluster_cells_duplicate_results_total", "Successful results from stale attempts landing after a re-scatter or settlement."),
 		workersRegistered:  reg.Counter("smsd_cluster_workers_registered_total", "Worker registrations accepted (re-registrations included)."),
 		workersLost:        reg.Counter("smsd_cluster_workers_lost_total", "Workers declared dead after missed heartbeats."),
 		workersQuarantined: reg.Counter("smsd_cluster_workers_quarantined_total", "Workers quarantined for cell key mismatches."),
+		breakerTrips:       reg.Counter("smsd_cluster_breaker_trips_total", "Circuit-breaker trips: workers put on probation after consecutive failures."),
+		breakerRecoveries:  reg.Counter("smsd_cluster_breaker_recoveries_total", "Probations lifted after a canary cell succeeded."),
 		artifactsSynced:    reg.Counter("smsd_cluster_artifacts_synced_total", "Trace artifacts pulled from workers into the coordinator's store."),
 		artifactSyncBytes:  reg.Counter("smsd_cluster_artifact_sync_bytes_total", "Bytes of trace artifacts pulled from workers."),
 
@@ -59,6 +67,17 @@ func newCoordMetrics(reg *obs.Registry, c *Coordinator) *coordMetrics {
 		n := 0
 		for _, w := range c.workers {
 			if w.alive && !w.quarantined {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("smsd_cluster_workers_probation", "Workers currently on circuit-breaker probation.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, w := range c.workers {
+			if w.alive && w.probation {
 				n++
 			}
 		}

@@ -81,6 +81,11 @@ type WorkerInfo struct {
 	// Quarantined marks a worker that refused a cell with a key
 	// mismatch (launched with different options); it receives no cells.
 	Quarantined bool `json:"quarantined,omitempty"`
+	// Probation marks a worker whose circuit breaker tripped after
+	// consecutive failures: no new scatters, one canary cell at a time
+	// until one succeeds. ConsecFails is the current failure streak.
+	Probation   bool `json:"probation,omitempty"`
+	ConsecFails int  `json:"consecutive_failures,omitempty"`
 	// Queued and Inflight are the worker's backlog right now.
 	Queued   int `json:"queued"`
 	Inflight int `json:"inflight"`

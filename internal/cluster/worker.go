@@ -10,6 +10,8 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // WorkerConfig parameterizes RunWorker.
@@ -27,6 +29,10 @@ type WorkerConfig struct {
 	Client *http.Client
 	// Logger receives membership transitions (nil: slog.Default()).
 	Logger *slog.Logger
+	// Fault optionally injects failures into the enrollment loop
+	// (site "cluster.heartbeat.send" suppresses a beat entirely,
+	// simulating a worker-side network blackout). Nil disables.
+	Fault *fault.Injector
 }
 
 // RunWorker keeps one worker daemon enrolled with its coordinator:
@@ -120,6 +126,12 @@ func heartbeatLoop(ctx context.Context, client *http.Client, cfg WorkerConfig, i
 		case <-ctx.Done():
 			return nil
 		case <-ticker.C:
+		}
+		if cfg.Fault.Point("cluster.heartbeat.send") != nil {
+			// Injected blackout: the beat is never sent. No miss is
+			// counted — the worker believes it is healthy; only the
+			// coordinator notices the silence.
+			continue
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			cfg.Coordinator+"/v1/cluster/workers/"+id+"/heartbeat", nil)

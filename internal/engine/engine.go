@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -64,8 +65,9 @@ type Config struct {
 type Engine struct {
 	cfg    Config
 	sem    chan struct{}
-	sched  CellScheduler // where cells execute; localScheduler by default
-	traces *traceCache   // nil when disabled
+	sched  CellScheduler   // where cells execute; localScheduler by default
+	fault  *fault.Injector // chaos injector; nil in production
+	traces *traceCache     // nil when disabled
 
 	// The disk trace tier keeps one shared mapping per replayed
 	// artifact; every run gets its own decoding stream over it.
@@ -127,6 +129,11 @@ func New(cfg Config) *Engine {
 
 // Config returns the engine's resolved configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetFault installs a fault injector on the engine's scheduling site
+// (engine.schedule). Like SetScheduler, call it before the engine runs
+// anything.
+func (e *Engine) SetFault(f *fault.Injector) { e.fault = f }
 
 // Store returns the attached store (nil when none).
 func (e *Engine) Store() *store.Store { return e.cfg.Store }

@@ -81,6 +81,11 @@ func (l localScheduler) Schedule(ctx context.Context, spec RunSpec, emit func(Ev
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := e.fault.Point("engine.schedule"); err != nil {
+		// Injected pre-start failure: the cell never commits, mirroring
+		// a scheduler that could not place the run.
+		return nil, err
+	}
 
 	w, err := workload.ByName(spec.Workload)
 	if err != nil {

@@ -1,0 +1,47 @@
+// Package fault is the deterministic fault injector behind the chaos
+// suite and `smsd -fault-plan`.
+//
+// A Plan is a seed plus a list of rules, each keyed to an operation
+// site — a dotted string naming one instrumented operation, such as
+// "store.results.rename" or "cluster.heartbeat". Instrumented code
+// asks the injector for permission at each site:
+//
+//	if err := s.fault.Point("store.results.rename"); err != nil {
+//	    return err // injected failure or crash
+//	}
+//
+// Rules fire deterministically: per-site operation counters drive
+// `after`/`times`, and probabilistic rules draw from a per-site PCG
+// stream seeded from the plan seed and the site name, so the same plan
+// against the same operation sequence produces the same failure
+// sequence regardless of goroutine interleaving at other sites.
+//
+// Rule kinds: "error" fails the operation; "latency" delays it;
+// "partial" truncates a write (Partial reports how many bytes to keep)
+// and then crashes; "crash" fails the operation and flips the injector
+// into the crashed state, after which every operation at every site
+// fails with ErrCrashed. That crashed state is the in-process model of
+// process death the chaos tests are built on: the victim stops
+// mid-protocol, its partial state (torn temp files, unsynced journal
+// tails) stays on disk, and a fresh server over the same directories
+// must recover. A real daemon instead installs OnCrash(os.Exit) so the
+// process genuinely dies at the crash point.
+//
+// Like internal/obs, the injector follows the nil-receiver contract:
+// every method on a nil *Injector returns immediately, so disabled
+// injection costs one pointer test and the hot-path zero-allocation
+// gates are unaffected.
+//
+// Instrumented sites:
+//
+//	store.{results,figures}.{write,rename,read}
+//	store.traces.{write,rename,read}
+//	journal.append.{accepted,started,settled}
+//	journal.compact
+//	cluster.cell.post
+//	cluster.cell.result        (latency holds a finished response in limbo)
+//	cluster.trace.pull
+//	cluster.heartbeat          (coordinator drops the beat)
+//	cluster.heartbeat.send     (worker never sends it)
+//	engine.schedule
+package fault

@@ -1,0 +1,358 @@
+package fault
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvPlan is the environment variable the daemon consults for a fault
+// plan when no -fault-plan flag is given: either inline JSON or
+// "@/path/to/plan.json".
+const EnvPlan = "SMSD_FAULT_PLAN"
+
+// ErrInjected is the base error every injected operation failure wraps.
+// Callers that need to distinguish injected faults from real I/O errors
+// (tests, mostly) match it with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// ErrCrashed wraps ErrInjected and marks the crashed state: a crash
+// rule fired and the injector now refuses every subsequent operation,
+// modeling a dead process inside a live test. See Injector.
+var ErrCrashed = fmt.Errorf("%w: crashed", ErrInjected)
+
+// Kind enumerates what a rule does when it fires.
+type Kind string
+
+const (
+	// KindError fails the operation with an injected error.
+	KindError Kind = "error"
+	// KindLatency delays the operation, then lets it proceed.
+	KindLatency Kind = "latency"
+	// KindPartial truncates a write to Frac of its bytes and then
+	// crashes the injector — a torn write followed by process death.
+	KindPartial Kind = "partial"
+	// KindCrash fails the operation and puts the injector into the
+	// crashed state (every later operation fails too). Under a real
+	// daemon (-fault-plan / SMSD_FAULT_PLAN) the crash handler calls
+	// os.Exit, so the "state left behind" is exactly a kill's.
+	KindCrash Kind = "crash"
+)
+
+// Rule is one fault: at operation site Site, after After clean passes,
+// fire Times times (0 = unlimited) with probability Prob (0 or >= 1 =
+// always). A Site ending in "*" prefix-matches.
+type Rule struct {
+	Site    string  `json:"site"`
+	Kind    Kind    `json:"kind"`
+	After   int     `json:"after,omitempty"`
+	Times   int     `json:"times,omitempty"`
+	Prob    float64 `json:"prob,omitempty"`
+	DelayMS int     `json:"delay_ms,omitempty"`
+	Frac    float64 `json:"frac,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// Plan is a deterministic fault schedule: the same plan and seed
+// produce the same failure sequence against the same operation
+// sequence.
+type Plan struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// Injector evaluates a Plan at instrumented operation sites. The
+// zero-cost contract mirrors internal/obs: every method is safe on a
+// nil receiver and returns immediately, so production paths pay one
+// pointer test when injection is off.
+//
+// Crash semantics: once a crash (or partial-write) rule fires, the
+// injector is "crashed" — every subsequent Point or Partial at any
+// site returns ErrCrashed. In-process chaos tests use this to model
+// process death: the crashing component stops exactly where it was,
+// partial state (temp files, unsynced journal tails) stays on disk,
+// and a fresh server over the same directories plays the recovery. A
+// real daemon installs OnCrash(os.Exit) instead and dies for real.
+type Injector struct {
+	plan    Plan
+	crashFn func(site string)
+
+	mu      sync.Mutex
+	hits    map[string]int // site → operations seen
+	fired   []int          // per-rule fire count
+	rng     map[string]*rand.Rand
+	crashed bool
+	site    string // site the crash fired at
+
+	injections atomic.Uint64
+}
+
+// New compiles a plan. It rejects unknown kinds and empty sites so a
+// typo'd plan fails at startup, not silently never-fires.
+func New(plan Plan) (*Injector, error) {
+	for i, r := range plan.Rules {
+		if r.Site == "" {
+			return nil, fmt.Errorf("fault: rule %d: empty site", i)
+		}
+		switch r.Kind {
+		case KindError, KindLatency, KindPartial, KindCrash:
+		default:
+			return nil, fmt.Errorf("fault: rule %d: unknown kind %q", i, r.Kind)
+		}
+		if r.Kind == KindPartial && (r.Frac < 0 || r.Frac >= 1) {
+			return nil, fmt.Errorf("fault: rule %d: frac %v outside [0,1)", i, r.Frac)
+		}
+	}
+	return &Injector{
+		plan:  plan,
+		hits:  make(map[string]int),
+		fired: make([]int, len(plan.Rules)),
+		rng:   make(map[string]*rand.Rand),
+	}, nil
+}
+
+// MustNew is New for hand-written test plans.
+func MustNew(plan Plan) *Injector {
+	i, err := New(plan)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Load builds an injector from a plan spec: inline JSON or "@path".
+// An empty spec yields a nil injector (injection off).
+func Load(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	raw := []byte(spec)
+	if rest, ok := strings.CutPrefix(spec, "@"); ok {
+		b, err := os.ReadFile(rest)
+		if err != nil {
+			return nil, fmt.Errorf("fault: read plan: %w", err)
+		}
+		raw = b
+	}
+	var plan Plan
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&plan); err != nil {
+		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	return New(plan)
+}
+
+// FromEnv builds an injector from SMSD_FAULT_PLAN, nil when unset.
+func FromEnv() (*Injector, error) {
+	return Load(os.Getenv(EnvPlan))
+}
+
+// OnCrash installs the crash handler: a real daemon passes a
+// func that os.Exits so crash rules kill the process; tests leave it
+// unset and rely on the crashed state instead.
+func (i *Injector) OnCrash(fn func(site string)) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.crashFn = fn
+	i.mu.Unlock()
+}
+
+// siteRand returns the site's deterministic stream, keyed so that
+// reordering unrelated sites never perturbs this one's decisions.
+func (i *Injector) siteRand(site string) *rand.Rand {
+	r := i.rng[site]
+	if r == nil {
+		h := fnv.New64a()
+		h.Write([]byte(site))
+		r = rand.New(rand.NewPCG(uint64(i.plan.Seed), h.Sum64()))
+		i.rng[site] = r
+	}
+	return r
+}
+
+// match finds the first eligible rule for this operation, counting the
+// site visit exactly once. Caller holds i.mu.
+func (i *Injector) match(site string) (Rule, int, bool) {
+	n := i.hits[site]
+	i.hits[site] = n + 1
+	for idx, r := range i.plan.Rules {
+		if r.Site != site {
+			if p, ok := strings.CutSuffix(r.Site, "*"); !ok || !strings.HasPrefix(site, p) {
+				continue
+			}
+		}
+		if n < r.After {
+			continue
+		}
+		if r.Times > 0 && i.fired[idx] >= r.Times {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && i.siteRand(site).Float64() >= r.Prob {
+			continue
+		}
+		i.fired[idx]++
+		return r, idx, true
+	}
+	return Rule{}, 0, false
+}
+
+// fail renders a rule's error.
+func (r Rule) fail(site string) error {
+	if r.Error != "" {
+		return fmt.Errorf("%w: %s: %s", ErrInjected, site, r.Error)
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, site)
+}
+
+// Point evaluates one operation at site. It returns nil to let the
+// operation proceed (possibly after an injected delay), an
+// ErrInjected-wrapped error to fail it, or ErrCrashed once the
+// injector has crashed.
+func (i *Injector) Point(site string) error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	if i.crashed {
+		i.mu.Unlock()
+		return ErrCrashed
+	}
+	r, _, ok := i.match(site)
+	if !ok {
+		i.mu.Unlock()
+		return nil
+	}
+	i.injections.Add(1)
+	switch r.Kind {
+	case KindLatency:
+		d := time.Duration(r.DelayMS) * time.Millisecond
+		i.mu.Unlock()
+		time.Sleep(d)
+		return nil
+	case KindCrash, KindPartial:
+		i.crashLocked(site)
+		i.mu.Unlock()
+		return ErrCrashed
+	default:
+		i.mu.Unlock()
+		return r.fail(site)
+	}
+}
+
+// Partial evaluates a write of n bytes at site. Normally it returns
+// (n, nil). When a partial-write rule fires it returns keep < n and
+// ErrCrashed: the caller must write exactly keep bytes, stop, and
+// propagate the error — a torn write followed by process death. Error,
+// latency, and crash rules behave as at Point.
+func (i *Injector) Partial(site string, n int) (keep int, err error) {
+	if i == nil {
+		return n, nil
+	}
+	i.mu.Lock()
+	if i.crashed {
+		i.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	r, _, ok := i.match(site)
+	if !ok {
+		i.mu.Unlock()
+		return n, nil
+	}
+	i.injections.Add(1)
+	switch r.Kind {
+	case KindLatency:
+		d := time.Duration(r.DelayMS) * time.Millisecond
+		i.mu.Unlock()
+		time.Sleep(d)
+		return n, nil
+	case KindPartial:
+		keep = int(r.Frac * float64(n))
+		if keep >= n && n > 0 {
+			keep = n - 1
+		}
+		i.crashLocked(site)
+		i.mu.Unlock()
+		return keep, ErrCrashed
+	case KindCrash:
+		i.crashLocked(site)
+		i.mu.Unlock()
+		return 0, ErrCrashed
+	default:
+		i.mu.Unlock()
+		return 0, r.fail(site)
+	}
+}
+
+// crashLocked flips the injector into the crashed state and runs the
+// crash handler, if any. Caller holds i.mu.
+func (i *Injector) crashLocked(site string) {
+	if !i.crashed {
+		i.crashed = true
+		i.site = site
+	}
+	if i.crashFn != nil {
+		fn := i.crashFn
+		// The handler typically never returns (os.Exit); call it
+		// without the lock so a test handler can inspect the injector.
+		i.mu.Unlock()
+		fn(site)
+		i.mu.Lock()
+	}
+}
+
+// Crashed reports whether a crash or partial-write rule has fired.
+func (i *Injector) Crashed() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// CrashSite returns the site the crash fired at, "" if none.
+func (i *Injector) CrashSite() string {
+	if i == nil {
+		return ""
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.site
+}
+
+// Injections counts rules fired so far — exported as
+// smsd_fault_injections_total.
+func (i *Injector) Injections() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.injections.Load()
+}
+
+type ctxKey struct{}
+
+// With attaches an injector to a context.
+func With(ctx context.Context, i *Injector) context.Context {
+	if i == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, i)
+}
+
+// From extracts the context's injector, nil when absent.
+func From(ctx context.Context) *Injector {
+	i, _ := ctx.Value(ctxKey{}).(*Injector)
+	return i
+}

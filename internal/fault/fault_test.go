@@ -1,0 +1,237 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var i *Injector
+	if err := i.Point("store.results.write"); err != nil {
+		t.Fatalf("nil Point: %v", err)
+	}
+	if keep, err := i.Partial("store.results.write", 100); keep != 100 || err != nil {
+		t.Fatalf("nil Partial = (%d, %v)", keep, err)
+	}
+	if i.Crashed() || i.CrashSite() != "" || i.Injections() != 0 {
+		t.Fatal("nil injector reports state")
+	}
+	i.OnCrash(func(string) {}) // must not panic
+}
+
+func TestNilInjectorAllocs(t *testing.T) {
+	var i *Injector
+	allocs := testing.AllocsPerRun(1000, func() {
+		if i.Point("x") != nil {
+			t.Fatal("injected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Point allocates %v per op", allocs)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	i := MustNew(Plan{Rules: []Rule{
+		{Site: "op", Kind: KindError, After: 2, Times: 2},
+	}})
+	var got []bool
+	for n := 0; n < 6; n++ {
+		got = append(got, i.Point("op") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for n := range want {
+		if got[n] != want[n] {
+			t.Fatalf("op %d: injected=%v, want %v (sequence %v)", n, got[n], want[n], got)
+		}
+	}
+	if i.Injections() != 2 {
+		t.Fatalf("injections = %d, want 2", i.Injections())
+	}
+}
+
+func TestSiteIsolationAndPrefixMatch(t *testing.T) {
+	i := MustNew(Plan{Rules: []Rule{
+		{Site: "store.results.*", Kind: KindError, Times: 1},
+	}})
+	if i.Point("store.traces.write") != nil {
+		t.Fatal("rule leaked to unmatched site")
+	}
+	if i.Point("store.results.rename") == nil {
+		t.Fatal("prefix rule did not fire")
+	}
+	if i.Point("store.results.rename") != nil {
+		t.Fatal("times=1 fired twice")
+	}
+}
+
+func TestProbDeterminism(t *testing.T) {
+	seq := func(seed int64) []bool {
+		i := MustNew(Plan{Seed: seed, Rules: []Rule{
+			{Site: "op", Kind: KindError, Prob: 0.5},
+		}})
+		var out []bool
+		for n := 0; n < 64; n++ {
+			out = append(out, i.Point("op") != nil)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for n := range a {
+		if a[n] != b[n] {
+			t.Fatalf("same seed diverged at op %d", n)
+		}
+	}
+	c := seq(8)
+	same := true
+	for n := range a {
+		if a[n] != c[n] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-op sequences")
+	}
+	fired := 0
+	for _, v := range a {
+		if v {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestCrashStopsEverything(t *testing.T) {
+	i := MustNew(Plan{Rules: []Rule{
+		{Site: "journal.append.settled", Kind: KindCrash, Times: 1},
+	}})
+	if i.Point("store.results.write") != nil {
+		t.Fatal("pre-crash op failed")
+	}
+	err := i.Point("journal.append.settled")
+	if !errors.Is(err, ErrCrashed) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash point returned %v", err)
+	}
+	if !i.Crashed() || i.CrashSite() != "journal.append.settled" {
+		t.Fatalf("crashed=%v site=%q", i.Crashed(), i.CrashSite())
+	}
+	// Dead processes do no I/O: every later site fails.
+	if err := i.Point("store.results.write"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op returned %v", err)
+	}
+	if _, err := i.Partial("store.results.write", 10); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash partial returned %v", err)
+	}
+}
+
+func TestPartialWriteTearsAndCrashes(t *testing.T) {
+	i := MustNew(Plan{Rules: []Rule{
+		{Site: "store.results.write", Kind: KindPartial, Frac: 0.5},
+	}})
+	keep, err := i.Partial("store.results.write", 100)
+	if keep != 50 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Partial = (%d, %v), want (50, ErrCrashed)", keep, err)
+	}
+	if !i.Crashed() {
+		t.Fatal("partial write did not crash the injector")
+	}
+	// Frac that would keep everything still tears at least one byte.
+	j := MustNew(Plan{Rules: []Rule{{Site: "w", Kind: KindPartial, Frac: 0.999}}})
+	if keep, _ := j.Partial("w", 3); keep >= 3 {
+		t.Fatalf("keep = %d of 3, nothing torn", keep)
+	}
+}
+
+func TestOnCrashHandler(t *testing.T) {
+	i := MustNew(Plan{Rules: []Rule{{Site: "op", Kind: KindCrash}}})
+	var gotSite string
+	i.OnCrash(func(site string) { gotSite = site })
+	if err := i.Point("op"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Point = %v", err)
+	}
+	if gotSite != "op" {
+		t.Fatalf("handler saw site %q", gotSite)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	i := MustNew(Plan{Rules: []Rule{
+		{Site: "op", Kind: KindLatency, DelayMS: 30, Times: 1},
+	}})
+	start := time.Now()
+	if err := i.Point("op"); err != nil {
+		t.Fatalf("latency rule failed the op: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("op returned after %v, want >= 30ms delay", d)
+	}
+	if i.Crashed() {
+		t.Fatal("latency crashed the injector")
+	}
+}
+
+func TestLoadSpecs(t *testing.T) {
+	if i, err := Load(""); i != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v)", i, err)
+	}
+	i, err := Load(`{"seed": 3, "rules": [{"site": "op", "kind": "error"}]}`)
+	if err != nil || i == nil {
+		t.Fatalf("inline JSON: (%v, %v)", i, err)
+	}
+	if i.Point("op") == nil {
+		t.Fatal("loaded rule did not fire")
+	}
+
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"rules": [{"site": "op", "kind": "crash"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	i, err = Load("@" + path)
+	if err != nil {
+		t.Fatalf("Load(@file): %v", err)
+	}
+	if err := i.Point("op"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("file rule: %v", err)
+	}
+
+	if _, err := Load(`{"rules": [{"site": "op", "kind": "meteor"}]}`); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Load(`{"rules": [{"kind": "error"}]}`); err == nil {
+		t.Fatal("empty site accepted")
+	}
+	if _, err := Load(`{"typo": true}`); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+
+	t.Setenv(EnvPlan, `{"rules": [{"site": "env", "kind": "error"}]}`)
+	i, err = FromEnv()
+	if err != nil || i == nil {
+		t.Fatalf("FromEnv: (%v, %v)", i, err)
+	}
+	t.Setenv(EnvPlan, "")
+	if i, err := FromEnv(); i != nil || err != nil {
+		t.Fatalf("unset env = (%v, %v)", i, err)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("empty context carries an injector")
+	}
+	i := MustNew(Plan{})
+	ctx := With(context.Background(), i)
+	if From(ctx) != i {
+		t.Fatal("round trip lost the injector")
+	}
+	if With(context.Background(), nil) != context.Background() {
+		t.Fatal("With(nil) wrapped the context")
+	}
+}

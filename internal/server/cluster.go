@@ -136,7 +136,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 
 	target := fmt.Sprintf("%s/%s", req.Workload, req.Config.Canonical().PrefetcherName)
-	j, joined, err := s.startJob("cell", target, "cell/"+key, 1, func(ctx context.Context, j *job) error {
+	j, joined, err := s.startJob(jobSpec{Kind: "cell", Target: target, Dedupe: "cell/" + key}, 1, func(ctx context.Context, j *job) error {
 		res, err := s.session.Run(ctx, req.Workload, req.Config)
 		if err != nil {
 			return err

@@ -1,0 +1,398 @@
+package server
+
+// The durable job journal: what makes smsd crash-safe. Every job state
+// transition (accepted, started, settled) is appended as one framed,
+// CRC-guarded, fsync'd record, so a daemon killed at any instant can
+// replay the log on restart and pick up where it died: settled jobs
+// reappear in GET /v1/jobs (their results refilled from the
+// content-addressed store), live jobs are re-queued through the normal
+// pool, and — because the engine probes the store before scheduling —
+// a warm recovery settles everything without scattering a single cell.
+//
+// Frame format (little-endian):
+//
+//	[4B payload length][4B CRC32/IEEE of payload][payload JSON]
+//
+// Appends are fsync'd one by one: a job transition the daemon has
+// acknowledged is on disk before anything else observes it. A torn
+// tail — a frame cut short by a crash mid-append, or one whose CRC
+// disagrees — ends replay: the tail is truncated away and appends
+// resume from the last good frame. That is the crash contract: the
+// final transition may be lost (the job replays as one state earlier,
+// which re-queues it — safe, because cells are content-addressed and
+// exactly-once settlement lives in the store), but no record is ever
+// half-believed.
+//
+// Compaction rewrites the journal on recovery: live jobs keep their
+// accepted records, the newest settled jobs collapse to one summary
+// record each, and everything older falls away, bounding the file by
+// the same retention as the in-memory job list. One daemon owns a
+// journal at a time; the format has no interleaving protection.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// journal record operations.
+const (
+	journalOpAccepted = "accepted"
+	journalOpStarted  = "started"
+	journalOpSettled  = "settled"
+)
+
+// maxJournalRecord bounds one record's payload; anything larger in the
+// length header is corruption, not data.
+const maxJournalRecord = 1 << 20
+
+// jobSpec is the journaled description of a job — everything needed to
+// resubmit it after a restart.
+type jobSpec struct {
+	// Kind is "run" or "figure".
+	Kind string `json:"kind"`
+	// Target is the human-readable subject (workload/prefetcher, figure
+	// name).
+	Target string `json:"target"`
+	// Dedupe is the active-job dedup key ("" = never deduped).
+	Dedupe string `json:"dedupe,omitempty"`
+	// Run is the original request for run jobs.
+	Run *RunRequest `json:"run,omitempty"`
+	// Figure is the figure name for figure jobs.
+	Figure string `json:"figure,omitempty"`
+}
+
+// journalRecord is one framed journal entry.
+type journalRecord struct {
+	Op   string    `json:"op"`
+	ID   string    `json:"id"`
+	Time time.Time `json:"time"`
+	// Spec rides on accepted records and on compacted settled summaries.
+	Spec *jobSpec `json:"spec,omitempty"`
+	// State and Error ride on settled records.
+	State JobState `json:"state,omitempty"`
+	Error string   `json:"error,omitempty"`
+	// Created rides on compacted settled summaries (the original
+	// accepted time, which the summary replaces).
+	Created time.Time `json:"created,omitempty"`
+}
+
+// journalJob is one job reconstructed from replay: the latest state the
+// journal proves.
+type journalJob struct {
+	id       string
+	spec     jobSpec
+	created  time.Time
+	started  bool
+	settled  bool
+	state    JobState
+	errText  string
+	finished time.Time
+}
+
+// journal is the append-only job log. All appends are serialized and
+// fsync'd under mu; the counters are read lock-free by the metrics
+// bridge.
+type journal struct {
+	path  string
+	fault *fault.Injector
+	log   *slog.Logger
+
+	mu sync.Mutex
+	f  *os.File
+
+	appends     atomic.Uint64
+	fsyncs      atomic.Uint64
+	bytes       atomic.Uint64
+	compactions atomic.Uint64
+	torn        atomic.Uint64
+}
+
+// openJournal opens (creating if absent) the journal and replays it,
+// returning the reconstructed jobs in first-appearance order. A torn
+// tail is truncated away; only real I/O errors fail the open.
+func openJournal(path string, fi *fault.Injector, logger *slog.Logger) (*journal, []*journalJob, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: open journal: %w", err)
+	}
+	jl := &journal{path: path, fault: fi, log: logger, f: f}
+	jobs, err := jl.replay()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return jl, jobs, nil
+}
+
+// replay reads every intact frame from the start of the file, folds the
+// records into per-job state, truncates any torn tail, and leaves the
+// file positioned for appending.
+func (jl *journal) replay() ([]*journalJob, error) {
+	if _, err := jl.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("server: journal seek: %w", err)
+	}
+	byID := make(map[string]*journalJob)
+	var order []*journalJob
+	var offset int64
+	var header [8]byte
+	for {
+		n, err := io.ReadFull(jl.f, header[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil { // short header: torn mid-frame
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				jl.truncateTail(offset, int64(n))
+				break
+			}
+			return nil, fmt.Errorf("server: journal read: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxJournalRecord {
+			jl.truncateTail(offset, 8)
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(jl.f, payload); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || err == io.EOF {
+				jl.truncateTail(offset, 8)
+				break
+			}
+			return nil, fmt.Errorf("server: journal read: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			jl.truncateTail(offset, 8+int64(length))
+			break
+		}
+		offset += 8 + int64(length)
+
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// The frame is intact (CRC passed) but the payload is not a
+			// record we understand — likely a future format. Skip it rather
+			// than discarding the rest of the log.
+			jl.log.Warn("journal: skipping unreadable record", "err", err)
+			continue
+		}
+		jj := byID[rec.ID]
+		if jj == nil {
+			jj = &journalJob{id: rec.ID, created: rec.Time}
+			byID[rec.ID] = jj
+			order = append(order, jj)
+		}
+		switch rec.Op {
+		case journalOpAccepted:
+			if rec.Spec != nil {
+				jj.spec = *rec.Spec
+			}
+			jj.created = rec.Time
+		case journalOpStarted:
+			jj.started = true
+		case journalOpSettled:
+			jj.settled = true
+			jj.state = rec.State
+			jj.errText = rec.Error
+			jj.finished = rec.Time
+			if rec.Spec != nil { // compacted summary: spec rides along
+				jj.spec = *rec.Spec
+				jj.created = rec.Created
+			}
+		default:
+			jl.log.Warn("journal: unknown record op", "op", rec.Op, "job_id", rec.ID)
+		}
+	}
+	// Drop jobs the journal cannot describe: a settled record whose
+	// accepted frame was lost to a torn tail carries no spec to resubmit
+	// or list.
+	kept := order[:0]
+	for _, jj := range order {
+		if jj.spec.Kind == "" {
+			jl.log.Warn("journal: dropping job with no accepted record", "job_id", jj.id)
+			continue
+		}
+		kept = append(kept, jj)
+	}
+	return kept, nil
+}
+
+// truncateTail discards a torn frame at offset (extent bytes were
+// framed or partially present) and repositions for appends.
+func (jl *journal) truncateTail(offset, extent int64) {
+	jl.torn.Add(1)
+	jl.log.Warn("journal: truncating torn tail",
+		"path", jl.path, "offset", offset, "torn_bytes", extent)
+	if err := jl.f.Truncate(offset); err != nil {
+		jl.log.Error("journal: truncate failed", "err", err)
+	}
+	if _, err := jl.f.Seek(offset, io.SeekStart); err != nil {
+		jl.log.Error("journal: seek failed", "err", err)
+	}
+}
+
+// frame renders one record as a length+CRC framed byte slice.
+func frame(rec journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+// append writes one record and fsyncs it. The fault site
+// "journal.append.<op>" can fail the append, truncate it mid-frame
+// (torn-tail debris, like a kill between write and sync), or crash.
+// Append failures degrade durability, never availability: the caller
+// logs and carries on.
+func (jl *journal) append(rec journalRecord) error {
+	if jl == nil {
+		return nil
+	}
+	buf, err := frame(rec)
+	if err != nil {
+		return err
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	keep, ferr := jl.fault.Partial("journal.append."+rec.Op, len(buf))
+	if ferr != nil {
+		if errors.Is(ferr, fault.ErrCrashed) && keep > 0 {
+			// Crash mid-append: leave exactly the torn prefix a real kill
+			// would, so recovery must prove it can truncate it away.
+			jl.f.Write(buf[:keep])
+		}
+		return ferr
+	}
+	n, err := jl.f.Write(buf)
+	jl.bytes.Add(uint64(n))
+	if err != nil {
+		return err
+	}
+	jl.appends.Add(1)
+	if err := jl.f.Sync(); err != nil {
+		return err
+	}
+	jl.fsyncs.Add(1)
+	return nil
+}
+
+// rewrite atomically replaces the journal with exactly recs (the
+// compaction path): temp file, fsync, rename over, reopen for appends.
+// The fault site "journal.compact" can crash it between any two steps;
+// the rename makes the swap all-or-nothing either way.
+func (jl *journal) rewrite(recs []journalRecord) error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if err := jl.fault.Point("journal.compact"); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(jl.path), ".journal-*")
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		buf, err := frame(rec)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		jl.bytes.Add(uint64(len(buf)))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), jl.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	f, err := os.OpenFile(jl.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: reopen compacted journal: %w", err)
+	}
+	jl.f.Close()
+	jl.f = f
+	jl.compactions.Add(1)
+	jl.fsyncs.Add(1)
+	return nil
+}
+
+// close releases the journal file.
+func (jl *journal) close() {
+	if jl == nil {
+		return
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+}
+
+// Nil-safe counter accessors for the metrics bridge.
+
+func (jl *journal) appendCount() uint64 {
+	if jl == nil {
+		return 0
+	}
+	return jl.appends.Load()
+}
+
+func (jl *journal) fsyncCount() uint64 {
+	if jl == nil {
+		return 0
+	}
+	return jl.fsyncs.Load()
+}
+
+func (jl *journal) byteCount() uint64 {
+	if jl == nil {
+		return 0
+	}
+	return jl.bytes.Load()
+}
+
+func (jl *journal) compactionCount() uint64 {
+	if jl == nil {
+		return 0
+	}
+	return jl.compactions.Load()
+}
+
+func (jl *journal) tornCount() uint64 {
+	if jl == nil {
+		return 0
+	}
+	return jl.torn.Load()
+}

@@ -95,6 +95,7 @@ func newMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	r.CounterFunc("smsd_store_disk_hits_total", "Store hits served from disk.", storeStat(func(st store.Stats) uint64 { return st.DiskHits }))
 	r.CounterFunc("smsd_store_writes_total", "Objects written to the store.", storeStat(func(st store.Stats) uint64 { return st.Writes }))
 	r.CounterFunc("smsd_store_corrupt_total", "Corrupt store objects treated as misses.", storeStat(func(st store.Stats) uint64 { return st.Corrupt }))
+	r.CounterFunc("smsd_store_corrupt_quarantined_total", "Corrupt store objects moved to the quarantine directory.", storeStat(func(st store.Stats) uint64 { return st.Quarantined }))
 	r.CounterFunc("smsd_store_bytes_read_total", "Bytes read from store objects on disk.", storeStat(func(st store.Stats) uint64 { return st.BytesRead }))
 	r.CounterFunc("smsd_store_bytes_written_total", "Bytes written to store objects on disk.", storeStat(func(st store.Stats) uint64 { return st.BytesWritten }))
 	r.CounterFunc("smsd_trace_tier_artifact_hits_total", "Trace-tier artifact opens that found a file.", storeStat(func(st store.Stats) uint64 { return st.TraceHits }))
@@ -111,6 +112,23 @@ func newMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	m.runDuration = r.Histogram("smsd_run_duration_seconds", "Wall time of individual simulation runs.", durBuckets)
 	m.runRecRate = r.Histogram("smsd_run_records_per_second", "Simulated trace records per second per finished run.", obs.ExpBuckets(10_000, 4, 12))
 	m.phaseSeconds = r.HistogramVec("smsd_run_phase_seconds", "Wall time per run phase (gap/warm/window/trace-generate/...).", durBuckets, "phase")
+
+	// Journal/recovery series render as 0 when journaling is off (the
+	// accessors are nil-safe), mirroring the no-store convention above.
+	r.GaugeFunc("smsd_journal_enabled", "Whether the durable job journal is on.", func() float64 {
+		if s.journal != nil {
+			return 1
+		}
+		return 0
+	})
+	r.CounterFunc("smsd_journal_appends_total", "Records appended to the job journal.", s.journal.appendCount)
+	r.CounterFunc("smsd_journal_fsyncs_total", "Journal fsync calls.", s.journal.fsyncCount)
+	r.CounterFunc("smsd_journal_bytes_total", "Bytes written to the job journal.", s.journal.byteCount)
+	r.CounterFunc("smsd_journal_compactions_total", "Journal compaction rewrites.", s.journal.compactionCount)
+	r.CounterFunc("smsd_journal_torn_records_total", "Torn journal tails truncated during replay.", s.journal.tornCount)
+	r.CounterFunc("smsd_recovery_jobs_requeued_total", "Live jobs requeued from the journal on startup.", s.recRequeued.Load)
+	r.CounterFunc("smsd_recovery_jobs_restored_total", "Settled jobs restored from the journal on startup.", s.recRestored.Load)
+	r.CounterFunc("smsd_fault_injections_total", "Faults injected by the deterministic fault plan.", s.fault.Injections)
 
 	m.subscribers = r.Gauge("smsd_job_event_subscribers", "Live /v1/jobs/{id}/events streams.")
 	m.eventsSent = r.Counter("smsd_job_events_sent_total", "Events delivered to job event streams.")

@@ -50,11 +50,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -95,6 +97,16 @@ type Config struct {
 	// registry). A coordinator daemon shares one registry between the
 	// server and the cluster scheduler so one scrape covers both.
 	Metrics *obs.Registry
+	// JournalPath, when set, makes the daemon crash-safe: every job
+	// state transition is appended to the durable journal at this path
+	// (fsync'd, CRC-framed — see journal.go), and New replays it so jobs
+	// survive a kill. Settled jobs reappear in GET /v1/jobs with results
+	// refilled from the store; live jobs are re-queued through the pool.
+	JournalPath string
+	// Fault optionally injects deterministic faults into the journal
+	// sites (journal.append.*, journal.compact) and exports
+	// smsd_fault_injections_total; nil in production.
+	Fault *fault.Injector
 }
 
 // DefaultQueue is the default job-queue bound.
@@ -142,6 +154,13 @@ type job struct {
 	dedupe  string // active-job dedup key ("" = never deduped)
 	created time.Time
 	cancel  context.CancelFunc
+	// spec is the journaled description a restart resubmits from.
+	spec jobSpec
+	// journaled means an accepted record for this job is on disk, so
+	// its later transitions must be journaled too. restored marks a job
+	// rebuilt from the journal on recovery.
+	journaled bool
+	restored  bool
 	// tracer collects the job's run-phase spans (nil for cache-settled
 	// jobs); doc() surfaces its totals as the phase-timing block.
 	tracer *obs.Tracer
@@ -280,6 +299,16 @@ type Server struct {
 	// metrics is the obs registry behind /metrics plus every instrument
 	// the daemon records into (see metrics.go).
 	metrics *serverMetrics
+	// journal is the durable job log (nil when Config.JournalPath is
+	// unset: journaling off, every append a no-op).
+	journal *journal
+	// fault is the daemon's injector (nil in production).
+	fault *fault.Injector
+	// recRequeued / recRestored count jobs recovered on startup.
+	recRequeued atomic.Uint64
+	recRestored atomic.Uint64
+	// settleCount drives periodic journal compaction.
+	settleCount atomic.Uint64
 
 	mu          sync.Mutex
 	jobs        map[string]*job
@@ -343,8 +372,19 @@ func New(cfg Config) (*Server, error) {
 		pprof:       cfg.Pprof,
 		coordinator: cfg.Coordinator,
 		syncClient:  &http.Client{Timeout: 5 * time.Minute},
+		fault:       cfg.Fault,
 		jobs:        make(map[string]*job),
 		activeByKey: make(map[string]*job),
+	}
+	var replayed []*journalJob
+	if cfg.JournalPath != "" {
+		jl, jobs, err := openJournal(cfg.JournalPath, cfg.Fault, logger)
+		if err != nil {
+			baseCancel()
+			return nil, err
+		}
+		s.journal = jl
+		replayed = jobs
 	}
 	s.metrics = newMetrics(s, cfg.Metrics)
 	for i := 0; i < workers; i++ {
@@ -373,6 +413,9 @@ func New(cfg Config) (*Server, error) {
 				}
 			}
 		}()
+	}
+	if s.journal != nil {
+		s.recover(replayed)
 	}
 	return s, nil
 }
@@ -403,6 +446,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		s.journal.close()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -459,19 +503,29 @@ func (s *Server) registerJobLocked(j *job) {
 // new one — figure jobs use this so N concurrent requests for one
 // figure execute one computation, including the custom plan cells the
 // engine's run-level memoization cannot dedupe.
-func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(ctx context.Context, j *job) error) (j *job, joined bool, err error) {
+func (s *Server) startJob(spec jobSpec, totalRuns int, run func(ctx context.Context, j *job) error) (j *job, joined bool, err error) {
 	j = &job{
-		id:        newJobID(),
-		kind:      kind,
-		target:    target,
-		dedupe:    dedupe,
-		created:   time.Now(),
-		state:     JobQueued,
-		tracer:    obs.NewTracer(),
-		inflight:  make(map[string]uint64),
-		runStarts: make(map[string]time.Time),
-		done:      make(chan struct{}),
+		id:      newJobID(),
+		kind:    spec.Kind,
+		target:  spec.Target,
+		dedupe:  spec.Dedupe,
+		created: time.Now(),
+		spec:    spec,
 	}
+	return s.launchJob(j, totalRuns, run)
+}
+
+// launchJob finishes constructing j and submits its body to the pool.
+// The identity fields (id, kind, target, dedupe, created, spec,
+// journaled, restored) are the caller's: startJob mints fresh ones,
+// recovery preserves journaled identities through here so a restart
+// does not reissue job ids.
+func (s *Server) launchJob(j *job, totalRuns int, run func(ctx context.Context, j *job) error) (_ *job, joined bool, err error) {
+	j.state = JobQueued
+	j.tracer = obs.NewTracer()
+	j.inflight = make(map[string]uint64)
+	j.runStarts = make(map[string]time.Time)
+	j.done = make(chan struct{})
 	j.progress.TotalRuns = totalRuns
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
@@ -480,8 +534,8 @@ func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(c
 	j.cancel = cancel
 
 	s.mu.Lock()
-	if dedupe != "" {
-		if existing, ok := s.activeByKey[dedupe]; ok {
+	if j.dedupe != "" {
+		if existing, ok := s.activeByKey[j.dedupe]; ok {
 			s.mu.Unlock()
 			cancel()
 			s.metrics.deduped.Inc()
@@ -491,6 +545,20 @@ func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(c
 	s.registerJobLocked(j)
 	s.pending++
 	s.mu.Unlock()
+
+	// Journal the acceptance before the pool can pick the body up, so
+	// the started/settled records that follow always land after it.
+	// Cell jobs stay out of the journal: cells belong to the
+	// coordinator's retry loop, and a restarted worker must not re-run
+	// cells already rescattered elsewhere.
+	if s.journal != nil && !j.restored && j.kind != "cell" {
+		rec := journalRecord{Op: journalOpAccepted, ID: j.id, Time: j.created, Spec: &j.spec}
+		if aerr := s.journal.append(rec); aerr != nil {
+			s.logger.Warn("journal: accepted append failed", "job_id", j.id, "err", aerr)
+		} else {
+			j.journaled = true
+		}
+	}
 
 	body := func() {
 		s.metrics.queueWait.Observe(time.Since(j.created).Seconds())
@@ -509,6 +577,12 @@ func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(c
 		if cancelled {
 			s.settleJob(j)
 			return
+		}
+		if j.journaled {
+			rec := journalRecord{Op: journalOpStarted, ID: j.id, Time: time.Now()}
+			if aerr := s.journal.append(rec); aerr != nil {
+				s.logger.Warn("journal: started append failed", "job_id", j.id, "err", aerr)
+			}
 		}
 		err := run(ctx, j)
 		cancel()
@@ -551,27 +625,32 @@ func (s *Server) startJob(kind, target, dedupe string, totalRuns int, run func(c
 	}
 	s.metrics.jobsCreated.Inc()
 	s.logger.Debug("job accepted",
-		"job_id", j.id, "kind", kind, "target", target, "total_runs", totalRuns)
+		"job_id", j.id, "kind", j.kind, "target", j.target, "total_runs", totalRuns)
 	return j, false, nil
 }
 
 // settledJob registers a job that is already done — the cached fast
 // path: a result one memo/store probe away needs no worker slot, so it
 // stays served even when the pool is saturated with simulations.
-func (s *Server) settledJob(kind, target string, fill func(j *job)) *job {
+func (s *Server) settledJob(spec jobSpec, fill func(j *job)) *job {
 	now := time.Now()
 	j := &job{
 		id:        newJobID(),
-		kind:      kind,
-		target:    target,
+		kind:      spec.Kind,
+		target:    spec.Target,
 		created:   now,
 		finished:  now,
 		state:     JobDone,
+		spec:      spec,
 		cancel:    func() {},
 		inflight:  make(map[string]uint64),
 		runStarts: make(map[string]time.Time),
 		done:      make(chan struct{}),
 	}
+	// The settled record written by settleJob is self-contained (it
+	// carries the spec), so cache-settled jobs survive restarts without
+	// ever having an accepted record.
+	j.journaled = s.journal != nil && spec.Kind != "cell"
 	fill(j)
 	s.mu.Lock()
 	s.registerJobLocked(j)
@@ -591,7 +670,23 @@ func (s *Server) settleJob(j *job) {
 		j.finished = time.Now()
 	}
 	state, created, finished := j.state, j.created, j.finished
+	errText := j.errText
 	j.mu.Unlock()
+	if j.journaled {
+		// The settled record carries the spec and creation time so it is
+		// self-contained: replay restores the job from this one frame even
+		// after compaction discards its accepted record.
+		rec := journalRecord{
+			Op: journalOpSettled, ID: j.id, Time: finished,
+			State: state, Error: errText, Spec: &j.spec, Created: created,
+		}
+		if err := s.journal.append(rec); err != nil {
+			s.logger.Warn("journal: settled append failed", "job_id", j.id, "err", err)
+		}
+		if n := s.settleCount.Add(1); n%journalCompactEvery == 0 {
+			go s.compactJournal()
+		}
+	}
 	s.metrics.jobDuration.With(j.kind).Observe(finished.Sub(created).Seconds())
 	for _, p := range j.tracer.PhaseTotals() {
 		s.metrics.phaseSeconds.With(p.Name).Observe(p.Seconds)
@@ -706,7 +801,8 @@ func (s *Server) figureJob(name string, run exp.Runner) (*job, error) {
 	if plan, ok := exp.PlanFor(name, s.session.Options()); ok {
 		totalRuns = len(plan.Workloads)*len(plan.Variants) + len(plan.Customs)
 	}
-	j, _, err := s.startJob("figure", name, "figure/"+name, totalRuns, func(ctx context.Context, j *job) error {
+	spec := jobSpec{Kind: "figure", Target: name, Dedupe: "figure/" + name, Figure: name}
+	j, _, err := s.startJob(spec, totalRuns, func(ctx context.Context, j *job) error {
 		text, err := s.session.RunFigure(ctx, name, run)
 		if err != nil {
 			return err
@@ -802,7 +898,7 @@ func (s *Server) handleFigureJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if text, ok := s.session.CachedFigure(name); ok {
-		j := s.settledJob("figure", name, func(j *job) { j.figure = text })
+		j := s.settledJob(jobSpec{Kind: "figure", Target: name, Figure: name}, func(j *job) { j.figure = text })
 		w.Header().Set("Location", "/v1/jobs/"+j.id)
 		writeJSON(w, http.StatusAccepted, j.doc())
 		return
@@ -912,7 +1008,7 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 	key := s.session.RunKey(req.Workload, cfg)
 	target := fmt.Sprintf("%s/%s", req.Workload, cfg.Canonical().PrefetcherName)
 	if res, ok := s.session.CachedRun(req.Workload, cfg); ok {
-		j := s.settledJob("run", target, func(j *job) {
+		j := s.settledJob(jobSpec{Kind: "run", Target: target, Run: &req}, func(j *job) {
 			j.progress = JobProgress{TotalRuns: 1, DoneRuns: 1, CachedRuns: 1}
 			j.result = &RunResponse{
 				Workload:   req.Workload,
@@ -925,7 +1021,7 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, j.doc())
 		return
 	}
-	j, _, err := s.startJob("run", target, "", 1, func(ctx context.Context, j *job) error {
+	j, _, err := s.startJob(jobSpec{Kind: "run", Target: target, Run: &req}, 1, func(ctx context.Context, j *job) error {
 		res, err := s.session.Run(ctx, req.Workload, cfg)
 		if err != nil {
 			return err

@@ -17,7 +17,9 @@
 // Writes are atomic (temp file + rename in the same directory), so a
 // crashed writer never leaves a partially-written object visible. Reads
 // are corruption-tolerant: an object that fails to decode is treated as a
-// miss (and dropped from the in-memory layer), never as an error. A
+// miss (and dropped from the in-memory layer), never as an error — the
+// poisoned file is moved to <dir>/corrupt/<kind>/ so it cannot shadow
+// the recomputed object. A
 // byte-bounded in-memory LRU layer sits in front of the disk so repeated
 // lookups in one process skip the filesystem.
 package store
@@ -26,12 +28,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -136,6 +140,7 @@ type Stats struct {
 	DiskHits     uint64
 	Writes       uint64
 	Corrupt      uint64
+	Quarantined  uint64
 	BytesRead    uint64
 	BytesWritten uint64
 
@@ -157,6 +162,11 @@ type Options struct {
 // is safe for concurrent use.
 type Store struct {
 	dir string
+
+	// fault is the chaos-test injector; nil (the production state)
+	// costs one pointer test per I/O operation. Set before the store
+	// is shared across goroutines.
+	fault *fault.Injector
 
 	mu    sync.Mutex
 	lru   *lruCache
@@ -189,6 +199,11 @@ func OpenOptions(dir string, o Options) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetFault installs a fault injector on the store's I/O sites
+// (store.<kind>.{read,write,rename}). Call it right after Open, before
+// the store is shared.
+func (s *Store) SetFault(f *fault.Injector) { s.fault = f }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
@@ -278,6 +293,9 @@ func (s *Store) get(kind, key string, out any, countMiss bool) bool {
 
 	if !fromMem {
 		d, err := os.ReadFile(s.objectPath(kind, key))
+		if s.fault != nil && err == nil {
+			err = s.fault.Point("store." + kind + ".read")
+		}
 		if err != nil {
 			if countMiss {
 				s.mu.Lock()
@@ -292,8 +310,10 @@ func (s *Store) get(kind, key string, out any, countMiss bool) bool {
 	if err := json.Unmarshal(data, out); err != nil {
 		// Corrupt object (torn write from a pre-rename crash, disk
 		// damage, or a foreign file): treat as a miss rather than an
-		// error; the caller will recompute and overwrite it.
-		slog.Warn("store: corrupt object treated as a miss", "kind", kind, "key", key, "err", err)
+		// error; the caller will recompute and overwrite it. The
+		// poisoned file is moved aside so it cannot re-warn on every
+		// read or shadow the recomputed object.
+		slog.Warn("store: corrupt object quarantined and treated as a miss", "kind", kind, "key", key, "err", err)
 		s.mu.Lock()
 		if fromMem && s.lru != nil {
 			s.lru.remove(cacheKey)
@@ -303,6 +323,11 @@ func (s *Store) get(kind, key string, out any, countMiss bool) bool {
 			s.stats.Misses++
 		}
 		s.mu.Unlock()
+		if !fromMem {
+			// Only quarantine bytes known to have come from this disk
+			// file; a stale in-memory entry says nothing about it.
+			s.quarantine(kind, s.objectPath(kind, key))
+		}
 		return false
 	}
 
@@ -319,6 +344,28 @@ func (s *Store) get(kind, key string, out any, countMiss bool) bool {
 	}
 	s.mu.Unlock()
 	return true
+}
+
+// quarantine atomically moves a corrupt object file out of the
+// addressable tree to <dir>/corrupt/<kind>/<basename>, so it stops
+// shadowing recomputation (and re-warning on every read) while staying
+// on disk for forensics. Losing the race to another reader is fine —
+// the file only moves once.
+func (s *Store) quarantine(kind, path string) {
+	qdir := filepath.Join(s.dir, "corrupt", kind)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		slog.Warn("store: creating quarantine directory", "err", err)
+		return
+	}
+	if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err != nil {
+		if !os.IsNotExist(err) {
+			slog.Warn("store: quarantining corrupt object", "path", path, "err", err)
+		}
+		return
+	}
+	s.mu.Lock()
+	s.stats.Quarantined++
+	s.mu.Unlock()
 }
 
 // put encodes v and writes it atomically at (kind, key): the bytes land
@@ -338,6 +385,17 @@ func (s *Store) put(kind, key string, v any) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	if keep, ferr := s.fault.Partial("store."+kind+".write", len(data)); ferr != nil {
+		// A crash leaves its debris — the torn temp file — exactly as
+		// a killed process would; an ordinary injected error cleans up
+		// like any other failed write.
+		_, _ = tmp.Write(data[:keep])
+		tmp.Close()
+		if !errors.Is(ferr, fault.ErrCrashed) {
+			os.Remove(tmp.Name())
+		}
+		return fmt.Errorf("store: writing %s/%s: %w", kind, key, ferr)
+	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
@@ -353,6 +411,14 @@ func (s *Store) put(kind, key string, v any) error {
 	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: publishing %s/%s: %w", kind, key, err)
+	}
+	if ferr := s.fault.Point("store." + kind + ".rename"); ferr != nil {
+		// Crash between temp write and rename: the fully-written temp
+		// file stays, the object never becomes visible.
+		if !errors.Is(ferr, fault.ErrCrashed) {
+			os.Remove(tmp.Name())
+		}
+		return fmt.Errorf("store: publishing %s/%s: %w", kind, key, ferr)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())

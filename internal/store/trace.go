@@ -20,12 +20,14 @@ package store
 // CRC) is a miss, never an error.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -73,6 +75,12 @@ func (s *Store) HasTrace(key string) bool {
 // trace.OpenFile). A missing or invalid artifact is a miss. The caller
 // owns the returned File and closes it when done replaying.
 func (s *Store) OpenTrace(key string) (*trace.File, bool) {
+	if s.fault.Point("store.traces.read") != nil {
+		s.mu.Lock()
+		s.stats.TraceMisses++
+		s.mu.Unlock()
+		return nil, false
+	}
 	f, err := trace.OpenFile(s.tracePath(key))
 	if err != nil {
 		s.mu.Lock()
@@ -81,6 +89,12 @@ func (s *Store) OpenTrace(key string) (*trace.File, bool) {
 		}
 		s.stats.TraceMisses++
 		s.mu.Unlock()
+		if !os.IsNotExist(err) {
+			// A trace that exists but fails validation is poisoned the
+			// same way a torn JSON object is: move it aside so the tier
+			// regenerates or re-syncs it instead of re-warning forever.
+			s.quarantine(kindTrace, s.tracePath(key))
+		}
 		return nil, false
 	}
 	s.mu.Lock()
@@ -145,6 +159,15 @@ func (ts *TraceSink) Commit() error {
 		os.Remove(ts.f.Name())
 		return fmt.Errorf("store: publishing trace %s: %w", ts.key, err)
 	}
+	if ferr := ts.s.fault.Point("store.traces.rename"); ferr != nil {
+		// Crash between assembling the trace and publishing it: the
+		// temp file stays, the key stays absent (a torn artifact is
+		// never visible).
+		if !errors.Is(ferr, fault.ErrCrashed) {
+			os.Remove(ts.f.Name())
+		}
+		return fmt.Errorf("store: publishing trace %s: %w", ts.key, ferr)
+	}
 	if err := os.Rename(ts.f.Name(), ts.s.tracePath(ts.key)); err != nil {
 		os.Remove(ts.f.Name())
 		return fmt.Errorf("store: publishing trace %s: %w", ts.key, err)
@@ -205,6 +228,15 @@ func (s *Store) PutTraceRaw(key string, r io.Reader) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: %w", err)
 	}
+	if ferr := s.fault.Point("store.traces.write"); ferr != nil {
+		// Crash at the start of an artifact transfer: temp debris
+		// stays, nothing publishes.
+		f.Close()
+		if !errors.Is(ferr, fault.ErrCrashed) {
+			os.Remove(f.Name())
+		}
+		return 0, fmt.Errorf("store: receiving trace %s: %w", key, ferr)
+	}
 	n, err := io.Copy(f, r)
 	if err == nil {
 		err = f.Close()
@@ -222,6 +254,12 @@ func (s *Store) PutTraceRaw(key string, r io.Reader) (int64, error) {
 	if err := os.Chmod(f.Name(), 0o644); err != nil {
 		os.Remove(f.Name())
 		return 0, fmt.Errorf("store: publishing trace %s: %w", key, err)
+	}
+	if ferr := s.fault.Point("store.traces.rename"); ferr != nil {
+		if !errors.Is(ferr, fault.ErrCrashed) {
+			os.Remove(f.Name())
+		}
+		return 0, fmt.Errorf("store: publishing trace %s: %w", key, ferr)
 	}
 	if err := os.Rename(f.Name(), path); err != nil {
 		os.Remove(f.Name())

@@ -1,0 +1,196 @@
+#!/usr/bin/env sh
+# Chaos smoke test for crash-safe smsd: start a journaled coordinator
+# and one worker, scatter a figure grid across the cluster, SIGKILL the
+# coordinator mid-grid (no goodbye, no journal close), restart it
+# against the same -store and -journal, and assert:
+#
+#   - the figure job survives under the same id and settles done;
+#   - run jobs submitted just before the kill reach done after it;
+#   - the recovered figure is byte-identical to a single-node reference
+#     computed with the same simulation options;
+#   - the worker re-registers with the restarted coordinator on its own;
+#   - /metrics still passes the exposition checker and counts the
+#     journal recovery.
+#
+# Run from the repository root; needs curl.
+set -eu
+
+BIN=${BIN:-./smsd-chaos-smoke-bin}
+
+# Every daemon must agree on the simulation options (cluster contract)
+# and the reference daemon must match them for byte-identity.
+SIMOPTS="-cpus 1 -seed 1 -length 120000"
+FIGURE=fig8
+
+say() { echo "chaos-smoke: $*"; }
+fail() { echo "chaos-smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o "$BIN" ./cmd/smsd
+
+REF_PID=""
+COORD_PID=""
+W1_PID=""
+TMP=""
+cleanup() {
+    [ -n "$REF_PID" ] && kill "$REF_PID" 2>/dev/null || true
+    [ -n "$COORD_PID" ] && kill "$COORD_PID" 2>/dev/null || true
+    [ -n "$W1_PID" ] && kill "$W1_PID" 2>/dev/null || true
+    rm -f "$BIN"
+    [ -n "$TMP" ] && rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+json_field() {
+    sed -n "s/^.*\"$2\": \"\([^\"]*\)\".*$/\1/p" "$1" | head -n 1
+}
+
+wait_port() {
+    i=0
+    while :; do
+        port=$(sed -n 's/.*msg="smsd listening" addr=[^ ]*:\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1)
+        [ -n "$port" ] && { echo "$port"; return 0; }
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "chaos-smoke: FAIL: daemon never logged its listen address; log follows" >&2
+            sed 's/^/chaos-smoke:   | /' "$1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+wait_healthy() {
+    i=0
+    while ! curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "chaos-smoke: FAIL: daemon on :$1 never became healthy; log follows" >&2
+            sed 's/^/chaos-smoke:   | /' "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# poll_done PORT JOB LABEL → fail unless the job settles done.
+poll_done() {
+    i=0
+    while :; do
+        curl -fsS "http://127.0.0.1:$1/v1/jobs/$2" >"$TMP/poll.json"
+        state=$(json_field "$TMP/poll.json" state)
+        case "$state" in
+        done) return 0 ;;
+        failed | cancelled) fail "$3 settled as $state: $(cat "$TMP/poll.json")" ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -gt 900 ] && fail "$3 stuck in state $state"
+        sleep 0.2
+    done
+}
+
+TMP=$(mktemp -d)
+
+# --- Reference figure on a clean single node -------------------------------
+"$BIN" -addr 127.0.0.1:0 $SIMOPTS -store "$TMP/store-ref" >"$TMP/ref.log" 2>&1 &
+REF_PID=$!
+PORT_REF=$(wait_port "$TMP/ref.log")
+wait_healthy "$PORT_REF" "$TMP/ref.log"
+curl -fsS "http://127.0.0.1:$PORT_REF/v1/figures/$FIGURE" >"$TMP/figure-ref.txt"
+kill "$REF_PID" && wait "$REF_PID" 2>/dev/null || true
+REF_PID=""
+say "reference figure computed on a single node"
+
+# --- Journaled coordinator + one worker ------------------------------------
+"$BIN" -cluster -addr 127.0.0.1:0 $SIMOPTS -heartbeat 250ms \
+    -store "$TMP/store-coord" -journal "$TMP/journal" >"$TMP/coord.log" 2>&1 &
+COORD_PID=$!
+PORT_COORD=$(wait_port "$TMP/coord.log")
+wait_healthy "$PORT_COORD" "$TMP/coord.log"
+say "journaled coordinator on :$PORT_COORD"
+
+"$BIN" -worker -coordinator "http://127.0.0.1:$PORT_COORD" -addr 127.0.0.1:0 \
+    $SIMOPTS -store "$TMP/store-w1" >"$TMP/w1.log" 2>&1 &
+W1_PID=$!
+PORT_W1=$(wait_port "$TMP/w1.log")
+wait_healthy "$PORT_W1" "$TMP/w1.log"
+
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_COORD/v1/cluster/workers" >"$TMP/workers.json" 2>/dev/null || true
+    grep -q '"alive": true' "$TMP/workers.json" 2>/dev/null && break
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "worker never registered"
+    sleep 0.1
+done
+say "worker on :$PORT_W1 registered"
+
+# --- Scatter the grid, then murder the coordinator mid-flight --------------
+curl -fsS -X POST "http://127.0.0.1:$PORT_COORD/v1/figures/$FIGURE" >"$TMP/submit.json"
+FIGJOB=$(json_field "$TMP/submit.json" id)
+[ -n "$FIGJOB" ] || fail "no job id in figure submit: $(cat "$TMP/submit.json")"
+
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_COORD/metrics" >"$TMP/m.txt"
+    scattered=$(sed -n 's/^smsd_cluster_cells_scattered_total \([0-9][0-9]*\).*/\1/p' "$TMP/m.txt")
+    [ -n "$scattered" ] && [ "$scattered" -ge 2 ] && break
+    i=$((i + 1))
+    [ "$i" -gt 200 ] && fail "grid never scattered cells to the worker"
+    sleep 0.05
+done
+
+# Two more jobs accepted right before the kill: they must survive it.
+curl -fsS -X POST "http://127.0.0.1:$PORT_COORD/v1/runs" \
+    -d '{"workload":"sparse","prefetcher":"sms"}' >"$TMP/run1.json"
+RUNJOB1=$(json_field "$TMP/run1.json" id)
+curl -fsS -X POST "http://127.0.0.1:$PORT_COORD/v1/runs" \
+    -d '{"workload":"sparse"}' >"$TMP/run2.json"
+RUNJOB2=$(json_field "$TMP/run2.json" id)
+[ -n "$RUNJOB1" ] && [ -n "$RUNJOB2" ] || fail "run jobs not accepted before the kill"
+
+kill -9 "$COORD_PID"
+wait "$COORD_PID" 2>/dev/null || true
+COORD_PID=""
+say "SIGKILLed coordinator mid-grid ($scattered cells scattered, jobs $FIGJOB $RUNJOB1 $RUNJOB2 in flight)"
+
+# --- Restart against the same store and journal ----------------------------
+"$BIN" -cluster -addr "127.0.0.1:$PORT_COORD" $SIMOPTS -heartbeat 250ms \
+    -store "$TMP/store-coord" -journal "$TMP/journal" >"$TMP/coord2.log" 2>&1 &
+COORD_PID=$!
+wait_healthy "$PORT_COORD" "$TMP/coord2.log"
+say "coordinator restarted on :$PORT_COORD against the same store and journal"
+
+poll_done "$PORT_COORD" "$FIGJOB" "recovered figure job"
+poll_done "$PORT_COORD" "$RUNJOB1" "recovered run job 1"
+poll_done "$PORT_COORD" "$RUNJOB2" "recovered run job 2"
+say "all three pre-kill jobs settled done after the restart"
+
+# Byte-identity: the recovered grid must render exactly the reference.
+curl -fsS "http://127.0.0.1:$PORT_COORD/v1/figures/$FIGURE" >"$TMP/figure-got.txt"
+cmp -s "$TMP/figure-ref.txt" "$TMP/figure-got.txt" ||
+    fail "recovered figure differs from the single-node reference"
+say "recovered figure is byte-identical to the reference"
+
+# The worker must have re-enrolled with the restarted coordinator.
+i=0
+while :; do
+    curl -fsS "http://127.0.0.1:$PORT_COORD/v1/cluster/workers" >"$TMP/workers.json" 2>/dev/null || true
+    grep -q '"alive": true' "$TMP/workers.json" 2>/dev/null && break
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "worker never re-registered after the restart"
+    sleep 0.1
+done
+say "worker re-registered with the restarted coordinator"
+
+# --- Metrics: exposition still valid, recovery counted ---------------------
+curl -fsS "http://127.0.0.1:$PORT_COORD/metrics" >"$TMP/metrics.txt"
+go run ./internal/obs/obscheck metrics "$TMP/metrics.txt" ||
+    fail "restarted coordinator /metrics is not valid Prometheus exposition"
+grep -q '^smsd_journal_enabled 1$' "$TMP/metrics.txt" ||
+    fail "metrics do not report the journal as enabled"
+requeued=$(sed -n 's/^smsd_recovery_jobs_requeued_total \([0-9][0-9]*\).*/\1/p' "$TMP/metrics.txt")
+[ -n "$requeued" ] && [ "$requeued" -ge 1 ] ||
+    fail "metrics do not count the recovered jobs (requeued=$requeued)"
+say "metrics pass the exposition checker and count $requeued requeued jobs"
+
+say "PASS"
