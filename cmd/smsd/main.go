@@ -69,6 +69,8 @@ type options struct {
 	seed     int64
 	length   uint64
 	parallel int
+	runPar   int
+	ahead    int
 	quick    bool
 	grace    time.Duration
 
@@ -98,6 +100,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "workload generation seed")
 	flag.Uint64Var(&o.length, "length", 1_200_000, "accesses per workload trace (half is warm-up)")
 	flag.IntVar(&o.parallel, "parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	flag.IntVar(&o.runPar, "run-parallel", 0, "region-sharded simulation lanes inside each run (0/1 = serial; results are bit-identical, shares the -parallel budget)")
+	flag.IntVar(&o.ahead, "decode-ahead", 0, "decode each run's trace this many batches ahead of the simulator (0 = inline)")
 	flag.BoolVar(&o.quick, "quick", false, "abbreviated runs (overrides -cpus/-length)")
 	flag.DurationVar(&o.grace, "shutdown-deadline", 15*time.Second, "bound on graceful shutdown: in-flight simulations are cancelled, not drained")
 	flag.StringVar(&o.journalPath, "journal", "", "durable job journal path: jobs survive a kill and are recovered on restart (empty: journaling off)")
@@ -197,7 +201,10 @@ func run(logger *slog.Logger, o options) error {
 		logger.Warn("fault injection enabled", "plan", o.faultPlan)
 	}
 
-	session := exp.NewSession(exp.CLIOptions(o.cpus, o.seed, o.length, o.parallel, o.quick))
+	sessOptions := exp.CLIOptions(o.cpus, o.seed, o.length, o.parallel, o.quick)
+	sessOptions.RunParallel = o.runPar
+	sessOptions.DecodeAhead = o.ahead
+	session := exp.NewSession(sessOptions)
 	if err := exp.AttachStore(session, o.storeDir); err != nil {
 		return err
 	}

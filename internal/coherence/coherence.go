@@ -144,6 +144,30 @@ type AccessResult struct {
 	Invalidations []Invalidation
 }
 
+// reset clears the result for reuse. It replaces a whole-struct zeroing
+// assignment: the slice fields are pointers, so `*r = AccessResult{}`
+// pays three write barriers per record, while the common case here (the
+// previous access evicted and invalidated nothing) is three loads and
+// three predicted-not-taken branches.
+func (r *AccessResult) reset() {
+	r.L1Hit = false
+	r.L2Hit = false
+	r.L1PrefetchHit = false
+	r.L1PrefetchOffChip = false
+	r.L2PrefetchHit = false
+	r.CoherenceMiss = false
+	r.FalseSharing = false
+	if r.L1Evictions != nil {
+		r.L1Evictions = nil
+	}
+	if r.L2Evictions != nil {
+		r.L2Evictions = nil
+	}
+	if r.Invalidations != nil {
+		r.Invalidations = nil
+	}
+}
+
 // Missed reports whether the access missed at the given level. The
 // pointer receiver matters: the result is ~100 bytes, and the hot
 // accounting path calls Missed several times per record.
@@ -251,7 +275,7 @@ func (s *System) Access(cpu int, a mem.Addr, write bool) AccessResult {
 // simulator passes one scratch result through the whole accounting
 // chain).
 func (s *System) AccessInto(res *AccessResult, cpu int, a mem.Addr, write bool) {
-	*res = AccessResult{}
+	res.reset()
 	l1 := s.l1s[cpu]
 	l2 := s.l2s[cpu]
 

@@ -42,6 +42,18 @@ type Config struct {
 	// Parallel bounds concurrently executing simulations across all
 	// plans and bare runs (0 = GOMAXPROCS).
 	Parallel int
+	// RunParallel puts up to this many region-sharded simulation lanes
+	// behind every single run (sim.Exec.Lanes; 0 or 1 = serial runs).
+	// The engine divides the Parallel budget by it, so grid-level and
+	// run-level parallelism share one core pool instead of multiplying:
+	// Parallel=8 with RunParallel=4 admits 2 concurrent runs of 4 lanes
+	// each. Results are bit-identical either way — lanes are pure
+	// execution tuning and never enter the run's store identity.
+	RunParallel int
+	// DecodeAhead decodes each run's trace source up to this many
+	// batches ahead of its simulator on a dedicated goroutine (0 = off,
+	// decode stays inline; sim.Exec.DecodeAhead).
+	DecodeAhead int
 	// Store optionally persists results across processes. Completed runs
 	// are written through; cancelled or failed runs never touch it.
 	Store *store.Store
@@ -86,6 +98,14 @@ type Engine struct {
 	generations atomic.Uint64
 	tierHits    atomic.Uint64
 	tierMisses  atomic.Uint64
+
+	// Pipeline telemetry harvested from each run's sim.PipelineStats
+	// (see localScheduler.Schedule); laneOccupancy is the last completed
+	// run's lane balance in integer percent.
+	pipeDecodeStalls    atomic.Uint64
+	pipeSimStalls       atomic.Uint64
+	pipeConflictReplays atomic.Uint64
+	laneOccupancy       atomic.Uint64
 }
 
 // entry is one memoized (possibly in-flight) run; followers block on done.
@@ -111,9 +131,20 @@ func New(cfg Config) *Engine {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = runtime.GOMAXPROCS(0)
 	}
+	// The semaphore admits concurrent *runs*; when each run fans out
+	// over RunParallel lanes, admitting Parallel of them would
+	// oversubscribe the pool by that factor, so the run slots divide the
+	// shared budget (never below one).
+	slots := cfg.Parallel
+	if cfg.RunParallel > 1 {
+		slots = cfg.Parallel / cfg.RunParallel
+		if slots < 1 {
+			slots = 1
+		}
+	}
 	e := &Engine{
 		cfg:  cfg,
-		sem:  make(chan struct{}, cfg.Parallel),
+		sem:  make(chan struct{}, slots),
 		memo: make(map[string]*entry),
 	}
 	e.sched = localScheduler{e}
@@ -168,6 +199,35 @@ func (e *Engine) TraceTierMisses() uint64 { return e.tierMisses.Load() }
 // CancelledRuns returns how many started simulations were cancelled
 // mid-run.
 func (e *Engine) CancelledRuns() uint64 { return e.cancelled.Load() }
+
+// PipelineDecodeStalls returns how often run pipelines stalled with the
+// decode stage waiting on the simulator (simulation-bound).
+func (e *Engine) PipelineDecodeStalls() uint64 { return e.pipeDecodeStalls.Load() }
+
+// PipelineSimStalls returns how often run pipelines stalled with the
+// simulator waiting on the decode stage (decode-bound).
+func (e *Engine) PipelineSimStalls() uint64 { return e.pipeSimStalls.Load() }
+
+// PipelineConflictReplays returns how many runs asked for lanes but were
+// replayed serially because their configuration's per-record effects
+// cross lanes (attached prefetchers, instruction windows).
+func (e *Engine) PipelineConflictReplays() uint64 { return e.pipeConflictReplays.Load() }
+
+// PipelineLaneOccupancy returns the last lane-parallel run's lane
+// balance in integer percent (100 = perfectly even; 0 = no lane-parallel
+// run has completed).
+func (e *Engine) PipelineLaneOccupancy() uint64 { return e.laneOccupancy.Load() }
+
+// harvestPipeline folds one finished run's pipeline telemetry into the
+// engine counters.
+func (e *Engine) harvestPipeline(ps sim.PipelineStats) {
+	e.pipeDecodeStalls.Add(ps.DecodeStalls)
+	e.pipeSimStalls.Add(ps.SimStalls)
+	e.pipeConflictReplays.Add(ps.ConflictReplays)
+	if ps.Lanes > 1 {
+		e.laneOccupancy.Store(uint64(ps.Occupancy() + 0.5))
+	}
+}
 
 // CustomRuns returns how many custom plan cells this engine executed
 // (they are simulations too, just not store-memoized ones).

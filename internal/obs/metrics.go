@@ -51,12 +51,14 @@ type family struct {
 	order  []string
 }
 
-// series is one (family, label values) instance.
+// series is one (family, label values) instance. A labeled callback
+// series (CounterVec.Func) sets fnU, which overrides c at render time.
 type series struct {
 	values []string
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	fnU    func() uint64
 }
 
 // Counter is a monotonically increasing uint64. Inc and Add are single
@@ -131,6 +133,14 @@ type HistogramVec struct{ fam *family }
 // itself locks and allocates on the first call for a value set.
 func (v *CounterVec) With(values ...string) *Counter {
 	return v.fam.child(values).c
+}
+
+// Func binds the series for the given label values to a callback
+// sampled at scrape time — the labeled analogue of CounterFunc, for
+// counters that already live elsewhere (engine accessors) but belong in
+// one family distinguished by a label.
+func (v *CounterVec) Func(fn func() uint64, values ...string) {
+	v.fam.child(values).fnU = fn
 }
 
 // With returns the gauge for the given label values.
@@ -323,7 +333,11 @@ func (f *family) write(b *strings.Builder) {
 		case typeCounter:
 			b.WriteString(f.name)
 			writeLabels(b, f.labels, s.values, "", "")
-			fmt.Fprintf(b, " %d\n", s.c.Value())
+			val := s.c.Value()
+			if s.fnU != nil {
+				val = s.fnU()
+			}
+			fmt.Fprintf(b, " %d\n", val)
 		case typeGauge:
 			b.WriteString(f.name)
 			writeLabels(b, f.labels, s.values, "", "")

@@ -175,6 +175,13 @@ type Runner struct {
 	// Per-record branch hoists, fixed at construction.
 	trackGens  bool
 	hasWindows bool
+	hasPf      bool // len(pf) > 0, hoisted out of Step
+
+	// exec is the execution tuning (decode pipelining, lanes); pstats
+	// describes how the last RunContext actually executed. Neither ever
+	// affects the Result — see Exec.
+	exec   Exec
+	pstats PipelineStats
 
 	progressEvery uint64
 	onProgress    func(records uint64)
@@ -228,6 +235,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if len(r.pf) > 0 {
 		r.fillL1 = r.pf[0].FillLevel() == coherence.LevelL1
+		r.hasPf = true
 	}
 
 	if cfg.TrackGenerations {
@@ -310,7 +318,31 @@ func (r *Runner) RunContext(ctx context.Context, src trace.Source) (*Result, err
 	ph := obs.TracerFrom(ctx).Phases("sim", obs.TrackFrom(ctx))
 	defer ph.Close()
 	if r.sampled != nil {
+		// Sampled runs ignore Exec: the sampling driver seeks over the
+		// source (a decode pipeline cannot serve seeks) and its windows
+		// are globally ordered (not lane-shardable).
 		return r.runSampled(ctx, src, ph)
+	}
+	if r.exec.active() {
+		r.pstats = PipelineStats{Lanes: 1}
+		lanes := r.laneCount()
+		if r.exec.DecodeAhead > 0 {
+			// Decode pipelining composes with either consumer below: the
+			// serial drain loop and the lane fan-out both consume the
+			// Prefetcher through its ViewSource fast path and see its
+			// latched Err like any erring source.
+			pf := trace.NewPrefetcher(src, r.exec.DecodeAhead, DefaultBatchRecords)
+			defer func() {
+				pf.Close()
+				d, s := pf.Stats()
+				r.pstats.DecodeStalls += d
+				r.pstats.SimStalls += s
+			}()
+			src = pf
+		}
+		if lanes > 1 {
+			return r.runParallel(ctx, src, ph, lanes)
+		}
 	}
 	ph.Enter("window")
 	every := r.progressEvery
@@ -365,7 +397,7 @@ func (r *Runner) RunContext(ctx context.Context, src trace.Source) (*Result, err
 	// Result over a partial record stream.
 	if e, ok := src.(interface{ Err() error }); ok {
 		if err := e.Err(); err != nil {
-			return nil, fmt.Errorf("sim: trace source failed mid-stream: %w", err)
+			return nil, errSourceFailed(err)
 		}
 	}
 	r.finish()
@@ -373,6 +405,12 @@ func (r *Runner) RunContext(ctx context.Context, src trace.Source) (*Result, err
 		r.onProgress(r.counted)
 	}
 	return r.Result(), nil
+}
+
+// errSourceFailed wraps a trace source's latched decode error, shared by
+// the serial drain loop and the parallel fan-out.
+func errSourceFailed(err error) error {
+	return fmt.Errorf("sim: trace source failed mid-stream: %w", err)
 }
 
 // Result returns a detached copy of the accumulated statistics (for
@@ -398,7 +436,7 @@ func (r *Runner) Step(rec trace.Record) {
 	r.sys.AccessInto(acc, cpu, rec.Addr, write)
 
 	if r.collecting() {
-		r.account(rec, acc)
+		r.account(write, acc)
 		if r.hasWindows {
 			r.windowAccount(rec, acc)
 		}
@@ -406,15 +444,19 @@ func (r *Runner) Step(rec trace.Record) {
 	if r.trackGens {
 		r.trackGenerations(cpu, rec, acc)
 	}
-	r.notifyPrefetcher(cpu, rec, acc)
-	r.issueStreams(cpu)
+	if r.hasPf {
+		r.notifyPrefetcher(cpu, rec, acc)
+		r.issueStreams(cpu)
+	}
 }
 
-// account updates post-warm-up counters.
-func (r *Runner) account(rec trace.Record, acc *coherence.AccessResult) {
+// account updates post-warm-up counters. write is the record's decoded
+// IsWrite — Step already computed it, and recomputing here was visible
+// at per-record rates.
+func (r *Runner) account(write bool, acc *coherence.AccessResult) {
 	res := &r.res
 	res.Accesses++
-	if rec.IsWrite() {
+	if write {
 		res.Writes++
 		if acc.Missed(coherence.LevelL1) {
 			res.L1WriteMisses++

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Prefetcher decodes a source a bounded distance ahead of its consumer on
+// a dedicated goroutine, turning decode (generator arithmetic, trace-file
+// chunk decoding) and simulation into a two-stage pipeline instead of a
+// lockstep loop.
+//
+// Batches move through two rings: the decoder takes an empty buffer from
+// the free ring, fills it with NextBatch, and hands it to the consumer
+// through the out ring; the consumer returns a buffer to the free ring
+// only when it asks for the next one. That preserves the batch-aliasing
+// contract exactly as for any other ViewSource: a view returned by
+// NextView (or a record from Next) stays valid until the next call, and
+// the decoder never touches a buffer the consumer still holds. Depth
+// bounds how far decode runs ahead (depth batches in flight plus the one
+// being filled), so memory stays fixed no matter how fast the decoder is.
+//
+// Latched decode errors keep their semantics: when the underlying source
+// ends (cleanly or mid-record), the decoder latches the source's Err
+// before closing the out ring, so a consumer that drains the Prefetcher
+// to exhaustion observes Err exactly as it would have on the unwrapped
+// source.
+type Prefetcher struct {
+	out  chan []Record
+	free chan []Record
+	quit chan struct{}
+	done chan struct{}
+
+	cur []Record // batch the consumer currently owns
+	off int      // consumed prefix of cur
+
+	err error // latched source error; written before close(out)
+
+	closeOnce sync.Once
+
+	// Stall counters, readable concurrently via Stats. A decode stall is
+	// the decoder waiting on the consumer (free ring empty or out ring
+	// full: simulation-bound); a sim stall is the consumer arriving at an
+	// empty out ring (decode-bound).
+	decodeStalls atomic.Uint64
+	simStalls    atomic.Uint64
+}
+
+// DefaultDecodeAhead is the batch depth a Prefetcher decodes ahead of its
+// consumer when the caller does not choose one. Two is true double
+// buffering (decode batch n+1 while batch n simulates); deeper rings only
+// smooth decode-time jitter.
+const DefaultDecodeAhead = 2
+
+// NewPrefetcher starts a decode pipeline over src with the given
+// ahead-depth and batch size. depth < 2 selects DefaultDecodeAhead;
+// batchRecords <= 0 selects DefaultBatchRecords. Close must be called
+// when the consumer stops early (error, cancellation); draining to
+// exhaustion shuts the decoder down on its own, but Close is always safe
+// to call.
+func NewPrefetcher(src Source, depth, batchRecords int) *Prefetcher {
+	if depth < 2 {
+		depth = DefaultDecodeAhead
+	}
+	if batchRecords <= 0 {
+		batchRecords = 4096
+	}
+	p := &Prefetcher{
+		out:  make(chan []Record, depth),
+		free: make(chan []Record, depth+1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	// depth+1 buffers: depth in flight in out plus the one the consumer
+	// holds; the decoder's fill buffer comes from the same pool, so the
+	// rings never block both sides at once.
+	for i := 0; i < depth+1; i++ {
+		p.free <- make([]Record, batchRecords)
+	}
+	go p.decode(Batched(src))
+	return p
+}
+
+// decode is the pipeline's producer loop.
+func (p *Prefetcher) decode(src BatchSource) {
+	defer close(p.out)
+	defer close(p.done)
+	for {
+		var buf []Record
+		select {
+		case buf = <-p.free:
+		default:
+			p.decodeStalls.Add(1)
+			select {
+			case buf = <-p.free:
+			case <-p.quit:
+				return
+			}
+		}
+		n := src.NextBatch(buf[:cap(buf)])
+		if n == 0 {
+			// Latch the source error before close(out): the channel close
+			// happens-after this write, so a consumer that saw the closed
+			// ring reads the error race-free.
+			p.err = sourceErr(src)
+			return
+		}
+		select {
+		case p.out <- buf[:n]:
+		default:
+			p.decodeStalls.Add(1)
+			select {
+			case p.out <- buf[:n]:
+			case <-p.quit:
+				return
+			}
+		}
+	}
+}
+
+// NextView implements ViewSource. The returned view aliases the batch the
+// consumer currently owns and stays valid until the next NextView/Next
+// call. An empty result means exhaustion (check Err).
+func (p *Prefetcher) NextView(max int) []Record {
+	if max <= 0 {
+		return nil
+	}
+	if p.off == len(p.cur) {
+		if p.cur != nil {
+			// The consumer is done with this buffer; recycle it. The free
+			// ring has capacity for every buffer in existence, so this
+			// never blocks.
+			p.free <- p.cur[:0]
+			p.cur = nil
+		}
+		var b []Record
+		var ok bool
+		select {
+		case b, ok = <-p.out:
+		default:
+			p.simStalls.Add(1)
+			b, ok = <-p.out
+		}
+		if !ok {
+			return nil
+		}
+		p.cur, p.off = b, 0
+	}
+	v := p.cur[p.off:]
+	if len(v) > max {
+		v = v[:max]
+	}
+	p.off += len(v)
+	return v
+}
+
+// Next implements Source record-by-record over the same pipeline.
+func (p *Prefetcher) Next() (Record, bool) {
+	v := p.NextView(1)
+	if len(v) == 0 {
+		return Record{}, false
+	}
+	return v[0], true
+}
+
+// Err returns the underlying source's latched decode error. It is
+// meaningful once the stream reports exhaustion (NextView returning
+// empty), exactly like Err on the unwrapped source.
+func (p *Prefetcher) Err() error {
+	select {
+	case <-p.done:
+		return p.err
+	default:
+		// The decoder is still running (early Close, or Err polled
+		// mid-stream): no latched error yet.
+		return nil
+	}
+}
+
+// Close stops the decoder goroutine and waits for it to exit. It is
+// idempotent and safe to call whether the stream was drained or
+// abandoned mid-way; after Close, NextView drains any batches already
+// decoded and then reports exhaustion.
+func (p *Prefetcher) Close() {
+	p.closeOnce.Do(func() { close(p.quit) })
+	<-p.done
+}
+
+// Stats returns the stall counters accumulated so far. It is safe to
+// call concurrently with the pipeline running.
+func (p *Prefetcher) Stats() (decodeStalls, simStalls uint64) {
+	return p.decodeStalls.Load(), p.simStalls.Load()
+}
+
+var _ ViewSource = (*Prefetcher)(nil)

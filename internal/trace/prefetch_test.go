@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// seqSource yields n records with recognizable payloads, optionally
+// latching an error at exhaustion (like a corrupt trace artifact).
+type seqSource struct {
+	n    uint64
+	i    uint64
+	fail error
+}
+
+func (s *seqSource) Next() (Record, bool) {
+	if s.i >= s.n {
+		return Record{}, false
+	}
+	r := Record{Seq: s.i, PC: s.i * 3, Addr: mem.Addr(s.i * 64), CPU: uint8(s.i % 4)}
+	s.i++
+	return r, true
+}
+
+func (s *seqSource) Err() error {
+	if s.i >= s.n {
+		return s.fail
+	}
+	return nil
+}
+
+// infiniteSource never ends; teardown tests use it so only an explicit
+// Close can stop the decoder.
+type infiniteSource struct{ i uint64 }
+
+func (s *infiniteSource) Next() (Record, bool) {
+	s.i++
+	return Record{Seq: s.i, Addr: mem.Addr(s.i * 64)}, true
+}
+
+func TestPrefetcherYieldsExactSequence(t *testing.T) {
+	const n = 10_000
+	for _, tc := range []struct{ depth, batch, view int }{
+		{2, 512, 512},
+		{2, 512, 100}, // views smaller than batches: offset path
+		{4, 64, 4096}, // views larger than batches
+		{8, 1000, 333},
+	} {
+		p := NewPrefetcher(&seqSource{n: n}, tc.depth, tc.batch)
+		var got uint64
+		for {
+			v := p.NextView(tc.view)
+			if len(v) == 0 {
+				break
+			}
+			if len(v) > tc.view {
+				t.Fatalf("view of %d records exceeds max %d", len(v), tc.view)
+			}
+			for _, r := range v {
+				if r.Seq != got {
+					t.Fatalf("depth=%d batch=%d view=%d: record %d has Seq %d", tc.depth, tc.batch, tc.view, got, r.Seq)
+				}
+				if r.Addr != mem.Addr(got*64) || r.CPU != uint8(got%4) {
+					t.Fatalf("record %d payload corrupted: %+v", got, r)
+				}
+				got++
+			}
+		}
+		if got != n {
+			t.Fatalf("drained %d records, want %d", got, n)
+		}
+		if err := p.Err(); err != nil {
+			t.Fatalf("clean stream latched err %v", err)
+		}
+		p.Close()
+	}
+}
+
+func TestPrefetcherNextMatchesNextView(t *testing.T) {
+	p := NewPrefetcher(&seqSource{n: 1000}, 2, 64)
+	defer p.Close()
+	var want uint64
+	for {
+		// Alternate the two consumption styles over one pipeline.
+		if want%3 == 0 {
+			r, ok := p.Next()
+			if !ok {
+				break
+			}
+			if r.Seq != want {
+				t.Fatalf("Next: Seq %d, want %d", r.Seq, want)
+			}
+			want++
+			continue
+		}
+		v := p.NextView(7)
+		if len(v) == 0 {
+			break
+		}
+		for _, r := range v {
+			if r.Seq != want {
+				t.Fatalf("NextView: Seq %d, want %d", r.Seq, want)
+			}
+			want++
+		}
+	}
+	if want != 1000 {
+		t.Fatalf("drained %d records, want 1000", want)
+	}
+}
+
+// TestPrefetcherViewStableUntilNextCall pins the batch-aliasing
+// contract: while the consumer holds a view, the decoder — which keeps
+// running ahead — must never rewrite it. The decoder here is given every
+// chance to misbehave: tiny batches, a deep ring, and a yield while the
+// view is held.
+func TestPrefetcherViewStableUntilNextCall(t *testing.T) {
+	p := NewPrefetcher(&seqSource{n: 100_000}, 8, 128)
+	defer p.Close()
+	var want uint64
+	for {
+		v := p.NextView(128)
+		if len(v) == 0 {
+			break
+		}
+		snapshot := append([]Record(nil), v...)
+		time.Sleep(50 * time.Microsecond) // let the decoder run ahead
+		for i := range v {
+			if v[i] != snapshot[i] {
+				t.Fatalf("held view mutated at %d: %+v vs %+v", i, v[i], snapshot[i])
+			}
+			if v[i].Seq != want {
+				t.Fatalf("Seq %d, want %d", v[i].Seq, want)
+			}
+			want++
+		}
+	}
+}
+
+// TestPrefetcherLatchedDecodeError pins the PR 5 semantics through the
+// pipeline: a source that dies mid-stream surfaces its Err after
+// exhaustion, exactly like the unwrapped source would.
+func TestPrefetcherLatchedDecodeError(t *testing.T) {
+	fail := errors.New("boom: torn record")
+	p := NewPrefetcher(&seqSource{n: 5000, fail: fail}, 2, 256)
+	defer p.Close()
+	var n int
+	for {
+		if v := p.NextView(256); len(v) == 0 {
+			break
+		} else {
+			n += len(v)
+		}
+	}
+	if n != 5000 {
+		t.Fatalf("drained %d records, want 5000", n)
+	}
+	if err := p.Err(); !errors.Is(err, fail) {
+		t.Fatalf("Err = %v, want the latched source error", err)
+	}
+}
+
+// TestPrefetcherCloseMidDecode is the cancellation teardown: the
+// consumer abandons an endless stream mid-way and Close must stop and
+// join the decoder goroutine (Close blocks until the decoder exits, so
+// returning at all is the proof; the timeout guards a regression).
+func TestPrefetcherCloseMidDecode(t *testing.T) {
+	p := NewPrefetcher(&infiniteSource{}, 2, 1024)
+	for i := 0; i < 3; i++ {
+		if v := p.NextView(1024); len(v) == 0 {
+			t.Fatal("infinite source reported exhaustion")
+		}
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not join the decoder goroutine")
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("early Close latched err %v", err)
+	}
+}
+
+// TestPrefetcherDecoderExitsWhenConsumerStops models the simulator
+// erroring out without draining: the out ring is full, the decoder is
+// blocked mid-hand-off, and Close alone must unblock and stop it.
+// Close is also idempotent.
+func TestPrefetcherDecoderExitsWhenConsumerStops(t *testing.T) {
+	p := NewPrefetcher(&infiniteSource{}, 2, 64)
+	// Never consume: give the decoder time to fill every ring slot and
+	// block on the hand-off.
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { p.Close(); p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not stop a hand-off-blocked decoder")
+	}
+}
+
+// TestPrefetcherCancelHandoffStress interleaves Close with live batch
+// hand-offs over and over; under -race it proves the teardown never
+// races the decoder's buffer writes against the consumer's reads.
+func TestPrefetcherCancelHandoffStress(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 20
+	}
+	for i := 0; i < iters; i++ {
+		p := NewPrefetcher(&infiniteSource{}, 2+i%3, 64)
+		stop := make(chan struct{})
+		go func() {
+			// Consumer: hammer views until the pipeline is torn down.
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v := p.NextView(64 + i%64); len(v) == 0 {
+					return
+				}
+			}
+		}()
+		if i%2 == 0 {
+			time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+		}
+		p.Close()
+		close(stop)
+	}
+}
+
+func TestPrefetcherStallCountersMove(t *testing.T) {
+	// A consumer that outruns a tiny-batched source must observe sim
+	// stalls; a never-draining consumer must impose decode stalls.
+	p := NewPrefetcher(&seqSource{n: 100_000}, 2, 32)
+	for {
+		if v := p.NextView(4096); len(v) == 0 {
+			break
+		}
+	}
+	p.Close()
+	_, sim := p.Stats()
+	if sim == 0 {
+		t.Error("fast consumer over a slow decoder recorded no sim stalls")
+	}
+
+	p2 := NewPrefetcher(&infiniteSource{}, 2, 32)
+	time.Sleep(5 * time.Millisecond)
+	p2.Close()
+	dec, _ := p2.Stats()
+	if dec == 0 {
+		t.Error("blocked hand-off recorded no decode stalls")
+	}
+}
